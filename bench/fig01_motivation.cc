@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 1 (motivation): performance of uniformly adopting each page
+ * placement scheme — on-touch, access counter-based, duplication — and
+ * the impractical Ideal, normalized to on-touch, per application.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+
+    auto configs = grit::bench::uniformConfigs();
+    configs.push_back(
+        {"ideal", harness::makeConfig(harness::PolicyKind::kIdeal, 4)});
+
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Figure 1: performance of each scheme relative to "
+                 "baseline on-touch migration\n\n";
+    grit::bench::printSpeedupTable(
+        matrix, "on-touch",
+        {"on-touch", "access-counter", "duplication", "ideal"},
+        "speedup, higher is better");
+    return 0;
+}

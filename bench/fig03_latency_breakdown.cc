@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 3: page-handling latency breakdown of each page placement
+ * scheme (Local / Host / Page-migration / Remote-access /
+ * Page-duplication / Write-collapse), normalized per app to the
+ * on-touch total. Also prints the raw mechanism counters, which makes
+ * this binary the main diagnostic for the cost model.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "stats/latency_breakdown.h"
+
+int
+main()
+{
+    using namespace grit;
+    using stats::LatencyKind;
+
+    const auto params = grit::bench::benchParams();
+    const auto configs = grit::bench::uniformConfigs();
+    const auto matrix =
+        harness::runMatrix(grit::bench::allApps(), configs, params);
+
+    std::cout << "Figure 3: page-handling latency breakdown "
+                 "(fraction of the app's on-touch total)\n\n";
+
+    harness::TextTable table({"app", "scheme", "Local", "Host",
+                              "Page-migration", "Remote-access",
+                              "Page-duplication", "Write-collapse",
+                              "total"});
+    const std::vector<std::string> labels = {"on-touch", "access-counter",
+                                             "duplication"};
+    const char *short_names[] = {"OT", "AC", "D"};
+
+    for (const auto &[app, runs] : matrix) {
+        const double ot_total = static_cast<double>(
+            runs.at("on-touch").breakdown.total());
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            const auto &bd = runs.at(labels[i]).breakdown;
+            std::vector<std::string> row = {app, short_names[i]};
+            for (unsigned k = 0; k < stats::kLatencyKinds; ++k) {
+                const double f =
+                    ot_total > 0
+                        ? static_cast<double>(
+                              bd.get(static_cast<LatencyKind>(k))) /
+                              ot_total
+                        : 0.0;
+                row.push_back(harness::TextTable::fmt(f));
+            }
+            row.push_back(harness::TextTable::fmt(
+                ot_total > 0
+                    ? static_cast<double>(bd.total()) / ot_total
+                    : 0.0));
+            table.addRow(row);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nMechanism counters per app/scheme:\n\n";
+    harness::TextTable diag({"app", "scheme", "cycles", "faults",
+                             "migrations", "duplications", "collapses",
+                             "remote-accesses", "evictions", "spills"});
+    for (const auto &[app, runs] : matrix) {
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            const auto &r = runs.at(labels[i]);
+            auto get = [&](const char *name) -> std::uint64_t {
+                for (const auto &[k, v] : r.counters)
+                    if (k == name)
+                        return v;
+                return 0;
+            };
+            diag.addRow({app, short_names[i], std::to_string(r.cycles),
+                         std::to_string(r.totalFaults()),
+                         std::to_string(get("uvm.migrations") +
+                                        get("uvm.host_migrations")),
+                         std::to_string(get("uvm.duplications")),
+                         std::to_string(get("uvm.collapses")),
+                         std::to_string(get("sim.remote_accesses")),
+                         std::to_string(r.evictions),
+                         std::to_string(get("uvm.spills"))});
+        }
+    }
+    diag.print(std::cout);
+    return 0;
+}

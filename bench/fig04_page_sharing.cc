@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 4: percentage of private vs shared pages per application, and
+ * the percentage of accesses going to each class.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workload/characterizer.h"
+
+int
+main()
+{
+    using namespace grit;
+
+    const auto params = grit::bench::benchParams();
+
+    std::cout << "Figure 4: private/shared pages and accesses\n\n";
+    harness::TextTable table({"app", "private pages %", "shared pages %",
+                              "accesses to private %",
+                              "accesses to shared %"});
+    for (workload::AppId app : workload::kAllApps) {
+        const auto w = workload::makeWorkload(app, params);
+        const auto c = workload::classifyPages(w);
+        const double pages =
+            static_cast<double>(c.totalPages());
+        const double accesses =
+            static_cast<double>(c.totalAccesses());
+        table.addRow(
+            {w.name,
+             harness::TextTable::fmt(100.0 * c.privatePages / pages, 1),
+             harness::TextTable::fmt(100.0 * c.sharedPages / pages, 1),
+             harness::TextTable::fmt(
+                 100.0 * c.accessesToPrivate / accesses, 1),
+             harness::TextTable::fmt(
+                 100.0 * c.accessesToShared / accesses, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figures 6-8: page attributes (private/shared, read/read-write) over
+ * time across consecutive pages, for GEMM (regular: consecutive regions
+ * hold stable attributes) and ST (irregular: attributes change over
+ * time but neighboring pages change together). Rendered as a coarse
+ * character map plus the neighbor-similarity metric that motivates
+ * Neighboring-Aware Prediction (Section IV-C).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workload/characterizer.h"
+
+namespace {
+
+char
+glyph(grit::workload::PageAttr attr)
+{
+    using grit::workload::PageAttr;
+    switch (attr) {
+      case PageAttr::kUntouched:        return '.';
+      case PageAttr::kPrivateRead:      return 'p';
+      case PageAttr::kPrivateReadWrite: return 'P';
+      case PageAttr::kSharedRead:       return 's';
+      case PageAttr::kSharedReadWrite:  return 'S';
+    }
+    return '?';
+}
+
+void
+report(const grit::workload::Workload &w)
+{
+    using namespace grit;
+    constexpr unsigned kIntervals = 20;
+    constexpr unsigned kColumns = 64;
+
+    const auto map = workload::attributesOverTime(w, kIntervals);
+    std::cout << w.name << ": attribute map (rows = time intervals, "
+              << "columns = " << kColumns << " page bins; "
+              << "p/P private read/rw, s/S shared read/rw)\n";
+    const std::size_t pages = map.front().size();
+    for (unsigned k = 0; k < kIntervals; ++k) {
+        std::string row;
+        for (unsigned c = 0; c < kColumns; ++c) {
+            // Majority attribute within the page bin.
+            const std::size_t lo = c * pages / kColumns;
+            const std::size_t hi = (c + 1) * pages / kColumns;
+            unsigned counts[5] = {0, 0, 0, 0, 0};
+            for (std::size_t p = lo; p < hi && p < pages; ++p)
+                counts[static_cast<unsigned>(map[k][p])] += 1;
+            unsigned best = 0;
+            for (unsigned a = 1; a < 5; ++a)
+                if (counts[a] > counts[best])
+                    best = a;
+            row.push_back(glyph(static_cast<workload::PageAttr>(best)));
+        }
+        std::cout << "  " << row << "\n";
+    }
+    std::cout << "  neighbor-attribute similarity: "
+              << harness::TextTable::fmt(
+                     100.0 * workload::neighborSimilarity(map), 1)
+              << "% of adjacent touched page pairs agree\n\n";
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace grit;
+
+    const auto params = grit::bench::benchParams();
+    std::cout << "Figures 6-8: page attributes over time for "
+                 "consecutive pages\n\n";
+    report(workload::makeWorkload(workload::AppId::kGemm, params));
+    report(workload::makeWorkload(workload::AppId::kSt, params));
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 17 (headline result): GRIT vs the three uniform page placement
+ * schemes, normalized to on-touch migration. The paper reports average
+ * improvements of +60 % / +49 % / +29 % over on-touch, access
+ * counter-based migration, and duplication respectively.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+
+    const auto configs = grit::bench::mainConfigs();
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Figure 17: GRIT vs uniform schemes (speedup over "
+                 "on-touch)\n\n";
+    grit::bench::printSpeedupTable(
+        matrix, "on-touch",
+        {"on-touch", "access-counter", "duplication", "grit"},
+        "speedup, higher is better");
+
+    std::cout << "\nAverage improvement of GRIT (paper: +60 % / +49 % / "
+                 "+29 %):\n";
+    for (const char *base : {"on-touch", "access-counter", "duplication"}) {
+        std::cout << "  vs " << base << ": "
+                  << harness::TextTable::pct(
+                         harness::meanImprovementPct(matrix, base, "grit"))
+                  << "\n";
+    }
+    return 0;
+}

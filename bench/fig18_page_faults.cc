@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 18: total GPU page faults (local + page-protection) per scheme
+ * and for GRIT, normalized to on-touch migration. The paper reports
+ * GRIT reducing faults by 39 % / 55 % / 16 % vs on-touch / access
+ * counter / duplication.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+
+    const auto configs = grit::bench::mainConfigs();
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Figure 18: GPU page faults normalized to on-touch\n\n";
+    const std::vector<std::string> labels = {
+        "on-touch", "access-counter", "duplication", "grit"};
+    std::vector<std::string> headers = {"app"};
+    for (const auto &l : labels)
+        headers.push_back(l);
+    harness::TextTable table(headers);
+
+    std::map<std::string, double> sums;
+    for (const auto &[app, runs] : matrix) {
+        const double base =
+            static_cast<double>(runs.at("on-touch").totalFaults());
+        std::vector<std::string> row = {app};
+        for (const auto &l : labels) {
+            const double f =
+                static_cast<double>(runs.at(l).totalFaults());
+            const double norm = base > 0 ? f / base : 0.0;
+            sums[l] += norm;
+            row.push_back(harness::TextTable::fmt(norm));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> mean = {"MEAN"};
+    for (const auto &l : labels)
+        mean.push_back(harness::TextTable::fmt(
+            sums[l] / static_cast<double>(matrix.size())));
+    table.addRow(mean);
+    table.print(std::cout);
+
+    std::cout << "\nGRIT fault reduction (paper: -39 % / -55 % / -16 %):\n";
+    for (const char *base : {"on-touch", "access-counter", "duplication"}) {
+        double sum = 0.0;
+        for (const auto &[app, runs] : matrix) {
+            const double b =
+                static_cast<double>(runs.at(base).totalFaults());
+            const double g =
+                static_cast<double>(runs.at("grit").totalFaults());
+            if (b > 0)
+                sum += 1.0 - g / b;
+        }
+        std::cout << "  vs " << base << ": "
+                  << harness::TextTable::fmt(
+                         100.0 * sum / static_cast<double>(matrix.size()),
+                         1)
+                  << "% fewer faults\n";
+    }
+    return 0;
+}

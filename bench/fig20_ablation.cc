@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 20: performance of GRIT's individual components — PA-Table
+ * only, PA-Table + PA-Cache, PA-Table + Neighboring-Aware Prediction,
+ * and full GRIT — normalized to on-touch migration. The paper reports
+ * +31 % / +47 % / +44 % average improvements for the first three.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+    using harness::PolicyKind;
+
+    auto grit_config = [](bool cache, bool nap) {
+        harness::SystemConfig config =
+            harness::makeConfig(PolicyKind::kGrit, 4);
+        config.grit.paCacheEnabled = cache;
+        config.grit.napEnabled = nap;
+        return config;
+    };
+
+    const std::vector<harness::LabeledConfig> configs = {
+        {"on-touch", harness::makeConfig(PolicyKind::kOnTouch, 4)},
+        {"pa-table", grit_config(false, false)},
+        {"pa-table+pa-cache", grit_config(true, false)},
+        {"pa-table+nap", grit_config(false, true)},
+        {"full-grit", grit_config(true, true)},
+    };
+
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Figure 20: GRIT component ablation (speedup over "
+                 "on-touch)\n\n";
+    grit::bench::printSpeedupTable(
+        matrix, "on-touch",
+        {"pa-table", "pa-table+pa-cache", "pa-table+nap", "full-grit"},
+        "speedup, higher is better");
+
+    std::cout << "\nAverage improvement over on-touch "
+                 "(paper: +31 % / +47 % / +44 % / +60 %):\n";
+    for (const char *label :
+         {"pa-table", "pa-table+pa-cache", "pa-table+nap", "full-grit"}) {
+        std::cout << "  " << label << ": "
+                  << harness::TextTable::pct(harness::meanImprovementPct(
+                         matrix, "on-touch", label))
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 21: GRIT's fault-threshold sensitivity — thresholds 2, 4, 8,
+ * and 16, normalized to on-touch migration. The paper reports +53 % /
+ * +60 % / +59 % / +48 % (saturating at 4, the default).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+    using harness::PolicyKind;
+
+    std::vector<harness::LabeledConfig> configs = {
+        {"on-touch", harness::makeConfig(PolicyKind::kOnTouch, 4)}};
+    for (std::uint32_t threshold : {2u, 4u, 8u, 16u}) {
+        harness::SystemConfig config =
+            harness::makeConfig(PolicyKind::kGrit, 4);
+        config.grit.faultThreshold = threshold;
+        configs.push_back(
+            {"grit-t" + std::to_string(threshold), config});
+    }
+
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Figure 21: GRIT fault-threshold sensitivity (speedup "
+                 "over on-touch)\n\n";
+    grit::bench::printSpeedupTable(
+        matrix, "on-touch",
+        {"grit-t2", "grit-t4", "grit-t8", "grit-t16"},
+        "speedup, higher is better");
+
+    std::cout << "\nAverage improvement (paper: +53 % / +60 % / +59 % / "
+                 "+48 %, saturating at threshold 4):\n";
+    for (const char *label :
+         {"grit-t2", "grit-t4", "grit-t8", "grit-t16"}) {
+        std::cout << "  " << label << ": "
+                  << harness::TextTable::pct(harness::meanImprovementPct(
+                         matrix, "on-touch", label))
+                  << "\n";
+    }
+    return 0;
+}

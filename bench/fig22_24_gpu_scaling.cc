@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figures 22-24: GRIT with 2, 8, and 16 GPUs, each normalized to the
+ * same-GPU-count baselines (input size held constant, as in the paper).
+ * Paper averages: 2 GPUs +40/37/11 %, 8 GPUs +38/35/26 %,
+ * 16 GPUs +27/26/23 % over on-touch / access counter / duplication.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+
+    for (unsigned gpus : {2u, 8u, 16u}) {
+        const auto configs = grit::bench::mainConfigs(gpus);
+        const auto matrix = harness::runMatrix(
+            grit::bench::allApps(), configs, grit::bench::benchParams());
+
+        std::cout << "=== " << gpus << " GPUs (speedup over " << gpus
+                  << "-GPU on-touch) ===\n\n";
+        grit::bench::printSpeedupTable(
+            matrix, "on-touch",
+            {"on-touch", "access-counter", "duplication", "grit"},
+            "speedup, higher is better");
+        std::cout << "\nGRIT average improvement:\n";
+        for (const char *base :
+             {"on-touch", "access-counter", "duplication"}) {
+            std::cout << "  vs " << base << ": "
+                      << harness::TextTable::pct(
+                             harness::meanImprovementPct(matrix, base,
+                                                         "grit"))
+                      << "\n";
+        }
+
+        std::cout << "\nGRIT fault reduction:\n";
+        for (const char *base :
+             {"on-touch", "access-counter", "duplication"}) {
+            double sum = 0.0;
+            for (const auto &[app, runs] : matrix) {
+                const double b =
+                    static_cast<double>(runs.at(base).totalFaults());
+                const double g =
+                    static_cast<double>(runs.at("grit").totalFaults());
+                if (b > 0)
+                    sum += 1.0 - g / b;
+            }
+            std::cout << "  vs " << base << ": "
+                      << harness::TextTable::fmt(
+                             100.0 * sum /
+                                 static_cast<double>(matrix.size()),
+                             1)
+                      << "% fewer faults\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 26: comparison with Griffin (HPCA 2020). Four configurations
+ * normalized to Griffin-DPC: Griffin-DPC, GRIT, Griffin (DPC + ACUD),
+ * and GRIT + ACUD. The paper reports GRIT +27 % over Griffin-DPC and
+ * GRIT+ACUD +16 % over full Griffin.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+    using harness::PolicyKind;
+
+    harness::SystemConfig dpc =
+        harness::makeConfig(PolicyKind::kGriffinDpc, 4);
+    harness::SystemConfig grit_cfg =
+        harness::makeConfig(PolicyKind::kGrit, 4);
+    harness::SystemConfig griffin = dpc;
+    griffin.uvm.acud = true;
+    harness::SystemConfig grit_acud = grit_cfg;
+    grit_acud.uvm.acud = true;
+
+    const std::vector<harness::LabeledConfig> configs = {
+        {"griffin-dpc", dpc},
+        {"grit", grit_cfg},
+        {"griffin", griffin},
+        {"grit+acud", grit_acud},
+    };
+
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Figure 26: Griffin comparison (speedup over "
+                 "Griffin-DPC)\n\n";
+    grit::bench::printSpeedupTable(
+        matrix, "griffin-dpc",
+        {"griffin-dpc", "grit", "griffin", "grit+acud"},
+        "speedup, higher is better");
+
+    std::cout << "\nAverages (paper: GRIT +27 % over Griffin-DPC; "
+                 "GRIT+ACUD +16 % over Griffin; ACUD on GRIT +9 %):\n";
+    std::cout << "  grit vs griffin-dpc: "
+              << harness::TextTable::pct(harness::meanImprovementPct(
+                     matrix, "griffin-dpc", "grit"))
+              << "\n";
+    std::cout << "  grit+acud vs griffin: "
+              << harness::TextTable::pct(harness::meanImprovementPct(
+                     matrix, "griffin", "grit+acud"))
+              << "\n";
+    std::cout << "  grit+acud vs grit: "
+              << harness::TextTable::pct(harness::meanImprovementPct(
+                     matrix, "grit", "grit+acud"))
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 27: comparison with GPS (MICRO 2021), normalized to GPS. The
+ * paper reports GRIT +15 % on average, driven by GPS's replica
+ * footprint: GPS's publish-subscribe replication oversubscribes memory
+ * (34 % higher oversubscription rate than GRIT).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+    using harness::PolicyKind;
+
+    const std::vector<harness::LabeledConfig> configs = {
+        {"gps", harness::makeConfig(PolicyKind::kGps, 4)},
+        {"grit", harness::makeConfig(PolicyKind::kGrit, 4)},
+    };
+
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Figure 27: GPS comparison (speedup over GPS)\n\n";
+    grit::bench::printSpeedupTable(matrix, "gps", {"gps", "grit"},
+                                   "speedup, higher is better");
+
+    std::cout << "\nGRIT vs GPS (paper: +15 %): "
+              << harness::TextTable::pct(
+                     harness::meanImprovementPct(matrix, "gps", "grit"))
+              << "\n\nOversubscription (evictions per 1000 accesses; "
+                 "paper: GPS 34 % higher):\n";
+    harness::TextTable table({"app", "gps", "grit", "gps peak replicas",
+                              "grit peak replicas"});
+    double gps_sum = 0.0;
+    double grit_sum = 0.0;
+    for (const auto &[app, runs] : matrix) {
+        const auto &gps = runs.at("gps");
+        const auto &grit_run = runs.at("grit");
+        gps_sum += gps.oversubscriptionRate();
+        grit_sum += grit_run.oversubscriptionRate();
+        table.addRow(
+            {app, harness::TextTable::fmt(gps.oversubscriptionRate()),
+             harness::TextTable::fmt(grit_run.oversubscriptionRate()),
+             std::to_string(gps.peakReplicas),
+             std::to_string(grit_run.peakReplicas)});
+    }
+    table.print(std::cout);
+    if (grit_sum > 0) {
+        std::cout << "GPS oversubscription rate vs GRIT: "
+                  << harness::TextTable::pct(
+                         100.0 * (gps_sum / grit_sum - 1.0))
+                  << "\n";
+    }
+    return 0;
+}

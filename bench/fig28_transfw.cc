@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 28: comparison with the combination of Griffin-DPC and
+ * Trans-FW (HPCA 2023), normalized to the combination. The paper
+ * reports GRIT +18 % on average: Trans-FW accelerates fault handling
+ * but GRIT avoids more of the faults outright.
+ */
+
+#include <iostream>
+
+#include "baselines/transfw.h"
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+    using harness::PolicyKind;
+
+    harness::SystemConfig combo =
+        harness::makeConfig(PolicyKind::kGriffinDpc, 4);
+    baselines::applyTransFw(combo.uvm);
+
+    const std::vector<harness::LabeledConfig> configs = {
+        {"dpc+transfw", combo},
+        {"grit", harness::makeConfig(PolicyKind::kGrit, 4)},
+    };
+
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Figure 28: Griffin-DPC + Trans-FW comparison (speedup "
+                 "over the combination)\n\n";
+    grit::bench::printSpeedupTable(matrix, "dpc+transfw",
+                                   {"dpc+transfw", "grit"},
+                                   "speedup, higher is better");
+    std::cout << "\nGRIT vs Griffin-DPC+Trans-FW (paper: +18 %): "
+              << harness::TextTable::pct(harness::meanImprovementPct(
+                     matrix, "dpc+transfw", "grit"))
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 29: comparison with first-touch migration (pin on first touch,
+ * peer access afterwards), normalized to first-touch. The paper reports
+ * GRIT +54 % on average — marginal on private-heavy apps (FIR, SC),
+ * large on shared-heavy apps (GEMM, MM).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace grit;
+    using harness::PolicyKind;
+
+    const std::vector<harness::LabeledConfig> configs = {
+        {"first-touch", harness::makeConfig(PolicyKind::kFirstTouch, 4)},
+        {"grit", harness::makeConfig(PolicyKind::kGrit, 4)},
+    };
+
+    const auto matrix = harness::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams());
+
+    std::cout << "Figure 29: first-touch comparison (speedup over "
+                 "first-touch)\n\n";
+    grit::bench::printSpeedupTable(matrix, "first-touch",
+                                   {"first-touch", "grit"},
+                                   "speedup, higher is better");
+    std::cout << "\nGRIT vs first-touch (paper: +54 %): "
+              << harness::TextTable::pct(harness::meanImprovementPct(
+                     matrix, "first-touch", "grit"))
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 31: DNN workloads — VGG16 and ResNet18 model-parallel training
+ * under GRIT, normalized to their on-touch baselines. The paper reports
+ * +15 % and +18 % respectively.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workload/dnn.h"
+
+int
+main()
+{
+    using namespace grit;
+    using harness::PolicyKind;
+
+    const auto params = grit::bench::benchParams();
+
+    std::cout << "Figure 31: DNN model parallelism (speedup over "
+                 "on-touch; paper: VGG16 +15 %, ResNet18 +18 %)\n\n";
+    harness::TextTable table({"model", "on-touch", "grit", "improvement"});
+    for (workload::DnnModel model :
+         {workload::DnnModel::kVgg16, workload::DnnModel::kResNet18}) {
+        workload::WorkloadParams p = params;
+        p.numGpus = 4;
+        const auto w = workload::makeDnnWorkload(model, p);
+
+        const auto base = harness::runWorkload(
+            harness::makeConfig(PolicyKind::kOnTouch, 4), w);
+        const auto grit_run = harness::runWorkload(
+            harness::makeConfig(PolicyKind::kGrit, 4), w);
+
+        const double speedup = harness::speedupOver(base, grit_run);
+        table.addRow({workload::dnnModelName(model), "1.00",
+                      harness::TextTable::fmt(speedup),
+                      harness::TextTable::pct(100.0 * (speedup - 1.0))});
+    }
+    table.print(std::cout);
+    return 0;
+}

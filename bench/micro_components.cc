@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot structures:
+ * PA-Cache fault recording, TLB lookups, page-walk cache, the event
+ * queue, the deterministic RNG, and Neighboring-Aware Prediction group
+ * updates. These bound the simulator's own throughput, not the modeled
+ * system's performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/neighbor_predictor.h"
+#include "core/pa_cache.h"
+#include "mem/page_table.h"
+#include "mem/page_walk_cache.h"
+#include "mem/tlb.h"
+#include "simcore/event_queue.h"
+#include "simcore/rng.h"
+
+namespace {
+
+void
+BM_PaCacheRecordFault(benchmark::State &state)
+{
+    grit::core::PaTable table;
+    grit::core::PaCache cache(table);
+    grit::sim::Rng rng(7);
+    std::uint64_t vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.recordFault(vpn, (vpn & 1) != 0, 4));
+        vpn = rng.below(4096);
+    }
+}
+BENCHMARK(BM_PaCacheRecordFault);
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    grit::mem::Tlb tlb("bench", 512, 16, 10);
+    for (grit::sim::PageId p = 0; p < 256; ++p)
+        tlb.insert(p);
+    grit::sim::PageId p = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(p));
+        p = (p + 1) % 256;
+    }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void
+BM_PageWalkCache(benchmark::State &state)
+{
+    grit::mem::PageWalkCache pwc(128);
+    grit::sim::Rng rng(11);
+    for (auto _ : state) {
+        const grit::sim::PageId page = rng.below(1 << 20);
+        benchmark::DoNotOptimize(pwc.walkAccesses(page));
+        pwc.fill(page);
+    }
+}
+BENCHMARK(BM_PageWalkCache);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        grit::sim::EventQueue queue;
+        int sink = 0;
+        for (unsigned i = 0; i < 1024; ++i)
+            queue.schedule(i * 7 % 257, [&sink] { ++sink; });
+        queue.run();
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_RngBelow(benchmark::State &state)
+{
+    grit::sim::Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.below(1000003));
+}
+BENCHMARK(BM_RngBelow);
+
+void
+BM_NapSchemeChange(benchmark::State &state)
+{
+    grit::mem::PageTable central;
+    grit::core::NeighborPredictor nap(central);
+    for (grit::sim::PageId p = 0; p < 4096; ++p)
+        central.setScheme(p, grit::mem::Scheme::kOnTouch);
+    grit::sim::Rng rng(5);
+    for (auto _ : state) {
+        const grit::sim::PageId page = rng.below(4096);
+        const auto scheme = (rng.next() & 1) != 0
+                                ? grit::mem::Scheme::kDuplication
+                                : grit::mem::Scheme::kAccessCounter;
+        central.setScheme(page, scheme);
+        benchmark::DoNotOptimize(nap.onSchemeChange(page, scheme));
+    }
+}
+BENCHMARK(BM_NapSchemeChange);
+
+}  // namespace
+
+BENCHMARK_MAIN();

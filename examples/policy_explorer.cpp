@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Policy explorer: run any Table II application (or all of them) under
+ * any subset of placement policies and print the comparison.
+ *
+ * Usage:
+ *   policy_explorer [app] [policy...]
+ *   policy_explorer GEMM grit duplication
+ *   policy_explorer all on-touch grit
+ *
+ * Policies: on-touch, access-counter, duplication, first-touch, ideal,
+ * grit, griffin-dpc, gps. Defaults: all apps under the Fig. 17 lineup.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace {
+
+void
+usage()
+{
+    std::cerr << "usage: policy_explorer [app|all] [policy...]\n"
+                 "  apps: BFS BS C2D FIR GEMM MM SC ST all\n"
+                 "  policies: on-touch access-counter duplication "
+                 "first-touch ideal grit griffin-dpc gps\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace grit;
+
+    std::vector<workload::AppId> apps;
+    if (argc < 2 || std::string(argv[1]) == "all") {
+        apps.assign(workload::kAllApps.begin(), workload::kAllApps.end());
+    } else if (auto app = workload::appFromName(argv[1])) {
+        apps.push_back(*app);
+    } else {
+        usage();
+        return 1;
+    }
+
+    std::vector<harness::LabeledConfig> configs;
+    if (argc > 2) {
+        for (int i = 2; i < argc; ++i) {
+            const auto kind = harness::policyKindFromName(argv[i]);
+            if (!kind) {
+                std::cerr << "unknown policy: " << argv[i] << "\n";
+                usage();
+                return 1;
+            }
+            configs.push_back(
+                {argv[i], harness::makeConfig(*kind, 4)});
+        }
+    } else {
+        for (harness::PolicyKind kind :
+             {harness::PolicyKind::kOnTouch,
+              harness::PolicyKind::kAccessCounter,
+              harness::PolicyKind::kDuplication,
+              harness::PolicyKind::kGrit}) {
+            configs.push_back({harness::policyKindName(kind),
+                               harness::makeConfig(kind, 4)});
+        }
+    }
+
+    harness::TextTable table({"app", "policy", "cycles", "faults",
+                              "migrations", "duplications", "collapses",
+                              "speedup"});
+    for (workload::AppId app : apps) {
+        const workload::Workload w = workload::makeWorkload(app);
+        harness::RunResult base;
+        bool first = true;
+        for (const auto &lc : configs) {
+            const harness::RunResult r =
+                harness::runWorkload(lc.config, w);
+            if (first) {
+                base = r;
+                first = false;
+            }
+            auto get = [&](const char *name) {
+                for (const auto &[k, v] : r.counters)
+                    if (k == name)
+                        return v;
+                return std::uint64_t{0};
+            };
+            table.addRow(
+                {w.name, lc.label, std::to_string(r.cycles),
+                 std::to_string(r.totalFaults()),
+                 std::to_string(get("uvm.migrations") +
+                                get("uvm.host_migrations")),
+                 std::to_string(get("uvm.duplications")),
+                 std::to_string(get("uvm.collapses")),
+                 harness::TextTable::fmt(harness::speedupOver(base, r)) +
+                     "x"});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace inspector: reproduce the paper's Section IV characterization
+ * for any Table II application — page sharing, read/write mix, the
+ * temporal behaviour of the hottest shared page, and the neighboring-
+ * page attribute similarity that motivates NAP.
+ *
+ * Usage: trace_inspector [app]   (default: ST)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "harness/table.h"
+#include "workload/apps.h"
+#include "workload/characterizer.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace grit;
+
+    auto app = workload::appFromName(argc > 1 ? argv[1] : "ST");
+    if (!app) {
+        std::cerr << "unknown app; use one of: ";
+        for (workload::AppId a : workload::kAllApps)
+            std::cerr << workload::appMeta(a).abbr << " ";
+        std::cerr << "\n";
+        return 1;
+    }
+
+    const workload::Workload w = workload::makeWorkload(*app);
+    std::cout << w.name << " (" << w.fullName << ", " << w.suite << ", "
+              << w.pattern << " pattern)\n"
+              << "  scaled footprint: " << w.footprintPages4k
+              << " pages, " << w.totalAccesses() << " accesses, "
+              << w.totalWrites() << " writes\n\n";
+
+    const auto c = workload::classifyPages(w);
+    const double pages = static_cast<double>(c.totalPages());
+    const double accesses = static_cast<double>(c.totalAccesses());
+    std::cout << "Page sharing (Fig. 4):\n"
+              << "  private pages " << harness::TextTable::fmt(
+                     100.0 * c.privatePages / pages, 1)
+              << "%, shared pages " << harness::TextTable::fmt(
+                     100.0 * c.sharedPages / pages, 1)
+              << "%\n  accesses to private " << harness::TextTable::fmt(
+                     100.0 * c.accessesToPrivate / accesses, 1)
+              << "%, to shared " << harness::TextTable::fmt(
+                     100.0 * c.accessesToShared / accesses, 1)
+              << "%\n\nRead/write mix (Fig. 9):\n"
+              << "  accesses to read pages " << harness::TextTable::fmt(
+                     100.0 * c.accessesToRead / accesses, 1)
+              << "%, to read-write pages " << harness::TextTable::fmt(
+                     100.0 * c.accessesToReadWrite / accesses, 1)
+              << "%\n\n";
+
+    const auto map = workload::attributesOverTime(w, 16);
+    std::cout << "Neighbor-attribute similarity (Section IV-C): "
+              << harness::TextTable::fmt(
+                     100.0 * workload::neighborSimilarity(map), 1)
+              << "%\n\n";
+
+    const sim::PageId hot = workload::mostAccessedSharedRwPage(w);
+    std::cout << "Hottest shared read-write page: " << hot
+              << " (Figs. 5/10 view, 8 intervals)\n";
+    const auto gpu_dist = workload::pageGpuDistribution(w, hot, 8);
+    const auto rw_dist = workload::pageRwDistribution(w, hot, 8);
+    harness::TextTable table({"interval", "per-GPU accesses", "reads",
+                              "writes"});
+    for (unsigned k = 0; k < 8; ++k) {
+        std::string per_gpu;
+        for (unsigned g = 0; g < w.numGpus(); ++g) {
+            per_gpu += std::to_string(gpu_dist[k][g]);
+            if (g + 1 < w.numGpus())
+                per_gpu += "/";
+        }
+        table.addRow({std::to_string(k), per_gpu,
+                      std::to_string(rw_dist[k].first),
+                      std::to_string(rw_dist[k].second)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,64 @@
+#include "baselines/gps.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "uvm/uvm_driver.h"
+
+namespace grit::baselines {
+
+GpsPolicy::GpsPolicy(const GpsConfig &config) : config_(config) {}
+
+policy::FaultAction
+GpsPolicy::onFault(const policy::FaultInfo &info, sim::Cycle now)
+{
+    (void)now;
+    // First touch places the page; every later access subscribes.
+    return info.coldTouch ? policy::FaultAction::kMigrate
+                          : policy::FaultAction::kSubscribe;
+}
+
+sim::Cycle
+GpsPolicy::onAccess(sim::GpuId gpu, sim::PageId page, bool write,
+                    bool remote, sim::Cycle now)
+{
+    (void)remote;
+    if (!write)
+        return 0;
+    assert(driver_ != nullptr);
+
+    const uvm::PageInfo *info = driver_->directory().find(page);
+    if (info == nullptr || info->replicas.empty())
+        return 0;
+
+    // Proactively push the store to every other copy of the page. Each
+    // push occupies fabric bandwidth AND one of the sender's
+    // outstanding-remote-transaction slots for its flight — a store
+    // storm to widely subscribed pages saturates the RDMA engine,
+    // which is where GPS pays for its replication.
+    gpu::Gpu &sender = driver_->gpuAt(gpu);
+    sim::Cycle slot_done = now;
+    auto push = [&](sim::GpuId target) {
+        if (target == gpu || target < 0)
+            return;
+        driver_->fabric().transfer(now, gpu, target, config_.storeBytes);
+        const sim::Cycle flight =
+            driver_->fabric().flightLatency(gpu, target);
+        slot_done = std::max(
+            slot_done, sender.remoteSlot(now, flight, /*to_host=*/false));
+        ++broadcasts_;
+    };
+    push(info->owner);
+    for (sim::GpuId subscriber : info->replicas)
+        push(subscriber);
+
+    driver_->stats().counter("gps.store_broadcasts").inc();
+    // The store retires once every subscriber push has secured a
+    // slot; under write storms this is GPS's bottleneck.
+    const sim::Cycle send_overhead = slot_done - now;
+    driver_->breakdown().add(stats::LatencyKind::kRemoteAccess,
+                             send_overhead);
+    return send_overhead;
+}
+
+}  // namespace grit::baselines

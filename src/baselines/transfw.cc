@@ -1,0 +1,14 @@
+#include "baselines/transfw.h"
+
+namespace grit::baselines {
+
+std::uint64_t
+transFwForwards(const uvm::UvmDriver &driver)
+{
+    // StatSet::get is const; UvmDriver only exposes a mutable stats()
+    // accessor, so read through the const reference it wraps.
+    return const_cast<uvm::UvmDriver &>(driver).stats().get(
+        "uvm.transfw_forwards");
+}
+
+}  // namespace grit::baselines

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Trans-FW baseline (Li et al., HPCA 2023; paper Section VI-C3).
+ *
+ * Trans-FW short-circuits page-table walks by forwarding translation
+ * requests directly to the remote GPU that owns the page, instead of
+ * round-tripping through the host UVM driver over PCIe. In this
+ * simulator it is a UvmDriver mode (`UvmConfig::transFw`): non-cold
+ * faults that resolve to remote mappings take an NVLink request/response
+ * to the owner plus a small service time. This header provides the
+ * configuration helpers used by the Figure 28 comparison (Griffin-DPC +
+ * Trans-FW vs. GRIT).
+ */
+
+#ifndef GRIT_BASELINES_TRANSFW_H_
+#define GRIT_BASELINES_TRANSFW_H_
+
+#include "uvm/uvm_driver.h"
+
+namespace grit::baselines {
+
+/** Enable Trans-FW remote translation forwarding on a UVM config. */
+inline void
+applyTransFw(uvm::UvmConfig &config)
+{
+    config.transFw = true;
+}
+
+/** Enable Griffin's asynchronous CU draining on a UVM config. */
+inline void
+applyAcud(uvm::UvmConfig &config)
+{
+    config.acud = true;
+}
+
+/** Forwarded translations served so far by @p driver. */
+std::uint64_t transFwForwards(const uvm::UvmDriver &driver);
+
+}  // namespace grit::baselines
+
+#endif  // GRIT_BASELINES_TRANSFW_H_

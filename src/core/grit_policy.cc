@@ -1,0 +1,191 @@
+#include "core/grit_policy.h"
+
+#include <cassert>
+
+#include "core/scheme_decision.h"
+#include "uvm/uvm_driver.h"
+
+namespace grit::core {
+
+GritPolicy::GritPolicy(const GritConfig &config) : config_(config)
+{
+    assert(config_.faultThreshold > 0);
+    if (config_.paCacheEnabled) {
+        paCache_ = std::make_unique<PaCache>(
+            paTable_, config_.paCacheEntries, config_.paCacheWays);
+    }
+}
+
+void
+GritPolicy::attach(uvm::UvmDriver &driver)
+{
+    PlacementPolicy::attach(driver);
+    nap_ = std::make_unique<NeighborPredictor>(driver.centralTable());
+}
+
+mem::Scheme
+GritPolicy::effectiveScheme(sim::PageId page) const
+{
+    assert(driver_ != nullptr);
+    const mem::Scheme s = driver_->centralTable().scheme(page);
+    return s == mem::Scheme::kNone ? config_.defaultScheme : s;
+}
+
+mem::Scheme
+GritPolicy::schemeOf(sim::PageId page) const
+{
+    return effectiveScheme(page);
+}
+
+bool
+GritPolicy::countsRemote(sim::PageId page) const
+{
+    return effectiveScheme(page) == mem::Scheme::kAccessCounter;
+}
+
+PaAccessResult
+GritPolicy::recordFaultTableOnly(sim::PageId vpn, bool write)
+{
+    PaAccessResult result;
+    PaEntry entry;
+    if (const PaEntry *found = paTable_.find(vpn)) {
+        entry = *found;
+        result.tableHit = true;
+    }
+    entry.faultCounter += 1;
+    entry.writeSeen = entry.writeSeen || write;
+    result.faultCount = entry.faultCounter;
+    result.writeSeen = entry.writeSeen;
+    if (entry.faultCounter >= config_.faultThreshold) {
+        result.triggered = true;
+        paTable_.erase(vpn);
+    } else {
+        paTable_.put(vpn, entry);
+    }
+    return result;
+}
+
+sim::Cycle
+GritPolicy::paLatency(const PaAccessResult &result, sim::Cycle now)
+{
+    assert(driver_ != nullptr);
+    sim::Cycle duration = 0;
+    if (config_.paCacheEnabled && result.cacheHit) {
+        duration = config_.paCacheHitCycles;
+    } else {
+        // PA-Table touches are host-memory accesses: charge their
+        // serial latency, and occupy host memory bandwidth for the
+        // utilization accounting (off the latency path to keep the
+        // composed-latency model stable).
+        duration = static_cast<sim::Cycle>(config_.paTableAccessesOnMiss) *
+                   driver_->config().hostMemAccessCycles;
+        for (unsigned i = 0; i < config_.paTableAccessesOnMiss; ++i)
+            driver_->hostMemAccess(now, config_.paEntryBytes);
+    }
+    if (result.wroteBack) {
+        // Write-backs occupy bandwidth but sit off the critical path.
+        driver_->hostMemAccess(now, config_.paEntryBytes);
+    }
+    // Most of the PA access hides behind the centralized PT walk.
+    return duration > config_.paHiddenSlackCycles
+               ? duration - config_.paHiddenSlackCycles
+               : 0;
+}
+
+policy::FaultAction
+GritPolicy::onFault(const policy::FaultInfo &info, sim::Cycle now)
+{
+    assert(driver_ != nullptr);
+    auto &central = driver_->centralTable();
+    auto &stats = driver_->stats();
+
+    // A refault on a page the capacity manager spilled to the host
+    // (owner is the host, no replicas, not a protection fault) carries
+    // no sharing signal — the fault-aware initiator's premise is that
+    // repeated faults indicate multi-GPU sharing (Section V-B). Such
+    // faults re-place the page under the current scheme without
+    // advancing the PA fault counter.
+    const bool capacity_refault = !info.coldTouch &&
+                                  !info.protectionFault &&
+                                  info.owner == sim::kHostId &&
+                                  info.replicaCount == 0;
+
+    // --- Fault-Aware Initiator: record this fault in the PA machinery.
+    PaAccessResult pa;
+    if (!capacity_refault) {
+        const bool write_fault = info.write || info.protectionFault;
+        pa = config_.paCacheEnabled
+                 ? paCache_->recordFault(info.page, write_fault,
+                                         config_.faultThreshold)
+                 : recordFaultTableOnly(info.page, write_fault);
+        pendingOverhead_ = paLatency(pa, now);
+    } else {
+        pendingOverhead_ = 0;
+        stats.counter("grit.capacity_refaults").inc();
+    }
+
+    if (pa.triggered) {
+        stats.counter("grit.triggers").inc();
+        const mem::Scheme old_scheme = effectiveScheme(info.page);
+        const mem::Scheme new_scheme = decideScheme(pa.writeSeen);
+
+        if (new_scheme != old_scheme) {
+            central.setScheme(info.page, new_scheme);
+            ++schemeChanges_;
+            stats
+                .counter(new_scheme == mem::Scheme::kDuplication
+                             ? "grit.changes_to_duplication"
+                             : "grit.changes_to_access_counter")
+                .inc();
+
+            // Leaving duplication requires dropping stale replicas
+            // (Section V-F consistency reset).
+            if (old_scheme == mem::Scheme::kDuplication)
+                driver_->resetDuplication(info.page, now);
+
+            if (config_.napEnabled) {
+                const NapOutcome out =
+                    nap_->onSchemeChange(info.page, new_scheme);
+                napAdoptions_ += out.adopted.size();
+                stats.counter("grit.nap_adoptions")
+                    .inc(out.adopted.size());
+                if (out.degraded)
+                    stats.counter("grit.nap_degradations").inc();
+                if (out.groupPages > 1)
+                    stats.counter("grit.nap_promotions").inc();
+                if (new_scheme != mem::Scheme::kDuplication) {
+                    for (sim::PageId p : out.adopted)
+                        driver_->resetDuplication(p, now);
+                }
+            }
+        }
+        // When the decision matches the current scheme the paper skips
+        // all group checks to avoid promotion/degradation ping-pong.
+    }
+
+    // --- Route the fault through the scheme now in force.
+    switch (effectiveScheme(info.page)) {
+      case mem::Scheme::kOnTouch:
+        return policy::FaultAction::kMigrate;
+      case mem::Scheme::kAccessCounter:
+        return policy::FaultAction::kMapRemote;
+      case mem::Scheme::kDuplication:
+        return policy::FaultAction::kDuplicate;
+      case mem::Scheme::kNone:
+        break;
+    }
+    return policy::FaultAction::kMigrate;
+}
+
+void
+GritPolicy::reset()
+{
+    paTable_.clear();
+    if (paCache_)
+        paCache_->clear();
+    pendingOverhead_ = 0;
+    schemeChanges_ = 0;
+    napAdoptions_ = 0;
+}
+
+}  // namespace grit::core

@@ -1,0 +1,114 @@
+#include "core/neighbor_predictor.h"
+
+#include <cassert>
+
+namespace grit::core {
+
+NeighborPredictor::NeighborPredictor(mem::PageTable &central)
+    : central_(central)
+{
+}
+
+unsigned
+NeighborPredictor::enclosingGroupPages(sim::PageId page) const
+{
+    for (unsigned size : {512u, 64u, 8u}) {
+        const sim::PageId base = mem::groupBase(page, size);
+        if (central_.groupBits(base) == mem::groupBitsFor(size))
+            return size;
+    }
+    return 1;
+}
+
+void
+NeighborPredictor::degrade(sim::PageId page, unsigned group_pages)
+{
+    assert(group_pages >= 8);
+    const sim::PageId base = mem::groupBase(page, group_pages);
+    const unsigned sub = group_pages / 8;
+
+    // The old base stops describing a large group.
+    central_.setGroupBits(base, mem::GroupBits::kPages1);
+
+    for (unsigned i = 0; i < 8; ++i) {
+        const sim::PageId sub_base = base + i * sub;
+        const bool contains =
+            page >= sub_base && page < sub_base + sub;
+        if (sub == 1)
+            continue;  // fully dissolved into single pages
+        if (!contains) {
+            // Sibling sub-groups keep their uniform scheme as smaller
+            // promoted groups (the paper's seven surviving 8-groups).
+            central_.setGroupBits(sub_base, mem::groupBitsFor(sub));
+        } else {
+            // The sub-group containing the divergent page dissolves
+            // further, down to single pages.
+            degrade(page, sub);
+        }
+    }
+}
+
+bool
+NeighborPredictor::tryPromote(sim::PageId page, unsigned target_pages,
+                              mem::Scheme scheme, NapOutcome &outcome)
+{
+    const sim::PageId base = mem::groupBase(page, target_pages);
+
+    unsigned agreeing = 0;
+    if (target_pages == 8) {
+        // Level 1: count individual neighboring pages on the scheme.
+        for (unsigned i = 0; i < 8; ++i) {
+            if (central_.scheme(base + i) == scheme)
+                ++agreeing;
+        }
+    } else {
+        // Higher levels: count already-promoted child groups on the
+        // scheme (the paper requires the children's group bits set).
+        const unsigned child = target_pages / 8;
+        const mem::GroupBits child_bits = mem::groupBitsFor(child);
+        for (unsigned i = 0; i < 8; ++i) {
+            const sim::PageId child_base = base + i * child;
+            if (central_.groupBits(child_base) == child_bits &&
+                central_.scheme(child_base) == scheme) {
+                ++agreeing;
+            }
+        }
+    }
+    if (agreeing <= 4)  // needs *more than half*
+        return false;
+
+    // Propagate the scheme to every page of the group and unify it.
+    for (unsigned i = 0; i < target_pages; ++i) {
+        const sim::PageId p = base + i;
+        if (central_.scheme(p) != scheme) {
+            central_.setScheme(p, scheme);
+            outcome.adopted.push_back(p);
+        }
+        central_.setGroupBits(p, mem::GroupBits::kPages1);
+    }
+    central_.setGroupBits(base, mem::groupBitsFor(target_pages));
+    outcome.groupPages = target_pages;
+    return true;
+}
+
+NapOutcome
+NeighborPredictor::onSchemeChange(sim::PageId page, mem::Scheme new_scheme)
+{
+    NapOutcome outcome;
+
+    // A divergent change inside a promoted group splits it first.
+    const unsigned enclosing = enclosingGroupPages(page);
+    if (enclosing > 1) {
+        degrade(page, enclosing);
+        outcome.degraded = true;
+    }
+
+    // Promote upward while the majority agrees (Fig. 15 steps 2-4).
+    for (unsigned size = 8; size <= kMaxGroupPages; size *= 8) {
+        if (!tryPromote(page, size, new_scheme, outcome))
+            break;
+    }
+    return outcome;
+}
+
+}  // namespace grit::core

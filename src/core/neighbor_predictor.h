@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Neighboring-Aware Prediction (paper Section V-D, Figure 15).
+ *
+ * Exploits the spatial similarity of page attributes: when a page's
+ * placement scheme changes, the eight-page aligned group around it is
+ * checked; if more than half of those pages already use the new scheme,
+ * the scheme propagates to all eight and the group is promoted (group
+ * bits 01 on the base page). Promotions recurse to 64- and 512-page
+ * groups; a divergent scheme change inside a promoted group degrades it
+ * back into eight sub-groups, with the sub-group containing the change
+ * dissolving completely. Group bits live in the centralized page
+ * table's PTEs (Table V); all checks run in the background and cost no
+ * GPU-visible latency.
+ */
+
+#ifndef GRIT_CORE_NEIGHBOR_PREDICTOR_H_
+#define GRIT_CORE_NEIGHBOR_PREDICTOR_H_
+
+#include <vector>
+
+#include "mem/page_table.h"
+#include "mem/pte.h"
+#include "simcore/types.h"
+
+namespace grit::core {
+
+/** What one scheme change did to the surrounding groups. */
+struct NapOutcome
+{
+    /** Pages whose scheme bits were flipped by propagation. */
+    std::vector<sim::PageId> adopted;
+    /** Final group size (pages) containing the changed page. */
+    unsigned groupPages = 1;
+    /** An enclosing promoted group had to be split first. */
+    bool degraded = false;
+};
+
+/** Group promotion / degradation engine over the centralized table. */
+class NeighborPredictor
+{
+  public:
+    /** Maximum group size: 512 pages = one 2 MB page-table page. */
+    static constexpr unsigned kMaxGroupPages = 512;
+
+    /** @param central centralized page table (not owned). */
+    explicit NeighborPredictor(mem::PageTable &central);
+
+    /**
+     * React to @p page's scheme changing to @p new_scheme. The caller
+     * must have already written the page's scheme bits. Never call when
+     * the newly decided scheme equals the previous one (the paper skips
+     * group checks in that case to avoid promotion/degradation
+     * ping-pong).
+     */
+    NapOutcome onSchemeChange(sim::PageId page, mem::Scheme new_scheme);
+
+    /**
+     * Size (pages) of the promoted group containing @p page, reading
+     * group bits from base pages: 1, 8, 64, or 512.
+     */
+    unsigned enclosingGroupPages(sim::PageId page) const;
+
+  private:
+    /** Split the @p group_pages-sized group containing @p page. */
+    void degrade(sim::PageId page, unsigned group_pages);
+
+    /**
+     * Try to promote the aligned group of @p target_pages containing
+     * @p page to uniform @p scheme. @return true when promoted.
+     */
+    bool tryPromote(sim::PageId page, unsigned target_pages,
+                    mem::Scheme scheme, NapOutcome &outcome);
+
+    mem::PageTable &central_;
+};
+
+}  // namespace grit::core
+
+#endif  // GRIT_CORE_NEIGHBOR_PREDICTOR_H_

@@ -1,0 +1,35 @@
+#include "core/pa_table.h"
+
+namespace grit::core {
+
+const PaEntry *
+PaTable::find(sim::PageId vpn) const
+{
+    ++reads_;
+    auto it = entries_.find(vpn);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+PaTable::put(sim::PageId vpn, const PaEntry &entry)
+{
+    ++writes_;
+    entries_[vpn] = entry;
+}
+
+bool
+PaTable::erase(sim::PageId vpn)
+{
+    ++writes_;
+    return entries_.erase(vpn) != 0;
+}
+
+void
+PaTable::clear()
+{
+    entries_.clear();
+    reads_ = 0;
+    writes_ = 0;
+}
+
+}  // namespace grit::core

@@ -1,0 +1,42 @@
+#include "core/scheme_decision.h"
+
+namespace grit::core {
+
+std::vector<mem::Scheme>
+preferredSchemes(SharingClass sharing, bool read_write)
+{
+    using mem::Scheme;
+    // Table III of the paper.
+    if (!read_write) {
+        switch (sharing) {
+          case SharingClass::kPrivate:
+          case SharingClass::kPcShared:
+            return {Scheme::kOnTouch, Scheme::kDuplication};
+          case SharingClass::kAllShared:
+            return {Scheme::kDuplication};
+        }
+    } else {
+        switch (sharing) {
+          case SharingClass::kPrivate:
+            return {Scheme::kOnTouch};
+          case SharingClass::kPcShared:
+            return {Scheme::kOnTouch, Scheme::kAccessCounter};
+          case SharingClass::kAllShared:
+            return {Scheme::kAccessCounter};
+        }
+    }
+    return {Scheme::kOnTouch};
+}
+
+const char *
+sharingClassName(SharingClass sharing)
+{
+    switch (sharing) {
+      case SharingClass::kPrivate:   return "private";
+      case SharingClass::kPcShared:  return "pc-shared";
+      case SharingClass::kAllShared: return "all-shared";
+    }
+    return "?";
+}
+
+}  // namespace grit::core

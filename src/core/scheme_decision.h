@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The scheme decision mechanism (paper Figure 13 and Table III).
+ *
+ * A page whose PA-Table fault counter reaches the threshold is by
+ * construction a shared page (private pages fault once and never
+ * again), so the decision reduces to the read/write attribute: read-only
+ * shared pages become duplication, read-write shared pages become
+ * access counter-based migration. Table III's full preference matrix is
+ * also encoded for characterization and testing.
+ */
+
+#ifndef GRIT_CORE_SCHEME_DECISION_H_
+#define GRIT_CORE_SCHEME_DECISION_H_
+
+#include <vector>
+
+#include "mem/pte.h"
+
+namespace grit::core {
+
+/** Sharing categories of Table III. */
+enum class SharingClass {
+    kPrivate,    //!< accessed by exactly one GPU
+    kPcShared,   //!< producer-consumer shared (one GPU per phase)
+    kAllShared,  //!< accessed by several GPUs concurrently
+};
+
+/**
+ * GRIT's runtime decision (Figure 13): @p write_seen is the sticky R/W
+ * attribute the PA machinery observed over the fault episode.
+ */
+inline mem::Scheme
+decideScheme(bool write_seen)
+{
+    return write_seen ? mem::Scheme::kAccessCounter
+                      : mem::Scheme::kDuplication;
+}
+
+/**
+ * Table III preference matrix: candidate schemes for a page class.
+ * The first element is the primary preference.
+ */
+std::vector<mem::Scheme> preferredSchemes(SharingClass sharing,
+                                          bool read_write);
+
+/** Printable sharing-class name. */
+const char *sharingClassName(SharingClass sharing);
+
+}  // namespace grit::core
+
+#endif  // GRIT_CORE_SCHEME_DECISION_H_

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * GPU memory-management unit: shared page-table walkers plus the
+ * page-walk cache (Table I: 8 walkers shared per GPU, 100-cycle latency
+ * per level, 128-entry walk cache, 64-entry walk queue).
+ */
+
+#ifndef GRIT_GPU_GMMU_H_
+#define GRIT_GPU_GMMU_H_
+
+#include <cstdint>
+
+#include "mem/page_walk_cache.h"
+#include "simcore/resource.h"
+#include "simcore/types.h"
+
+namespace grit::gpu {
+
+/** GMMU configuration. */
+struct GmmuConfig
+{
+    unsigned walkers = 8;            //!< shared page-table walkers
+    sim::Cycle walkLevelLatency = 100;  //!< per-level memory access
+    unsigned walkCacheEntries = 128;
+    unsigned walkQueueEntries = 64;  //!< bounded walk queue
+};
+
+/** Result of a local page-table walk. */
+struct WalkResult
+{
+    sim::Cycle completion;  //!< time the walk finishes
+    unsigned accesses;      //!< memory accesses performed (1..4)
+};
+
+/** The per-GPU GMMU: walker pool + page-walk cache. */
+class Gmmu
+{
+  public:
+    explicit Gmmu(const GmmuConfig &config);
+
+    /**
+     * Perform a page-table walk for @p page starting no earlier than
+     * @p now. Queuing on the walker pool (and, when the walk queue is
+     * saturated, on queue slots) is reflected in the completion time.
+     */
+    WalkResult walk(sim::PageId page, sim::Cycle now);
+
+    /** Invalidate cached upper-level entries (shootdowns). */
+    void flushWalkCache() { pwc_.flushAll(); }
+
+    const mem::PageWalkCache &walkCache() const { return pwc_; }
+    std::uint64_t walks() const { return walkers_.requests(); }
+    sim::Cycle walkQueueDelay() const { return walkers_.queueDelay(); }
+
+  private:
+    GmmuConfig config_;
+    sim::ServerPool walkers_;
+    mem::PageWalkCache pwc_;
+};
+
+}  // namespace grit::gpu
+
+#endif  // GRIT_GPU_GMMU_H_

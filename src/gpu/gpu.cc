@@ -1,0 +1,152 @@
+#include "gpu/gpu.h"
+
+#include <cassert>
+#include <string>
+
+namespace grit::gpu {
+
+namespace {
+
+std::vector<mem::Tlb>
+makeL1Tlbs(sim::GpuId id, const GpuConfig &config)
+{
+    std::vector<mem::Tlb> tlbs;
+    tlbs.reserve(config.lanes);
+    for (unsigned lane = 0; lane < config.lanes; ++lane) {
+        tlbs.emplace_back("gpu" + std::to_string(id) + ".l1tlb." +
+                              std::to_string(lane),
+                          config.l1TlbEntries, config.l1TlbWays,
+                          config.l1TlbLatency);
+    }
+    return tlbs;
+}
+
+unsigned
+counterGroupPages(const GpuConfig &config)
+{
+    // Access counters track 64 KB groups; with 2 MB pages one page is
+    // already larger than a group, so count per page.
+    const std::uint64_t pages = sim::kCounterGroupBytes / config.pageSize;
+    return pages == 0 ? 1u : static_cast<unsigned>(pages);
+}
+
+}  // namespace
+
+Gpu::Gpu(sim::GpuId id, const GpuConfig &config)
+    : id_(id),
+      config_(config),
+      linesPerPage_(
+          static_cast<unsigned>(config.pageSize / sim::kLineSize)),
+      l1Tlbs_(makeL1Tlbs(id, config)),
+      l2Tlb_("gpu" + std::to_string(id) + ".l2tlb", config.l2TlbEntries,
+             config.l2TlbWays, config.l2TlbLatency),
+      gmmu_(config.gmmu),
+      l2Cache_("gpu" + std::to_string(id) + ".l2cache",
+               config.l2CacheBytes, config.l2CacheWays, sim::kLineSize,
+               config.l2CacheLatency),
+      dramPipe_("gpu" + std::to_string(id) + ".dram", config.dramGBs),
+      nvlinkSlots_("gpu" + std::to_string(id) + ".nvslots",
+                   config.nvlinkSlots),
+      pcieSlots_("gpu" + std::to_string(id) + ".pcieslots",
+                 config.pcieSlots),
+      faultSlots_("gpu" + std::to_string(id) + ".faultslots",
+                  config.faultSlots),
+      dram_(config.dramCapacityPages),
+      counters_(counterGroupPages(config), config.counterThreshold)
+{
+    assert(config.lanes > 0);
+    assert(config.pageSize % sim::kLineSize == 0);
+}
+
+TranslateOutcome
+Gpu::translate(unsigned lane, sim::PageId page, bool write, sim::Cycle now)
+{
+    assert(lane < config_.lanes);
+    TranslateOutcome out;
+
+    sim::Cycle at = now + config_.l1TlbLatency;
+    const bool l1_hit = l1Tlbs_[lane].lookup(page);
+    if (!l1_hit) {
+        at += config_.l2TlbLatency;
+        const bool l2_hit = l2Tlb_.lookup(page);
+        if (!l2_hit) {
+            // GMMU page-table walk after the L2 TLB miss.
+            const WalkResult walk = gmmu_.walk(page, at);
+            out.walkCycles = walk.completion - at;
+            at = walk.completion;
+        }
+    }
+
+    const mem::PteRecord *rec = pageTable_.find(page);
+    if (rec == nullptr || !rec->pte.valid()) {
+        // A TLB hit for an unmapped page can only arise from a missed
+        // shootdown; treat it as the local page fault it would become.
+        out.fault = true;
+        out.readyAt = at;
+        return out;
+    }
+    if (write && rec->readOnlyReplica) {
+        out.protectionFault = true;
+        out.readyAt = at;
+        return out;
+    }
+
+    if (!l1_hit)
+        fillTlbs(lane, page);
+    out.readyAt = at;
+    out.rec = rec;
+    return out;
+}
+
+void
+Gpu::fillTlbs(unsigned lane, sim::PageId page)
+{
+    assert(lane < config_.lanes);
+    l1Tlbs_[lane].insert(page);
+    l2Tlb_.insert(page);
+}
+
+void
+Gpu::invalidatePage(sim::PageId page)
+{
+    for (auto &tlb : l1Tlbs_)
+        tlb.invalidate(page);
+    l2Tlb_.invalidate(page);
+    // Large pages span more lines than a set scan is worth; flush.
+    if (linesPerPage_ > 1024)
+        l2Cache_.flushAll();
+    else
+        l2Cache_.invalidatePage(page, linesPerPage_);
+}
+
+sim::Cycle
+Gpu::flushForInvalidation(sim::Cycle now, sim::Cycle drain_cycles)
+{
+    for (auto &tlb : l1Tlbs_)
+        tlb.flushAll();
+    l2Tlb_.flushAll();
+    l2Cache_.flushAll();
+    gmmu_.flushWalkCache();
+    ++flushes_;
+    return now + drain_cycles;
+}
+
+sim::Cycle
+Gpu::dramAccess(sim::Cycle now, std::uint64_t bytes)
+{
+    return dramPipe_.acquire(now, bytes) + config_.dramLatency;
+}
+
+sim::Cycle
+Gpu::remoteSlot(sim::Cycle now, sim::Cycle service, bool to_host)
+{
+    return (to_host ? pcieSlots_ : nvlinkSlots_).acquire(now, service);
+}
+
+sim::Cycle
+Gpu::faultSlot(sim::Cycle now, sim::Cycle service)
+{
+    return faultSlots_.acquire(now, service);
+}
+
+}  // namespace grit::gpu

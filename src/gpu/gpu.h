@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The per-GPU model: compute-unit access lanes, TLB hierarchy, GMMU,
+ * L2 data cache, local DRAM (bandwidth + capacity), remote-access
+ * counters, and the local page table.
+ *
+ * Geometry defaults follow Table I of the paper. The 64 compute units
+ * are modeled as 64 concurrent access lanes, each with a private L1 TLB;
+ * lane throughput bounded by translation/data latencies reproduces the
+ * memory-level-parallelism behaviour that makes page faults expensive.
+ */
+
+#ifndef GRIT_GPU_GPU_H_
+#define GRIT_GPU_GPU_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpu/gmmu.h"
+#include "mem/access_counter.h"
+#include "mem/data_cache.h"
+#include "mem/dram_manager.h"
+#include "mem/page_table.h"
+#include "mem/tlb.h"
+#include "simcore/resource.h"
+#include "simcore/types.h"
+
+namespace grit::gpu {
+
+/** Per-GPU configuration (Table I defaults). */
+struct GpuConfig
+{
+    unsigned lanes = 64;  //!< concurrent access lanes (one per CU)
+
+    unsigned l1TlbEntries = 32;
+    unsigned l1TlbWays = 32;  //!< fully associative
+    sim::Cycle l1TlbLatency = 1;
+
+    unsigned l2TlbEntries = 512;
+    unsigned l2TlbWays = 16;
+    sim::Cycle l2TlbLatency = 10;
+
+    GmmuConfig gmmu{};
+
+    std::uint64_t l2CacheBytes = 256 * 1024;
+    unsigned l2CacheWays = 16;
+    sim::Cycle l2CacheLatency = 40;
+
+    double dramGBs = 900.0;      //!< local HBM bandwidth
+    sim::Cycle dramLatency = 200;
+    std::uint64_t dramCapacityPages = 0;  //!< 0 = unlimited
+
+    std::uint64_t pageSize = sim::kPageSize4K;
+    unsigned counterThreshold = 256;  //!< access-counter trigger
+
+    sim::Cycle laneIssueInterval = 8;  //!< compute gap between accesses
+
+    /**
+     * Outstanding remote transactions towards peer GPUs (the RDMA
+     * engine's transaction table) and towards host memory over PCIe
+     * (far smaller in practice). These bound remote-access throughput,
+     * which MLP cannot hide.
+     */
+    unsigned nvlinkSlots = 16;
+    unsigned pcieSlots = 12;
+
+    /**
+     * Outstanding far-faults the GMMU sustains: each pending fault
+     * holds a fault-queue slot until the UVM driver resolves it, so
+     * fault storms throttle the whole GPU (the paper's observation
+     * that fault counts track performance).
+     */
+    unsigned faultSlots = 16;
+};
+
+/** Outcome of a translation attempt by a lane. */
+struct TranslateOutcome
+{
+    /** PTE invalid in the local page table: raise a local page fault. */
+    bool fault = false;
+    /** Write hit a read-only duplication replica: protection fault. */
+    bool protectionFault = false;
+    /** When the translation (or the fault) is available. */
+    sim::Cycle readyAt = 0;
+    /** Cycles spent on the local walk after the L2 TLB miss ("Local"). */
+    sim::Cycle walkCycles = 0;
+    /** Valid record when no fault was raised. */
+    const mem::PteRecord *rec = nullptr;
+};
+
+/** One GPU of the multi-GPU system. */
+class Gpu
+{
+  public:
+    Gpu(sim::GpuId id, const GpuConfig &config);
+
+    sim::GpuId id() const { return id_; }
+    const GpuConfig &config() const { return config_; }
+
+    unsigned lanes() const { return config_.lanes; }
+    unsigned linesPerPage() const { return linesPerPage_; }
+
+    /**
+     * Attempt to translate @p page for @p lane.
+     * Walks L1 TLB -> L2 TLB -> GMMU page-table walk -> local PT.
+     */
+    TranslateOutcome translate(unsigned lane, sim::PageId page, bool write,
+                               sim::Cycle now);
+
+    /** Install TLB entries after a successful translation or fault fix. */
+    void fillTlbs(unsigned lane, sim::PageId page);
+
+    /** Shoot down one page from TLBs, L2 cache, and the walk cache. */
+    void invalidatePage(sim::PageId page);
+
+    /**
+     * Full pipeline drain + cache/TLB flush, as UVM performs on the
+     * GPU that owns a migrating or collapsing page.
+     * @param drain_cycles  CU drain time (reduced under ACUD).
+     * @return completion time of the flush.
+     */
+    sim::Cycle flushForInvalidation(sim::Cycle now, sim::Cycle drain_cycles);
+
+    /** L2 data-cache access for a global line id; true on hit. */
+    bool cacheAccess(std::uint64_t line_id)
+    {
+        return l2Cache_.access(line_id);
+    }
+
+    /** Occupy local DRAM for @p bytes; returns data-ready time. */
+    sim::Cycle dramAccess(sim::Cycle now, std::uint64_t bytes);
+
+    /**
+     * Hold an outstanding-remote-transaction slot for @p service
+     * cycles starting at @p now; returns the slot-adjusted completion.
+     * @param to_host true for PCIe (host memory) transactions.
+     */
+    sim::Cycle remoteSlot(sim::Cycle now, sim::Cycle service,
+                          bool to_host);
+
+    /** Hold a GMMU fault-queue slot for @p service cycles. */
+    sim::Cycle faultSlot(sim::Cycle now, sim::Cycle service);
+
+    mem::PageTable &pageTable() { return pageTable_; }
+    const mem::PageTable &pageTable() const { return pageTable_; }
+    mem::DramManager &dram() { return dram_; }
+    const mem::DramManager &dram() const { return dram_; }
+    mem::AccessCounterTable &counters() { return counters_; }
+    mem::Tlb &l2Tlb() { return l2Tlb_; }
+    mem::DataCache &l2Cache() { return l2Cache_; }
+    Gmmu &gmmu() { return gmmu_; }
+
+    std::uint64_t flushes() const { return flushes_; }
+
+  private:
+    sim::GpuId id_;
+    GpuConfig config_;
+    unsigned linesPerPage_;
+
+    std::vector<mem::Tlb> l1Tlbs_;  //!< one per lane
+    mem::Tlb l2Tlb_;
+    Gmmu gmmu_;
+    mem::DataCache l2Cache_;
+    sim::BandwidthResource dramPipe_;
+    sim::ServerPool nvlinkSlots_;
+    sim::ServerPool pcieSlots_;
+    sim::ServerPool faultSlots_;
+    mem::DramManager dram_;
+    mem::AccessCounterTable counters_;
+    mem::PageTable pageTable_;
+
+    std::uint64_t flushes_ = 0;
+};
+
+}  // namespace grit::gpu
+
+#endif  // GRIT_GPU_GPU_H_

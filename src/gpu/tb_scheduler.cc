@@ -1,0 +1,44 @@
+#include "gpu/tb_scheduler.h"
+
+#include <cassert>
+
+namespace grit::gpu {
+
+TbScheduler::TbScheduler(std::uint64_t num_blocks, unsigned num_gpus)
+    : numBlocks_(num_blocks),
+      numGpus_(num_gpus),
+      base_(num_blocks / num_gpus),
+      extra_(num_blocks % num_gpus)
+{
+    assert(num_blocks > 0);
+    assert(num_gpus > 0);
+}
+
+std::uint64_t
+TbScheduler::firstBlock(sim::GpuId gpu) const
+{
+    assert(gpu >= 0 && static_cast<unsigned>(gpu) < numGpus_);
+    const std::uint64_t g = static_cast<std::uint64_t>(gpu);
+    return g * base_ + std::min<std::uint64_t>(g, extra_);
+}
+
+std::uint64_t
+TbScheduler::blockCount(sim::GpuId gpu) const
+{
+    assert(gpu >= 0 && static_cast<unsigned>(gpu) < numGpus_);
+    return base_ + (static_cast<std::uint64_t>(gpu) < extra_ ? 1 : 0);
+}
+
+sim::GpuId
+TbScheduler::gpuFor(std::uint64_t tb) const
+{
+    assert(tb < numBlocks_);
+    // Invert the contiguous-span layout: GPUs [0, extra_) own base_+1
+    // blocks, the rest own base_ blocks.
+    const std::uint64_t boundary = extra_ * (base_ + 1);
+    if (tb < boundary)
+        return static_cast<sim::GpuId>(base_ == 0 ? tb : tb / (base_ + 1));
+    return static_cast<sim::GpuId>(extra_ + (tb - boundary) / base_);
+}
+
+}  // namespace grit::gpu

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Thread-block scheduler (paper Section III-B).
+ *
+ * Thread blocks are scheduled round-robin across the CUs of one GPU;
+ * only when a GPU cannot accommodate more blocks does the scheduler move
+ * to the next GPU. Net effect: consecutive thread blocks land on the
+ * same GPU in contiguous spans, preserving inter-TB locality within a
+ * GPU. Workload generators use this mapping to shard work.
+ */
+
+#ifndef GRIT_GPU_TB_SCHEDULER_H_
+#define GRIT_GPU_TB_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/types.h"
+
+namespace grit::gpu {
+
+/** Contiguous-span thread-block to GPU assignment. */
+class TbScheduler
+{
+  public:
+    /**
+     * @param num_blocks thread blocks in the grid. @pre > 0
+     * @param num_gpus   GPUs in the system. @pre > 0
+     */
+    TbScheduler(std::uint64_t num_blocks, unsigned num_gpus);
+
+    /** GPU that runs thread block @p tb. @pre tb < numBlocks() */
+    sim::GpuId gpuFor(std::uint64_t tb) const;
+
+    /** First thread block assigned to @p gpu. */
+    std::uint64_t firstBlock(sim::GpuId gpu) const;
+
+    /** Number of thread blocks assigned to @p gpu. */
+    std::uint64_t blockCount(sim::GpuId gpu) const;
+
+    std::uint64_t numBlocks() const { return numBlocks_; }
+    unsigned numGpus() const { return numGpus_; }
+
+  private:
+    std::uint64_t numBlocks_;
+    unsigned numGpus_;
+    std::uint64_t base_;   //!< blocks per GPU (floor)
+    std::uint64_t extra_;  //!< first `extra_` GPUs get one more block
+};
+
+}  // namespace grit::gpu
+
+#endif  // GRIT_GPU_TB_SCHEDULER_H_

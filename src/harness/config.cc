@@ -1,0 +1,55 @@
+#include "harness/config.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace grit::harness {
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::kOnTouch:       return "on-touch";
+      case PolicyKind::kAccessCounter: return "access-counter";
+      case PolicyKind::kDuplication:   return "duplication";
+      case PolicyKind::kFirstTouch:    return "first-touch";
+      case PolicyKind::kIdeal:         return "ideal";
+      case PolicyKind::kGrit:          return "grit";
+      case PolicyKind::kGriffinDpc:    return "griffin-dpc";
+      case PolicyKind::kGps:           return "gps";
+    }
+    return "?";
+}
+
+std::optional<PolicyKind>
+policyKindFromName(const std::string &name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    for (PolicyKind kind :
+         {PolicyKind::kOnTouch, PolicyKind::kAccessCounter,
+          PolicyKind::kDuplication, PolicyKind::kFirstTouch,
+          PolicyKind::kIdeal, PolicyKind::kGrit, PolicyKind::kGriffinDpc,
+          PolicyKind::kGps}) {
+        if (lower == policyKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+SystemConfig
+makeConfig(PolicyKind policy, unsigned num_gpus)
+{
+    SystemConfig config;
+    config.numGpus = num_gpus;
+    config.policy = policy;
+    config.fabric.numGpus = num_gpus;
+    config.gpu.pageSize = config.pageSize;
+    config.uvm.pageSize = config.pageSize;
+    return config;
+}
+
+}  // namespace grit::harness

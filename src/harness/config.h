@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Top-level system configuration: Table I defaults plus policy
+ * selection and feature flags, aggregated from the per-module configs.
+ */
+
+#ifndef GRIT_HARNESS_CONFIG_H_
+#define GRIT_HARNESS_CONFIG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "baselines/gps.h"
+#include "baselines/griffin.h"
+#include "baselines/tree_prefetcher.h"
+#include "core/grit_policy.h"
+#include "gpu/gpu.h"
+#include "interconnect/fabric.h"
+#include "simcore/types.h"
+#include "uvm/uvm_driver.h"
+
+namespace grit::harness {
+
+/** Selectable placement policies / systems. */
+enum class PolicyKind {
+    kOnTouch,
+    kAccessCounter,
+    kDuplication,
+    kFirstTouch,
+    kIdeal,
+    kGrit,
+    kGriffinDpc,
+    kGps,
+};
+
+/** Printable policy name (matches the paper's legends). */
+const char *policyKindName(PolicyKind kind);
+
+/** Parse a policy name (case-insensitive; e.g. "grit", "on-touch"). */
+std::optional<PolicyKind> policyKindFromName(const std::string &name);
+
+/** Complete configuration of one simulated system. */
+struct SystemConfig
+{
+    unsigned numGpus = 4;
+    /** Page size in bytes (4 KB default; 2 MB for Section VI-B3). */
+    std::uint64_t pageSize = sim::kPageSize4K;
+    /**
+     * Aggregate GPU memory as a fraction of the workload footprint
+     * (Table I: 70 %), divided evenly among the GPUs. Zero disables
+     * the capacity limit.
+     */
+    double memoryFraction = 0.70;
+
+    PolicyKind policy = PolicyKind::kOnTouch;
+
+    gpu::GpuConfig gpu{};
+    uvm::UvmConfig uvm{};
+    ic::FabricConfig fabric{};
+    core::GritConfig grit{};
+    baselines::GriffinConfig griffin{};
+    baselines::GpsConfig gps{};
+
+    /** Attach the tree-based neighborhood prefetcher (Section VI-E). */
+    bool prefetch = false;
+    baselines::PrefetcherConfig prefetcher{};
+
+    /** Safety valve on total simulation events (0 = derived). */
+    std::uint64_t maxEvents = 0;
+};
+
+/** Table I defaults for @p policy and @p num_gpus. */
+SystemConfig makeConfig(PolicyKind policy, unsigned num_gpus = 4);
+
+}  // namespace grit::harness
+
+#endif  // GRIT_HARNESS_CONFIG_H_

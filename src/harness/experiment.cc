@@ -1,0 +1,85 @@
+#include "harness/experiment.h"
+
+#include <cassert>
+
+namespace grit::harness {
+
+RunResult
+runWorkload(const SystemConfig &config, const workload::Workload &workload)
+{
+    Simulator simulator(config, workload);
+    return simulator.run();
+}
+
+RunResult
+runApp(workload::AppId app, const SystemConfig &config,
+       const workload::WorkloadParams &params)
+{
+    workload::WorkloadParams p = params;
+    p.numGpus = config.numGpus;
+    const workload::Workload w = workload::makeWorkload(app, p);
+    return runWorkload(config, w);
+}
+
+double
+speedupOver(const RunResult &base, const RunResult &test)
+{
+    assert(test.cycles > 0);
+    return static_cast<double>(base.cycles) /
+           static_cast<double>(test.cycles);
+}
+
+ResultMatrix
+runMatrix(const std::vector<workload::AppId> &apps,
+          const std::vector<LabeledConfig> &configs,
+          const workload::WorkloadParams &params,
+          const std::function<void(workload::AppId,
+                                   workload::WorkloadParams &)> &mutate)
+{
+    ResultMatrix matrix;
+    for (workload::AppId app : apps) {
+        workload::WorkloadParams p = params;
+        if (mutate)
+            mutate(app, p);
+        const std::string row = workload::appMeta(app).abbr;
+        for (const LabeledConfig &lc : configs) {
+            workload::WorkloadParams run_params = p;
+            run_params.numGpus = lc.config.numGpus;
+            const workload::Workload w =
+                workload::makeWorkload(app, run_params);
+            matrix[row][lc.label] = runWorkload(lc.config, w);
+        }
+    }
+    return matrix;
+}
+
+std::map<std::string, double>
+speedupsVs(const ResultMatrix &matrix, const std::string &base_label,
+           const std::string &test_label)
+{
+    std::map<std::string, double> out;
+    for (const auto &[app, runs] : matrix) {
+        const auto base = runs.find(base_label);
+        const auto test = runs.find(test_label);
+        if (base == runs.end() || test == runs.end())
+            continue;
+        out[app] = speedupOver(base->second, test->second);
+    }
+    return out;
+}
+
+double
+meanImprovementPct(const ResultMatrix &matrix,
+                   const std::string &base_label,
+                   const std::string &test_label)
+{
+    const auto speedups = speedupsVs(matrix, base_label, test_label);
+    if (speedups.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[app, s] : speedups)
+        sum += s - 1.0;
+    return 100.0 * sum / static_cast<double>(speedups.size());
+}
+
+}  // namespace grit::harness

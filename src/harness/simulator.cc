@@ -1,0 +1,311 @@
+#include "harness/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "policy/access_counter_policy.h"
+#include "policy/duplication.h"
+#include "policy/first_touch.h"
+#include "policy/ideal.h"
+#include "policy/on_touch.h"
+
+namespace grit::harness {
+
+namespace {
+
+std::unique_ptr<policy::PlacementPolicy>
+makePolicy(const SystemConfig &config)
+{
+    switch (config.policy) {
+      case PolicyKind::kOnTouch:
+        return std::make_unique<policy::OnTouchPolicy>();
+      case PolicyKind::kAccessCounter:
+        return std::make_unique<policy::AccessCounterPolicy>();
+      case PolicyKind::kDuplication:
+        return std::make_unique<policy::DuplicationPolicy>();
+      case PolicyKind::kFirstTouch:
+        return std::make_unique<policy::FirstTouchPolicy>();
+      case PolicyKind::kIdeal:
+        return std::make_unique<policy::IdealPolicy>();
+      case PolicyKind::kGrit:
+        return std::make_unique<core::GritPolicy>(config.grit);
+      case PolicyKind::kGriffinDpc:
+        return std::make_unique<baselines::GriffinDpcPolicy>(
+            config.griffin);
+      case PolicyKind::kGps:
+        return std::make_unique<baselines::GpsPolicy>(config.gps);
+    }
+    return std::make_unique<policy::OnTouchPolicy>();
+}
+
+}  // namespace
+
+double
+RunResult::oversubscriptionRate() const
+{
+    if (accesses == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(evictions) /
+           static_cast<double>(accesses);
+}
+
+Simulator::Simulator(const SystemConfig &config,
+                     const workload::Workload &workload)
+    : config_(config), workload_(workload)
+{
+    assert(workload.numGpus() == config.numGpus &&
+           "workload was generated for a different GPU count");
+
+    // Decode byte addresses into (page, line) at the configured page
+    // size; the 2 MB study reuses 4 KB-generated traces unchanged.
+    const std::uint64_t page_size = config_.pageSize;
+    const unsigned lines_per_page =
+        static_cast<unsigned>(page_size / sim::kLineSize);
+    decoded_.resize(config_.numGpus);
+    for (unsigned g = 0; g < config_.numGpus; ++g) {
+        decoded_[g].reserve(workload.traces[g].size());
+        for (const workload::Access &a : workload.traces[g]) {
+            LaneAccess la;
+            la.page = a.addr / page_size;
+            la.line = static_cast<unsigned>((a.addr / sim::kLineSize) %
+                                            lines_per_page);
+            la.write = a.write;
+            decoded_[g].push_back(la);
+        }
+    }
+    cursor_.assign(config_.numGpus, 0);
+
+    // Per-GPU DRAM capacity: memoryFraction of the footprint, split
+    // evenly (Table I's 70 % oversubscription model).
+    gpu::GpuConfig gpu_config = config_.gpu;
+    gpu_config.pageSize = page_size;
+    if (config_.memoryFraction > 0.0) {
+        const std::uint64_t footprint_pages =
+            (workload.footprintBytes() + page_size - 1) / page_size;
+        const double per_gpu = config_.memoryFraction *
+                               static_cast<double>(footprint_pages) /
+                               config_.numGpus;
+        gpu_config.dramCapacityPages =
+            std::max<std::uint64_t>(8, static_cast<std::uint64_t>(per_gpu));
+    } else {
+        gpu_config.dramCapacityPages = 0;
+    }
+
+    ic::FabricConfig fabric_config = config_.fabric;
+    fabric_config.numGpus = config_.numGpus;
+    fabric_ = std::make_unique<ic::Fabric>(fabric_config);
+
+    std::vector<gpu::Gpu *> gpu_views;
+    for (unsigned g = 0; g < config_.numGpus; ++g) {
+        gpus_.push_back(std::make_unique<gpu::Gpu>(
+            static_cast<sim::GpuId>(g), gpu_config));
+        gpu_views.push_back(gpus_.back().get());
+    }
+
+    uvm::UvmConfig uvm_config = config_.uvm;
+    uvm_config.pageSize = page_size;
+    driver_ = std::make_unique<uvm::UvmDriver>(uvm_config, *fabric_,
+                                               gpu_views, stats_,
+                                               breakdown_);
+
+    policy_ = makePolicy(config_);
+    driver_->setPolicy(policy_.get());
+
+    if (config_.prefetch) {
+        baselines::PrefetcherConfig pf = config_.prefetcher;
+        // Keep the 64 KB-block / 2 MB-root geometry under any page size.
+        pf.pagesPerBlock = std::max<unsigned>(
+            1, static_cast<unsigned>(sim::kCounterGroupBytes / page_size));
+        prefetcher_ =
+            std::make_unique<baselines::TreePrefetcher>(*driver_, pf);
+    }
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::laneStep(unsigned g, unsigned lane)
+{
+    std::size_t &cur = cursor_[g];
+    if (cur >= decoded_[g].size())
+        return;  // this GPU has drained; the lane retires
+    const LaneAccess access = decoded_[g][cur++];
+    stats_.counter("sim.accesses").inc();
+    beginAccess(g, lane, access, 0);
+}
+
+void
+Simulator::beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
+                       unsigned attempt)
+{
+    gpu::Gpu &gpu = *gpus_[g];
+    const sim::Cycle now = queue_.now();
+
+    if (attempt > 0) {
+        // Fault replay: the GMMU replays the access with the
+        // translation the fault response delivered. If the page moved
+        // again in the meantime the replay still completes against the
+        // data's current location (one fault episode per access — the
+        // coalesced replay of real fault handling).
+        const mem::PteRecord *rec = gpu.pageTable().find(a.page);
+        sim::GpuId loc;
+        if (rec != nullptr && rec->pte.valid()) {
+            loc = rec->location;
+            gpu.fillTlbs(lane, a.page);
+        } else {
+            loc = driver_->directory().ownerOf(a.page);
+            stats_.counter("sim.stale_replays").inc();
+        }
+        const sim::Cycle done = finishAccess(g, now, loc, a);
+        finish_ = std::max(finish_, done);
+        queue_.schedule(done + config_.gpu.laneIssueInterval,
+                        [this, g, lane] { laneStep(g, lane); });
+        return;
+    }
+
+    const gpu::TranslateOutcome out =
+        gpu.translate(lane, a.page, a.write, now);
+    breakdown_.add(stats::LatencyKind::kLocal, out.walkCycles);
+
+    // Fig. 19 accounting: scheme governing accesses that miss the L2
+    // TLB (walkCycles > 0 implies an L2 TLB miss occurred).
+    if (out.walkCycles > 0 || out.fault || out.protectionFault) {
+        const unsigned s =
+            static_cast<unsigned>(policy_->schemeOf(a.page));
+        schemeAccesses_[s] += 1;
+    }
+
+    if (out.fault || out.protectionFault) {
+        const uvm::FaultOutcome fo = driver_->handleFault(
+            static_cast<sim::GpuId>(g), a.page, a.write,
+            out.protectionFault, out.readyAt);
+        peakReplicas_ = std::max(peakReplicas_,
+                                 driver_->directory().totalReplicas());
+        sim::Cycle replay_at = fo.completion;
+        if (!fo.coalesced) {
+            // The pending fault holds a GMMU fault-queue slot for its
+            // whole lifetime; slot exhaustion throttles the GPU.
+            replay_at = gpu.faultSlot(out.readyAt,
+                                      fo.completion - out.readyAt);
+        }
+        // The replay is a fresh event so every resource it touches
+        // sees monotonic timestamps.
+        const LaneAccess access = a;
+        queue_.schedule(replay_at, [this, g, lane, access] {
+            beginAccess(g, lane, access, 1);
+        });
+        return;
+    }
+
+    const sim::GpuId loc = out.rec != nullptr
+                               ? out.rec->location
+                               : static_cast<sim::GpuId>(g);
+    const sim::Cycle done = finishAccess(g, out.readyAt, loc, a);
+    finish_ = std::max(finish_, done);
+    queue_.schedule(done + config_.gpu.laneIssueInterval,
+                    [this, g, lane] { laneStep(g, lane); });
+}
+
+sim::Cycle
+Simulator::finishAccess(unsigned g, sim::Cycle ready, sim::GpuId loc,
+                        const LaneAccess &a)
+{
+    gpu::Gpu &gpu = *gpus_[g];
+    sim::Cycle t = ready;
+
+    const unsigned lines_per_page = gpu.linesPerPage();
+    const std::uint64_t line_id =
+        a.page * lines_per_page + a.line;
+    const bool remote = loc != static_cast<sim::GpuId>(g);
+
+    if (a.write)
+        driver_->directory().info(a.page).dirty = true;
+
+    // Remote data is not cached in the local L2 (baseline NUMA GPUs do
+    // not cache remote memory — that is CARVE's contribution, not the
+    // baseline), so every remote touch crosses the fabric.
+    if (!remote && gpu.cacheAccess(line_id)) {
+        t += gpu.config().l2CacheLatency;
+    } else {
+        if (!remote) {
+            t = gpu.dramAccess(t, sim::kLineSize);
+        } else {
+            const sim::Cycle before = t;
+            // Occupy fabric bandwidth for utilization accounting (off
+            // the latency path — a 64 B line is far below link rate).
+            if (a.write)
+                fabric_->transfer(t, static_cast<sim::GpuId>(g), loc,
+                                  sim::kLineSize);
+            else
+                fabric_->transfer(t, loc, static_cast<sim::GpuId>(g),
+                                  sim::kLineSize);
+            // The transaction's pure flight time: fabric latency plus
+            // the remote DRAM access. It holds an outstanding-remote
+            // slot for that whole flight; slot exhaustion bounds remote
+            // throughput in a way MLP cannot hide.
+            sim::Cycle flight =
+                fabric_->flightLatency(static_cast<sim::GpuId>(g), loc) +
+                config_.gpu.dramLatency;
+            if (loc >= 0)
+                gpus_[static_cast<unsigned>(loc)]->dramAccess(
+                    t, sim::kLineSize);
+            t = gpu.remoteSlot(before, flight,
+                               /*to_host=*/loc == sim::kHostId);
+            breakdown_.add(stats::LatencyKind::kRemoteAccess, t - before);
+            stats_.counter("sim.remote_accesses").inc();
+
+            // Hardware access counters (64 KB groups, threshold 256).
+            if (policy_->countsRemote(a.page) &&
+                gpu.counters().recordRemoteAccess(a.page)) {
+                t = std::max(t, driver_->counterMigration(
+                                    static_cast<sim::GpuId>(g), a.page,
+                                    t));
+            }
+        }
+    }
+
+    t += policy_->onAccess(static_cast<sim::GpuId>(g), a.page, a.write,
+                           remote, t);
+    return t;
+}
+
+RunResult
+Simulator::run()
+{
+    // Seed every lane of every GPU.
+    for (unsigned g = 0; g < config_.numGpus; ++g) {
+        const unsigned lanes = std::min<std::uint64_t>(
+            config_.gpu.lanes, decoded_[g].size());
+        for (unsigned lane = 0; lane < lanes; ++lane)
+            queue_.schedule(0, [this, g, lane] { laneStep(g, lane); });
+    }
+
+    std::uint64_t limit = config_.maxEvents;
+    if (limit == 0) {
+        limit = 16 * (workload_.totalAccesses() + 1024);
+    }
+    queue_.run(limit);
+    assert(queue_.empty() && "event limit hit before the workload drained");
+
+    RunResult result;
+    result.cycles = finish_;
+    result.accesses = stats_.get("sim.accesses");
+    result.localFaults = stats_.get("uvm.local_faults");
+    result.protectionFaults = stats_.get("uvm.protection_faults");
+    result.breakdown = breakdown_;
+    result.schemeAccesses = schemeAccesses_;
+    result.peakReplicas = peakReplicas_;
+    stats_.counter("uvm.server_queue_delay")
+        .inc(driver_->serverQueueDelay());
+    for (const auto &g : gpus_) {
+        result.evictions += g->dram().evictions();
+        stats_.counter("gmmu.walk_queue_delay")
+            .inc(g->gmmu().walkQueueDelay());
+        stats_.counter("gmmu.walks").inc(g->gmmu().walks());
+        stats_.counter("gpu.flushes").inc(g->flushes());
+    }
+    result.counters = stats_.items();
+    return result;
+}
+
+}  // namespace grit::harness

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The end-to-end simulator: wires GPUs, fabric, UVM driver, and a
+ * placement policy, then replays a workload's per-GPU access streams
+ * through the full translation/fault/data path.
+ *
+ * Each GPU runs `lanes` concurrent access streams drawing from a shared
+ * per-GPU cursor (CU work distribution); a lane that faults stalls until
+ * the UVM driver resolves its page while the other lanes keep running —
+ * reproducing the memory-level-parallelism loss that makes page faults
+ * so expensive in real UVM systems.
+ */
+
+#ifndef GRIT_HARNESS_SIMULATOR_H_
+#define GRIT_HARNESS_SIMULATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/config.h"
+#include "simcore/event_queue.h"
+#include "stats/counters.h"
+#include "stats/latency_breakdown.h"
+#include "workload/trace.h"
+
+namespace grit::harness {
+
+/** Everything a run produces. */
+struct RunResult
+{
+    /** Execution time: cycle when the last lane drained. */
+    sim::Cycle cycles = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t localFaults = 0;
+    std::uint64_t protectionFaults = 0;
+    /** Fig. 18 metric: local + protection faults. */
+    std::uint64_t totalFaults() const
+    {
+        return localFaults + protectionFaults;
+    }
+    /** Fig. 3 categories. */
+    stats::LatencyBreakdown breakdown;
+    /** Fig. 19: L2-TLB-missing accesses per governing scheme. */
+    std::array<std::uint64_t, 4> schemeAccesses{};
+    /** Capacity evictions across all GPUs (oversubscription metric). */
+    std::uint64_t evictions = 0;
+    /** Peak replica count alive at once. */
+    std::uint64_t peakReplicas = 0;
+    /** Full counter snapshot for detailed reporting. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    /** Eviction pressure per thousand accesses (GPS comparison). */
+    double oversubscriptionRate() const;
+};
+
+/** One simulation instance (configure, run once, read results). */
+class Simulator
+{
+  public:
+    /**
+     * @param config   system configuration (Table I defaults).
+     * @param workload traces to replay (numGpus must match).
+     */
+    Simulator(const SystemConfig &config,
+              const workload::Workload &workload);
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Run to completion and collect results. */
+    RunResult run();
+
+    /** Components, for tests and examples. */
+    uvm::UvmDriver &driver() { return *driver_; }
+    gpu::Gpu &gpuAt(unsigned g) { return *gpus_[g]; }
+    policy::PlacementPolicy &policy() { return *policy_; }
+
+  private:
+    struct LaneAccess
+    {
+        sim::PageId page;
+        unsigned line;
+        bool write;
+    };
+
+    /** Advance lane @p lane of GPU @p g to its next access. */
+    void laneStep(unsigned g, unsigned lane);
+
+    /**
+     * Translate (attempt @p attempt); faults schedule a retry event at
+     * the fault resolution time so resource timestamps stay monotonic.
+     */
+    void beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
+                     unsigned attempt);
+
+    /**
+     * Data path after translation (or fault replay): access the line
+     * at @p loc starting at @p ready; returns completion time.
+     */
+    sim::Cycle finishAccess(unsigned g, sim::Cycle ready, sim::GpuId loc,
+                            const LaneAccess &a);
+
+    SystemConfig config_;
+    const workload::Workload &workload_;
+
+    sim::EventQueue queue_;
+    stats::StatSet stats_;
+    stats::LatencyBreakdown breakdown_;
+    std::unique_ptr<ic::Fabric> fabric_;
+    std::vector<std::unique_ptr<gpu::Gpu>> gpus_;
+    std::unique_ptr<uvm::UvmDriver> driver_;
+    std::unique_ptr<policy::PlacementPolicy> policy_;
+    std::unique_ptr<baselines::TreePrefetcher> prefetcher_;
+
+    /** Pre-decoded per-GPU access streams. */
+    std::vector<std::vector<LaneAccess>> decoded_;
+    std::vector<std::size_t> cursor_;  //!< shared per-GPU work cursor
+    sim::Cycle finish_ = 0;
+    std::array<std::uint64_t, 4> schemeAccesses_{};
+    std::uint64_t peakReplicas_ = 0;
+};
+
+}  // namespace grit::harness
+
+#endif  // GRIT_HARNESS_SIMULATOR_H_

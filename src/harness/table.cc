@@ -1,0 +1,74 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace grit::harness {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << str();
+}
+
+std::string
+TextTable::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::pct(double percent)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", percent);
+    return buf;
+}
+
+}  // namespace grit::harness

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fixed-width text tables for benchmark reports: every bench binary
+ * prints the rows/series of its paper figure through this.
+ */
+
+#ifndef GRIT_HARNESS_TABLE_H_
+#define GRIT_HARNESS_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace grit::harness {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; missing cells render empty, extras are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a header rule. */
+    std::string str() const;
+
+    /** Print to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p precision decimals. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Format a percentage ("+12.3%"). */
+    static std::string pct(double percent);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace grit::harness
+
+#endif  // GRIT_HARNESS_TABLE_H_

@@ -1,0 +1,99 @@
+#include "interconnect/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace grit::ic {
+
+Fabric::Fabric(const FabricConfig &config)
+    : config_(config),
+      pcieUp_("pcie.up", config.pcieGBs, config.pcieLatency),
+      pcieDown_("pcie.down", config.pcieGBs, config.pcieLatency)
+{
+    assert(config.numGpus >= 1);
+    egress_.reserve(config.numGpus);
+    ingress_.reserve(config.numGpus);
+    for (unsigned g = 0; g < config.numGpus; ++g) {
+        const std::string tag = "gpu" + std::to_string(g);
+        egress_.push_back(std::make_unique<Link>(
+            tag + ".nvlink.out", config.nvlinkGBs, config.nvlinkLatency));
+        ingress_.push_back(std::make_unique<Link>(
+            tag + ".nvlink.in", config.nvlinkGBs, config.nvlinkLatency));
+    }
+}
+
+Link &
+Fabric::egressOf(sim::GpuId id)
+{
+    assert(id >= 0 && static_cast<unsigned>(id) < egress_.size());
+    return *egress_[static_cast<unsigned>(id)];
+}
+
+Link &
+Fabric::ingressOf(sim::GpuId id)
+{
+    assert(id >= 0 && static_cast<unsigned>(id) < ingress_.size());
+    return *ingress_[static_cast<unsigned>(id)];
+}
+
+sim::Cycle
+Fabric::transfer(sim::Cycle now, sim::GpuId src, sim::GpuId dst,
+                 std::uint64_t bytes)
+{
+    assert(src != dst && "transfer to self");
+    if (src == sim::kHostId)
+        return pcieDown_.transfer(now, bytes);
+    if (dst == sim::kHostId)
+        return pcieUp_.transfer(now, bytes);
+    // GPU-to-GPU: both the source egress port and the destination
+    // ingress port carry the payload; the slower one bounds delivery.
+    const sim::Cycle out = egressOf(src).transfer(now, bytes);
+    const sim::Cycle in = ingressOf(dst).transfer(now, bytes);
+    return std::max(out, in);
+}
+
+sim::Cycle
+Fabric::message(sim::Cycle now, sim::GpuId src, sim::GpuId dst,
+                std::uint64_t bytes)
+{
+    (void)bytes;
+    ++messages_;
+    return now + flightLatency(src, dst);
+}
+
+sim::Cycle
+Fabric::flightLatency(sim::GpuId src, sim::GpuId dst) const
+{
+    if (src == sim::kHostId || dst == sim::kHostId)
+        return config_.pcieLatency;
+    return config_.nvlinkLatency;
+}
+
+std::uint64_t
+Fabric::nvlinkBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &link : egress_)
+        total += link->bytesMoved();
+    return total;
+}
+
+std::uint64_t
+Fabric::pcieBytes() const
+{
+    return pcieUp_.bytesMoved() + pcieDown_.bytesMoved();
+}
+
+void
+Fabric::reset()
+{
+    for (auto &link : egress_)
+        link->reset();
+    for (auto &link : ingress_)
+        link->reset();
+    pcieUp_.reset();
+    pcieDown_.reset();
+}
+
+}  // namespace grit::ic

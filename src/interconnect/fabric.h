@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The multi-GPU interconnect fabric.
+ *
+ * GPUs connect all-to-all through per-GPU NVLink ports (one egress and
+ * one ingress pipe each, 300 GB/s per Table I); the host hangs off a
+ * shared PCIe-v4 link (32 GB/s). A GPU<->GPU transfer occupies the
+ * source egress and destination ingress ports; a host transfer occupies
+ * the PCIe pipe in the relevant direction.
+ */
+
+#ifndef GRIT_INTERCONNECT_FABRIC_H_
+#define GRIT_INTERCONNECT_FABRIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "interconnect/link.h"
+#include "simcore/types.h"
+
+namespace grit::ic {
+
+/** Fabric configuration. */
+struct FabricConfig
+{
+    unsigned numGpus = 4;
+    double nvlinkGBs = 300.0;        //!< NVLink-v2 per-port bandwidth
+    sim::Cycle nvlinkLatency = 700;  //!< NVLink one-way latency (cycles)
+    double pcieGBs = 32.0;           //!< PCIe-v4 bandwidth
+    sim::Cycle pcieLatency = 1000;   //!< PCIe one-way latency (cycles)
+};
+
+/** All-to-all NVLink fabric plus the host PCIe attachment. */
+class Fabric
+{
+  public:
+    explicit Fabric(const FabricConfig &config);
+
+    /**
+     * Move @p bytes from @p src to @p dst (either may be sim::kHostId).
+     * @return delivery completion time.
+     */
+    sim::Cycle transfer(sim::Cycle now, sim::GpuId src, sim::GpuId dst,
+                        std::uint64_t bytes);
+
+    /**
+     * Control message (fault descriptor, invalidation, ack...). Control
+     * packets ride a dedicated virtual channel: pure propagation
+     * latency, never queued behind bulk page DMAs.
+     */
+    sim::Cycle message(sim::Cycle now, sim::GpuId src, sim::GpuId dst,
+                       std::uint64_t bytes = 64);
+
+    /** Control messages sent so far. */
+    std::uint64_t messages() const { return messages_; }
+
+    /** One-way latency between @p src and @p dst with no queuing. */
+    sim::Cycle flightLatency(sim::GpuId src, sim::GpuId dst) const;
+
+    unsigned numGpus() const { return static_cast<unsigned>(egress_.size()); }
+
+    /** Total bytes moved over NVLink ports. */
+    std::uint64_t nvlinkBytes() const;
+
+    /** Total bytes moved over PCIe. */
+    std::uint64_t pcieBytes() const;
+
+    void reset();
+
+  private:
+    Link &egressOf(sim::GpuId id);
+    Link &ingressOf(sim::GpuId id);
+
+    FabricConfig config_;
+    std::vector<std::unique_ptr<Link>> egress_;
+    std::vector<std::unique_ptr<Link>> ingress_;
+    Link pcieUp_;    //!< GPU -> host
+    Link pcieDown_;  //!< host -> GPU
+    std::uint64_t messages_ = 0;
+};
+
+}  // namespace grit::ic
+
+#endif  // GRIT_INTERCONNECT_FABRIC_H_

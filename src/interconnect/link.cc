@@ -1,0 +1,18 @@
+#include "interconnect/link.h"
+
+#include <utility>
+
+namespace grit::ic {
+
+Link::Link(std::string name, double gb_per_s, sim::Cycle latency)
+    : pipe_(std::move(name), gb_per_s), latency_(latency)
+{
+}
+
+sim::Cycle
+Link::transfer(sim::Cycle now, std::uint64_t bytes)
+{
+    return pipe_.acquire(now, bytes) + latency_;
+}
+
+}  // namespace grit::ic

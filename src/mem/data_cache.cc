@@ -1,0 +1,84 @@
+#include "mem/data_cache.h"
+
+#include <cassert>
+#include <utility>
+
+namespace grit::mem {
+
+DataCache::DataCache(std::string name, std::uint64_t size_bytes,
+                     unsigned ways, std::uint64_t line_bytes,
+                     sim::Cycle latency)
+    : name_(std::move(name)),
+      sets_(static_cast<unsigned>(size_bytes / line_bytes / ways)),
+      ways_(ways),
+      lineBytes_(line_bytes),
+      latency_(latency),
+      entries_(static_cast<std::size_t>(size_bytes / line_bytes))
+{
+    assert(ways > 0 && line_bytes > 0);
+    assert(size_bytes % (line_bytes * ways) == 0);
+    assert(sets_ > 0);
+}
+
+bool
+DataCache::access(std::uint64_t line_id)
+{
+    ++tick_;
+    Entry *base = &entries_[setIndex(line_id) * ways_];
+    Entry *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (live(e) && e.line == line_id) {
+            e.lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+        if (!live(e)) {
+            victim = &e;
+            continue;
+        }
+        if (live(*victim) && e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    ++misses_;
+    victim->line = line_id;
+    victim->lastUse = tick_;
+    victim->gen = gen_;
+    victim->valid = true;
+    return false;
+}
+
+bool
+DataCache::contains(std::uint64_t line_id) const
+{
+    const Entry *base = &entries_[setIndex(line_id) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        const Entry &e = base[w];
+        if (live(e) && e.line == line_id)
+            return true;
+    }
+    return false;
+}
+
+void
+DataCache::invalidatePage(sim::PageId page, unsigned lines_per_page)
+{
+    const std::uint64_t first = page * lines_per_page;
+    for (unsigned i = 0; i < lines_per_page; ++i) {
+        const std::uint64_t line_id = first + i;
+        Entry *base = &entries_[setIndex(line_id) * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = base[w];
+            if (live(e) && e.line == line_id)
+                e.valid = false;
+        }
+    }
+}
+
+void
+DataCache::flushAll()
+{
+    ++gen_;
+}
+
+}  // namespace grit::mem

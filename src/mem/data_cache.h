@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Set-associative data cache model (the per-GPU L2 in Table I).
+ *
+ * The simulator tracks data locality at cache-line granularity: an L2
+ * hit avoids the DRAM / remote-fabric access entirely. Whole-cache
+ * flushes — issued during migrations and write collapses — are O(1) via
+ * a generation counter; per-page invalidations scan only the sets the
+ * page's lines map to.
+ */
+
+#ifndef GRIT_MEM_DATA_CACHE_H_
+#define GRIT_MEM_DATA_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/types.h"
+
+namespace grit::mem {
+
+/** A physically indexed set-associative cache of line ids. */
+class DataCache
+{
+  public:
+    /**
+     * @param name       diagnostic name.
+     * @param size_bytes total capacity.
+     * @param ways       associativity.
+     * @param line_bytes line size.
+     * @param latency    hit latency in cycles.
+     */
+    DataCache(std::string name, std::uint64_t size_bytes, unsigned ways,
+              std::uint64_t line_bytes, sim::Cycle latency);
+
+    /**
+     * Access line @p line_id (a global line number); fills on miss.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t line_id);
+
+    /** Probe without fill or LRU update (test use). */
+    bool contains(std::uint64_t line_id) const;
+
+    /** Invalidate all lines of @p page given @p lines_per_page. */
+    void invalidatePage(sim::PageId page, unsigned lines_per_page);
+
+    /** Invalidate everything; O(1). */
+    void flushAll();
+
+    sim::Cycle latency() const { return latency_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t lineBytes() const { return lineBytes_; }
+    const std::string &name() const { return name_; }
+
+    void resetStats() { hits_ = misses_ = 0; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t line = 0;
+        std::uint64_t lastUse = 0;
+        std::uint64_t gen = 0;
+        bool valid = false;
+    };
+
+    unsigned setIndex(std::uint64_t line_id) const
+    {
+        return static_cast<unsigned>(line_id % sets_);
+    }
+
+    bool live(const Entry &e) const { return e.valid && e.gen == gen_; }
+
+    std::string name_;
+    unsigned sets_;
+    unsigned ways_;
+    std::uint64_t lineBytes_;
+    sim::Cycle latency_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t gen_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace grit::mem
+
+#endif  // GRIT_MEM_DATA_CACHE_H_

@@ -1,0 +1,94 @@
+#include "mem/dram_manager.h"
+
+#include <cassert>
+
+namespace grit::mem {
+
+DramManager::DramManager(std::uint64_t capacity_pages)
+    : capacity_(capacity_pages)
+{
+}
+
+std::optional<Eviction>
+DramManager::insert(sim::PageId page, FrameKind kind)
+{
+    assert(!resident(page) && "double allocation of a frame");
+
+    std::optional<Eviction> victim;
+    if (capacity_ != 0 && map_.size() >= capacity_) {
+        Frame lru = lru_.back();
+        lru_.pop_back();
+        map_.erase(lru.page);
+        if (lru.kind == FrameKind::kReplica)
+            --replicas_;
+        ++evictions_;
+        victim = Eviction{lru.page, lru.kind};
+    }
+
+    lru_.push_front(Frame{page, kind});
+    map_[page] = lru_.begin();
+    if (kind == FrameKind::kReplica)
+        ++replicas_;
+    return victim;
+}
+
+void
+DramManager::touch(sim::PageId page)
+{
+    auto it = map_.find(page);
+    if (it == map_.end())
+        return;
+    lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+bool
+DramManager::erase(sim::PageId page)
+{
+    auto it = map_.find(page);
+    if (it == map_.end())
+        return false;
+    if (it->second->kind == FrameKind::kReplica)
+        --replicas_;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+}
+
+bool
+DramManager::resident(sim::PageId page) const
+{
+    return map_.count(page) != 0;
+}
+
+FrameKind
+DramManager::kindOf(sim::PageId page) const
+{
+    auto it = map_.find(page);
+    assert(it != map_.end());
+    return it->second->kind;
+}
+
+void
+DramManager::setKind(sim::PageId page, FrameKind kind)
+{
+    auto it = map_.find(page);
+    assert(it != map_.end());
+    if (it->second->kind == kind)
+        return;
+    if (it->second->kind == FrameKind::kReplica)
+        --replicas_;
+    if (kind == FrameKind::kReplica)
+        ++replicas_;
+    it->second->kind = kind;
+}
+
+void
+DramManager::clear()
+{
+    lru_.clear();
+    map_.clear();
+    evictions_ = 0;
+    replicas_ = 0;
+}
+
+}  // namespace grit::mem

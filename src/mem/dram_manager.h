@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-GPU DRAM capacity manager modeling memory oversubscription.
+ *
+ * Table I configures each experiment so that aggregate GPU memory is
+ * 70 % of the application footprint; duplication replicas inflate
+ * occupancy further. When a GPU exceeds its capacity, the LRU page is
+ * evicted: replicas are simply dropped (the owner still has the data),
+ * while owned pages spill to host memory and must be re-migrated on the
+ * next touch — the "page-duplication" eviction/re-duplication latency of
+ * Figure 3.
+ */
+
+#ifndef GRIT_MEM_DRAM_MANAGER_H_
+#define GRIT_MEM_DRAM_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "simcore/types.h"
+
+namespace grit::mem {
+
+/** Why a frame is occupied (owned page vs duplication replica). */
+enum class FrameKind : std::uint8_t { kOwned, kReplica };
+
+/** An eviction decision returned by DramManager::insert. */
+struct Eviction
+{
+    sim::PageId page;
+    FrameKind kind;
+};
+
+/** LRU-managed page frames of one GPU's local DRAM. */
+class DramManager
+{
+  public:
+    /** @param capacity_pages frame count; 0 means unlimited. */
+    explicit DramManager(std::uint64_t capacity_pages);
+
+    /**
+     * Allocate a frame for @p page.
+     * @return the victim evicted to make room, if any.
+     * @pre !resident(page)
+     */
+    std::optional<Eviction> insert(sim::PageId page, FrameKind kind);
+
+    /** Move @p page to the MRU position. No-op if absent. */
+    void touch(sim::PageId page);
+
+    /** Free @p page's frame. @return true if it was resident. */
+    bool erase(sim::PageId page);
+
+    /** True when @p page occupies a frame here. */
+    bool resident(sim::PageId page) const;
+
+    /** Frame kind of a resident page. @pre resident(page) */
+    FrameKind kindOf(sim::PageId page) const;
+
+    /** Convert a resident replica frame to owned or vice versa. */
+    void setKind(sim::PageId page, FrameKind kind);
+
+    std::uint64_t size() const { return map_.size(); }
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t replicaCount() const { return replicas_; }
+
+    void clear();
+
+  private:
+    struct Frame
+    {
+        sim::PageId page;
+        FrameKind kind;
+    };
+
+    using LruList = std::list<Frame>;
+
+    std::uint64_t capacity_;
+    LruList lru_;  // front = MRU, back = LRU
+    std::unordered_map<sim::PageId, LruList::iterator> map_;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t replicas_ = 0;
+};
+
+}  // namespace grit::mem
+
+#endif  // GRIT_MEM_DRAM_MANAGER_H_

@@ -1,0 +1,98 @@
+#include "mem/page_table.h"
+
+namespace grit::mem {
+
+const PteRecord *
+PageTable::find(sim::PageId page) const
+{
+    auto it = entries_.find(page);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+PteRecord *
+PageTable::find(sim::PageId page)
+{
+    auto it = entries_.find(page);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool
+PageTable::translates(sim::PageId page) const
+{
+    const PteRecord *rec = find(page);
+    return rec != nullptr && rec->pte.valid();
+}
+
+PteRecord &
+PageTable::obtain(sim::PageId page)
+{
+    return entries_[page];
+}
+
+PteRecord &
+PageTable::install(sim::PageId page, MappingKind kind, sim::GpuId location,
+                   bool writable, bool read_only_replica)
+{
+    PteRecord &rec = obtain(page);
+    rec.pte.setValid(true);
+    rec.pte.setWritable(writable);
+    rec.pte.setAccessed(true);
+    rec.kind = kind;
+    rec.location = location;
+    rec.readOnlyReplica = read_only_replica;
+    return rec;
+}
+
+void
+PageTable::invalidate(sim::PageId page)
+{
+    if (PteRecord *rec = find(page)) {
+        rec->pte.setValid(false);
+        rec->readOnlyReplica = false;
+        rec->location = sim::kNoGpu;
+    }
+}
+
+void
+PageTable::erase(sim::PageId page)
+{
+    entries_.erase(page);
+}
+
+Scheme
+PageTable::scheme(sim::PageId page) const
+{
+    const PteRecord *rec = find(page);
+    return rec ? rec->pte.scheme() : Scheme::kNone;
+}
+
+void
+PageTable::setScheme(sim::PageId page, Scheme scheme)
+{
+    obtain(page).pte.setScheme(scheme);
+}
+
+GroupBits
+PageTable::groupBits(sim::PageId page) const
+{
+    const PteRecord *rec = find(page);
+    return rec ? rec->pte.groupBits() : GroupBits::kPages1;
+}
+
+void
+PageTable::setGroupBits(sim::PageId page, GroupBits bits)
+{
+    obtain(page).pte.setGroupBits(bits);
+}
+
+std::size_t
+PageTable::validCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[page, rec] : entries_)
+        if (rec.pte.valid())
+            ++n;
+    return n;
+}
+
+}  // namespace grit::mem

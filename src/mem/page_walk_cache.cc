@@ -1,0 +1,87 @@
+#include "mem/page_walk_cache.h"
+
+#include <cassert>
+
+namespace grit::mem {
+
+PageWalkCache::PageWalkCache(unsigned entries) : entries_(entries)
+{
+    assert(entries > 0);
+}
+
+std::uint64_t
+PageWalkCache::key(sim::PageId page, unsigned level)
+{
+    assert(level >= 1 && level < kLevels);
+    // 9 bits of the VPN are consumed per level; tag the key with the
+    // level so prefixes from different levels never alias.
+    return (page >> (9 * level)) | (static_cast<std::uint64_t>(level) << 60);
+}
+
+bool
+PageWalkCache::contains(std::uint64_t key) const
+{
+    for (const Entry &e : entries_)
+        if (e.valid && e.key == key)
+            return true;
+    return false;
+}
+
+unsigned
+PageWalkCache::walkAccesses(sim::PageId page) const
+{
+    // Walk from the deepest (cheapest) cached prefix: if the 2 MB-level
+    // entry is cached only the leaf access remains, and so on upward.
+    for (unsigned level = 1; level < kLevels; ++level) {
+        if (contains(key(page, level)))
+            return level;
+    }
+    return kLevels;
+}
+
+void
+PageWalkCache::touch(std::uint64_t key)
+{
+    ++tick_;
+    Entry *victim = &entries_.front();
+    for (Entry &e : entries_) {
+        if (e.valid && e.key == key) {
+            e.lastUse = tick_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->key = key;
+    victim->lastUse = tick_;
+    victim->valid = true;
+}
+
+void
+PageWalkCache::fill(sim::PageId page)
+{
+    for (unsigned level = 1; level < kLevels; ++level)
+        touch(key(page, level));
+}
+
+void
+PageWalkCache::flushAll()
+{
+    for (Entry &e : entries_)
+        e.valid = false;
+}
+
+void
+PageWalkCache::recordWalk(unsigned accesses)
+{
+    if (accesses <= 1)
+        ++hits_;
+    else
+        ++misses_;
+}
+
+}  // namespace grit::mem

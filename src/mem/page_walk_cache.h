@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Page-walk cache shared across the GMMU's page-table walkers.
+ *
+ * Models a 128-entry cache of upper-level page-table entries (Table I).
+ * A four-level x86-style radix table maps a 4 KB page with 9 bits per
+ * level; the PWC caches the three non-leaf levels so a walk that hits on
+ * the deepest cached prefix performs a single leaf access, while a full
+ * miss performs four sequential accesses of walkLevelLatency each.
+ */
+
+#ifndef GRIT_MEM_PAGE_WALK_CACHE_H_
+#define GRIT_MEM_PAGE_WALK_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/types.h"
+
+namespace grit::mem {
+
+/** Cache of non-leaf page-table prefixes; fully associative, LRU. */
+class PageWalkCache
+{
+  public:
+    /** Total radix levels of the modeled page table. */
+    static constexpr unsigned kLevels = 4;
+
+    /** @param entries capacity across all levels. @pre entries > 0 */
+    explicit PageWalkCache(unsigned entries);
+
+    /**
+     * Memory accesses a walk for @p page needs given current contents:
+     * 1 (deepest prefix cached) .. kLevels (nothing cached).
+     */
+    unsigned walkAccesses(sim::PageId page) const;
+
+    /** Install all prefixes of @p page after a completed walk. */
+    void fill(sim::PageId page);
+
+    /** Invalidate every entry (full shootdown). */
+    void flushAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Record a walk outcome in the hit/miss stats. */
+    void recordWalk(unsigned accesses);
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    /**
+     * Prefix key for non-leaf level @p level (1-based from the leaf:
+     * level 1 covers 2 MB, level 2 covers 1 GB, level 3 covers 512 GB).
+     */
+    static std::uint64_t key(sim::PageId page, unsigned level);
+
+    bool contains(std::uint64_t key) const;
+    void touch(std::uint64_t key);
+
+    std::vector<Entry> entries_;
+    mutable std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace grit::mem
+
+#endif  // GRIT_MEM_PAGE_WALK_CACHE_H_

@@ -1,0 +1,45 @@
+#include "mem/pte.h"
+
+#include <cassert>
+
+namespace grit::mem {
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::kNone:          return "none";
+      case Scheme::kOnTouch:       return "on-touch";
+      case Scheme::kAccessCounter: return "access-counter";
+      case Scheme::kDuplication:   return "duplication";
+    }
+    return "?";
+}
+
+unsigned
+groupPages(GroupBits bits)
+{
+    switch (bits) {
+      case GroupBits::kPages1:   return 1;
+      case GroupBits::kPages8:   return 8;
+      case GroupBits::kPages64:  return 64;
+      case GroupBits::kPages512: return 512;
+    }
+    return 1;
+}
+
+GroupBits
+groupBitsFor(unsigned pages)
+{
+    switch (pages) {
+      case 1:   return GroupBits::kPages1;
+      case 8:   return GroupBits::kPages8;
+      case 64:  return GroupBits::kPages64;
+      case 512: return GroupBits::kPages512;
+      default:
+        assert(false && "group size must be 1, 8, 64, or 512 pages");
+        return GroupBits::kPages1;
+    }
+}
+
+}  // namespace grit::mem

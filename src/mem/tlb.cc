@@ -1,0 +1,95 @@
+#include "mem/tlb.h"
+
+#include <cassert>
+#include <utility>
+
+namespace grit::mem {
+
+Tlb::Tlb(std::string name, unsigned entries, unsigned ways,
+         sim::Cycle latency)
+    : name_(std::move(name)),
+      sets_(entries / ways),
+      ways_(ways),
+      latency_(latency),
+      entries_(entries)
+{
+    assert(ways > 0 && entries % ways == 0 && "entries must be ways-aligned");
+    assert(sets_ > 0);
+}
+
+unsigned
+Tlb::setIndex(sim::PageId page) const
+{
+    return static_cast<unsigned>(page % sets_);
+}
+
+bool
+Tlb::lookup(sim::PageId page)
+{
+    ++tick_;
+    Entry *base = &entries_[setIndex(page) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (live(e) && e.page == page) {
+            e.lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Tlb::insert(sim::PageId page)
+{
+    ++tick_;
+    Entry *base = &entries_[setIndex(page) * ways_];
+    Entry *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (live(e) && e.page == page) {
+            e.lastUse = tick_;  // already present
+            return;
+        }
+        if (!live(e)) {
+            victim = &e;  // prefer an invalid slot
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->page = page;
+    victim->lastUse = tick_;
+    victim->gen = gen_;
+    victim->valid = true;
+}
+
+void
+Tlb::invalidate(sim::PageId page)
+{
+    Entry *base = &entries_[setIndex(page) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (live(e) && e.page == page)
+            e.valid = false;
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    ++gen_;
+}
+
+std::size_t
+Tlb::occupancy() const
+{
+    std::size_t n = 0;
+    for (const Entry &e : entries_)
+        if (live(e))
+            ++n;
+    return n;
+}
+
+}  // namespace grit::mem

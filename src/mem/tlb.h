@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Set-associative TLB with LRU replacement (paper Table I).
+ *
+ * The same class models the per-CU L1 TLB (32 entries, 32-way: fully
+ * associative) and the GPU-shared L2 TLB (512 entries, 16-way). A cheap
+ * generation counter implements whole-TLB shootdowns, which the UVM
+ * driver issues on every migration, duplication collapse, and scheme
+ * reset.
+ */
+
+#ifndef GRIT_MEM_TLB_H_
+#define GRIT_MEM_TLB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/types.h"
+
+namespace grit::mem {
+
+/** A set-associative translation lookaside buffer. */
+class Tlb
+{
+  public:
+    /**
+     * @param name    diagnostic name.
+     * @param entries total entry count. @pre entries % ways == 0
+     * @param ways    associativity.
+     * @param latency lookup latency in cycles.
+     */
+    Tlb(std::string name, unsigned entries, unsigned ways,
+        sim::Cycle latency);
+
+    /** Lookup @p page; updates LRU on hit. */
+    bool lookup(sim::PageId page);
+
+    /** Insert @p page, evicting the set's LRU victim if needed. */
+    void insert(sim::PageId page);
+
+    /** Invalidate one page (single-entry shootdown). */
+    void invalidate(sim::PageId page);
+
+    /** Invalidate everything (full shootdown); O(1). */
+    void flushAll();
+
+    sim::Cycle latency() const { return latency_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    const std::string &name() const { return name_; }
+
+    /** Valid entries currently held (walks the arrays; test use). */
+    std::size_t occupancy() const;
+
+    void resetStats() { hits_ = misses_ = 0; }
+
+  private:
+    struct Entry
+    {
+        sim::PageId page = 0;
+        std::uint64_t lastUse = 0;
+        std::uint64_t gen = 0;
+        bool valid = false;
+    };
+
+    unsigned setIndex(sim::PageId page) const;
+    bool live(const Entry &e) const { return e.valid && e.gen == gen_; }
+
+    std::string name_;
+    unsigned sets_;
+    unsigned ways_;
+    sim::Cycle latency_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t gen_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace grit::mem
+
+#endif  // GRIT_MEM_TLB_H_

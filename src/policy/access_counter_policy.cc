@@ -1,0 +1,3 @@
+#include "policy/access_counter_policy.h"
+
+// Header-only behaviour; translation unit kept for symmetry.

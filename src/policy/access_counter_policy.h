@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Uniform access counter-based migration (paper Section II-B2).
+ *
+ * Non-cold faults establish remote translations; the GPUs' hardware
+ * access counters (64 KB groups, threshold 256) trigger migrations via
+ * UvmDriver::counterMigration when a group is accessed remotely often
+ * enough.
+ */
+
+#ifndef GRIT_POLICY_ACCESS_COUNTER_POLICY_H_
+#define GRIT_POLICY_ACCESS_COUNTER_POLICY_H_
+
+#include "policy/policy.h"
+
+namespace grit::policy {
+
+/** Map remote on fault; migrate when the hardware counters fire. */
+class AccessCounterPolicy : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "access-counter"; }
+
+    FaultAction
+    onFault(const FaultInfo &info, sim::Cycle now) override
+    {
+        (void)now;
+        // Cold faults migrate from host (the driver handles this path
+        // uniformly); GPU-resident pages are mapped remotely.
+        (void)info;
+        return FaultAction::kMapRemote;
+    }
+
+    bool
+    countsRemote(sim::PageId page) const override
+    {
+        (void)page;
+        return true;
+    }
+
+    mem::Scheme
+    schemeOf(sim::PageId page) const override
+    {
+        (void)page;
+        return mem::Scheme::kAccessCounter;
+    }
+};
+
+}  // namespace grit::policy
+
+#endif  // GRIT_POLICY_ACCESS_COUNTER_POLICY_H_

@@ -1,0 +1,3 @@
+#include "policy/duplication.h"
+
+// Header-only behaviour; translation unit kept for symmetry.

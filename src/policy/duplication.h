@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Uniform page duplication (paper Section II-B3): read faults replicate
+ * the page locally; writes to shared pages collapse every replica.
+ */
+
+#ifndef GRIT_POLICY_DUPLICATION_H_
+#define GRIT_POLICY_DUPLICATION_H_
+
+#include "policy/policy.h"
+
+namespace grit::policy {
+
+/** Replicate on read faults; the driver collapses on writes. */
+class DuplicationPolicy : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "duplication"; }
+
+    FaultAction
+    onFault(const FaultInfo &info, sim::Cycle now) override
+    {
+        (void)info;
+        (void)now;
+        // The driver turns kDuplicate + write into a collapse, and
+        // protection faults collapse regardless of the action.
+        return FaultAction::kDuplicate;
+    }
+
+    mem::Scheme
+    schemeOf(sim::PageId page) const override
+    {
+        (void)page;
+        return mem::Scheme::kDuplication;
+    }
+};
+
+}  // namespace grit::policy
+
+#endif  // GRIT_POLICY_DUPLICATION_H_

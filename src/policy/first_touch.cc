@@ -1,0 +1,3 @@
+#include "policy/first_touch.h"
+
+// Header-only behaviour; translation unit kept for symmetry.

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * First-touch migration (paper Section VI-D): the page is pinned on the
+ * GPU that touches it first; every other GPU uses peer load/store over
+ * remote translations. No counters, no further migration.
+ */
+
+#ifndef GRIT_POLICY_FIRST_TOUCH_H_
+#define GRIT_POLICY_FIRST_TOUCH_H_
+
+#include "policy/policy.h"
+
+namespace grit::policy {
+
+/** Pin on first touch; peer access afterwards. */
+class FirstTouchPolicy : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "first-touch"; }
+
+    FaultAction
+    onFault(const FaultInfo &info, sim::Cycle now) override
+    {
+        (void)now;
+        // Cold faults are handled by the driver as host->GPU placement
+        // (the pin); everything else stays remote forever.
+        return info.coldTouch ? FaultAction::kMigrate
+                              : FaultAction::kMapRemote;
+    }
+
+    mem::Scheme
+    schemeOf(sim::PageId page) const override
+    {
+        (void)page;
+        // First-touch is not one of the Table IV schemes; report the
+        // closest behaviour (remote access without migration).
+        return mem::Scheme::kAccessCounter;
+    }
+};
+
+}  // namespace grit::policy
+
+#endif  // GRIT_POLICY_FIRST_TOUCH_H_

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The Ideal oracle of paper Figure 1: after the first cold touch of a
+ * page, every read finds it locally and every write completes with zero
+ * NUMA latency. Not realizable; used only as the optimization ceiling.
+ */
+
+#ifndef GRIT_POLICY_IDEAL_H_
+#define GRIT_POLICY_IDEAL_H_
+
+#include "policy/policy.h"
+
+namespace grit::policy {
+
+/** Zero-cost local placement after the cold touch. */
+class IdealPolicy : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "ideal"; }
+
+    FaultAction
+    onFault(const FaultInfo &info, sim::Cycle now) override
+    {
+        (void)now;
+        // Cold reads pay the normal first placement (the paper's Ideal
+        // keeps cold page reads); everything else is free and local.
+        return info.coldTouch ? FaultAction::kMigrate
+                              : FaultAction::kIdealLocal;
+    }
+
+    mem::Scheme
+    schemeOf(sim::PageId page) const override
+    {
+        (void)page;
+        return mem::Scheme::kNone;
+    }
+};
+
+}  // namespace grit::policy
+
+#endif  // GRIT_POLICY_IDEAL_H_

@@ -1,0 +1,4 @@
+#include "policy/on_touch.h"
+
+// Header-only behaviour; translation unit kept for symmetry and future
+// statistics hooks.

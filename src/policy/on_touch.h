@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Uniform on-touch migration (paper Section II-B1): every local fault
+ * migrates the page to the requesting GPU. The paper's baseline.
+ */
+
+#ifndef GRIT_POLICY_ON_TOUCH_H_
+#define GRIT_POLICY_ON_TOUCH_H_
+
+#include "policy/policy.h"
+
+namespace grit::policy {
+
+/** Always migrate to the requester. */
+class OnTouchPolicy : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "on-touch"; }
+
+    FaultAction
+    onFault(const FaultInfo &info, sim::Cycle now) override
+    {
+        (void)info;
+        (void)now;
+        return FaultAction::kMigrate;
+    }
+
+    mem::Scheme
+    schemeOf(sim::PageId page) const override
+    {
+        (void)page;
+        return mem::Scheme::kOnTouch;
+    }
+};
+
+}  // namespace grit::policy
+
+#endif  // GRIT_POLICY_ON_TOUCH_H_

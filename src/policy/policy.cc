@@ -1,0 +1,9 @@
+#include "policy/policy.h"
+
+namespace grit::policy {
+
+// PlacementPolicy is an abstract interface; this translation unit
+// anchors nothing beyond making the target's source list uniform, but
+// gives the vtable-emitting key function a stable home if one is added.
+
+}  // namespace grit::policy

@@ -1,0 +1,49 @@
+#include "simcore/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace grit::sim {
+
+void
+EventQueue::schedule(Cycle when, EventFn fn)
+{
+    assert(fn && "scheduling an empty event");
+    if (when < now_)
+        when = now_;
+    heap_.push(Item{when, nextSeq_++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because pop() immediately destroys the slot.
+    Item item = std::move(const_cast<Item &>(heap_.top()));
+    heap_.pop();
+    assert(item.when >= now_ && "event queue went backwards");
+    now_ = item.when;
+    item.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t executed = 0;
+    while (executed < limit && step())
+        ++executed;
+    return executed;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    now_ = 0;
+    nextSeq_ = 0;
+}
+
+}  // namespace grit::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic discrete-event queue driving the simulation.
+ *
+ * Events are (time, sequence, callback) triples processed in nondecreasing
+ * time order; ties break by insertion sequence so runs are bit-for-bit
+ * reproducible regardless of scheduling jitter in the host process.
+ */
+
+#ifndef GRIT_SIMCORE_EVENT_QUEUE_H_
+#define GRIT_SIMCORE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "simcore/types.h"
+
+namespace grit::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A time-ordered queue of one-shot events.
+ *
+ * The queue owns the global notion of "now": while an event executes,
+ * now() returns that event's timestamp. Scheduling into the past is a
+ * programming error and is clamped to now() with an assertion in debug
+ * builds.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time (timestamp of the executing event). */
+    Cycle now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @param when absolute cycle; clamped to now() if in the past.
+     * @param fn   callback to execute.
+     */
+    void schedule(Cycle when, EventFn fn);
+
+    /** Schedule @p fn to run @p delay cycles after now(). */
+    void scheduleAfter(Cycle delay, EventFn fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Run events until the queue drains or @p limit events have fired.
+     * @param limit safety valve against runaway simulations.
+     * @return number of events executed.
+     */
+    std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+    /** Execute at most one event. @return true if an event fired. */
+    bool step();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Item
+    {
+        Cycle when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace grit::sim
+
+#endif  // GRIT_SIMCORE_EVENT_QUEUE_H_

@@ -1,0 +1,45 @@
+#include "simcore/log.h"
+
+#include <cstdio>
+
+namespace grit::sim {
+
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo:  return "INFO";
+      case LogLevel::kWarn:  return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff:   return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+}  // namespace grit::sim

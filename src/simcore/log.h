@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal leveled logging for the simulator.
+ *
+ * Off by default so benchmark output stays clean; tests and examples can
+ * raise the level to trace page-placement decisions.
+ */
+
+#ifndef GRIT_SIMCORE_LOG_H_
+#define GRIT_SIMCORE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace grit::sim {
+
+/** Severity levels, lowest to highest. */
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/** Global log threshold; messages below it are dropped. */
+LogLevel logLevel();
+
+/** Set the global log threshold. */
+void setLogLevel(LogLevel level);
+
+/** Emit one log line (used by the GRIT_LOG macro). */
+void logMessage(LogLevel level, const std::string &msg);
+
+}  // namespace grit::sim
+
+/**
+ * Log with lazy formatting: the stream expression only evaluates when the
+ * level is enabled.
+ */
+#define GRIT_LOG(level, expr)                                               \
+    do {                                                                    \
+        if (static_cast<int>(level) >=                                      \
+            static_cast<int>(::grit::sim::logLevel())) {                    \
+            std::ostringstream grit_log_os_;                                \
+            grit_log_os_ << expr;                                           \
+            ::grit::sim::logMessage(level, grit_log_os_.str());             \
+        }                                                                   \
+    } while (0)
+
+#endif  // GRIT_SIMCORE_LOG_H_

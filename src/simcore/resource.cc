@@ -1,0 +1,82 @@
+#include "simcore/resource.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace grit::sim {
+
+BandwidthResource::BandwidthResource(std::string name,
+                                     double bytes_per_cycle,
+                                     unsigned channels)
+    : name_(std::move(name)),
+      bytesPerCycle_(bytes_per_cycle),
+      channelFree_(std::max(1u, channels), 0)
+{
+    assert(bytesPerCycle_ > 0.0);
+}
+
+Cycle
+BandwidthResource::serviceCycles(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    return static_cast<Cycle>(
+        std::ceil(static_cast<double>(bytes) / bytesPerCycle_));
+}
+
+Cycle
+BandwidthResource::acquire(Cycle now, std::uint64_t bytes)
+{
+    auto it = std::min_element(channelFree_.begin(), channelFree_.end());
+    const Cycle start = std::max(now, *it);
+    const Cycle service = serviceCycles(bytes);
+    *it = start + service;
+    busy_ += service;
+    bytes_ += bytes;
+    return *it;
+}
+
+Cycle
+BandwidthResource::nextFree() const
+{
+    return *std::min_element(channelFree_.begin(), channelFree_.end());
+}
+
+void
+BandwidthResource::reset()
+{
+    std::fill(channelFree_.begin(), channelFree_.end(), 0);
+    busy_ = 0;
+    bytes_ = 0;
+}
+
+ServerPool::ServerPool(std::string name, unsigned servers)
+    : name_(std::move(name)), freeAt_(std::max(1u, servers), 0)
+{
+}
+
+Cycle
+ServerPool::acquire(Cycle now, Cycle service)
+{
+    auto it = std::min_element(freeAt_.begin(), freeAt_.end());
+    const Cycle start = std::max(now, *it);
+    const Cycle done = start + service;
+    *it = done;
+    ++requests_;
+    busy_ += service;
+    queueDelay_ += start - now;
+    return done;
+}
+
+void
+ServerPool::reset()
+{
+    std::fill(freeAt_.begin(), freeAt_.end(), 0);
+    requests_ = 0;
+    busy_ = 0;
+    queueDelay_ = 0;
+}
+
+}  // namespace grit::sim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental types shared across the GRIT simulator.
+ *
+ * The simulator advances a single global clock expressed in cycles of a
+ * 1 GHz core clock (1 cycle == 1 ns), matching the compute-unit clock in
+ * Table I of the paper.
+ */
+
+#ifndef GRIT_SIMCORE_TYPES_H_
+#define GRIT_SIMCORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace grit::sim {
+
+/** Simulation time in cycles of the 1 GHz core clock. */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "no time" / "never". */
+inline constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/** Virtual page number (address / page size). */
+using PageId = std::uint64_t;
+
+/** Byte address in the unified virtual address space. */
+using Address = std::uint64_t;
+
+/**
+ * GPU identifier. GPUs are numbered from zero; the host CPU (which runs
+ * the UVM driver and owns host memory) is kHostId.
+ */
+using GpuId = std::int32_t;
+
+/** Identifier of the host CPU in routing and ownership records. */
+inline constexpr GpuId kHostId = -1;
+
+/** Invalid / unassigned GPU. */
+inline constexpr GpuId kNoGpu = -2;
+
+/** Default small page size (bytes). */
+inline constexpr std::uint64_t kPageSize4K = 4096;
+
+/** Large page size (bytes) used in the Section VI-B3 sensitivity study. */
+inline constexpr std::uint64_t kPageSize2M = 2 * 1024 * 1024;
+
+/** Cache line size (bytes). */
+inline constexpr std::uint64_t kLineSize = 64;
+
+/** Access-counter tracking granularity (bytes): 64 KB page groups. */
+inline constexpr std::uint64_t kCounterGroupBytes = 64 * 1024;
+
+}  // namespace grit::sim
+
+#endif  // GRIT_SIMCORE_TYPES_H_

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Named statistic counters collected during a simulation run.
+ *
+ * Simulator components hold references into a StatSet owned by the run,
+ * so that a fresh run starts from zeroed statistics without global state.
+ */
+
+#ifndef GRIT_STATS_COUNTERS_H_
+#define GRIT_STATS_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace grit::stats {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A registry of counters addressed by name.
+ *
+ * Lookup creates on first use; iteration is in name order so printed
+ * reports are stable.
+ */
+class StatSet
+{
+  public:
+    /** Get (or create) the counter named @p name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Read a counter; zero if it was never touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All (name, value) pairs in name order. */
+    std::vector<std::pair<std::string, std::uint64_t>> items() const;
+
+    /** Zero every counter. */
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+}  // namespace grit::stats
+
+#endif  // GRIT_STATS_COUNTERS_H_

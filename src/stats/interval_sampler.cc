@@ -1,0 +1,53 @@
+#include "stats/interval_sampler.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace grit::stats {
+
+IntervalSampler::IntervalSampler(sim::Cycle interval_cycles, unsigned keys)
+    : intervalCycles_(interval_cycles), keys_(keys)
+{
+    assert(intervalCycles_ > 0);
+    assert(keys_ > 0);
+}
+
+void
+IntervalSampler::record(sim::Cycle now, unsigned key, std::uint64_t n)
+{
+    assert(key < keys_);
+    const std::size_t interval =
+        static_cast<std::size_t>(now / intervalCycles_);
+    if (interval >= cells_.size())
+        cells_.resize(interval + 1, std::vector<std::uint64_t>(keys_, 0));
+    cells_[interval][key] += n;
+}
+
+std::uint64_t
+IntervalSampler::get(std::size_t interval, unsigned key) const
+{
+    if (interval >= cells_.size() || key >= keys_)
+        return 0;
+    return cells_[interval][key];
+}
+
+std::uint64_t
+IntervalSampler::intervalTotal(std::size_t interval) const
+{
+    if (interval >= cells_.size())
+        return 0;
+    const auto &row = cells_[interval];
+    return std::accumulate(row.begin(), row.end(), std::uint64_t{0});
+}
+
+double
+IntervalSampler::fraction(std::size_t interval, unsigned key) const
+{
+    const std::uint64_t total = intervalTotal(interval);
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(get(interval, key)) /
+           static_cast<double>(total);
+}
+
+}  // namespace grit::stats

@@ -1,0 +1,36 @@
+#include "stats/latency_breakdown.h"
+
+#include <numeric>
+
+namespace grit::stats {
+
+const char *
+latencyKindName(LatencyKind kind)
+{
+    switch (kind) {
+      case LatencyKind::kLocal:           return "Local";
+      case LatencyKind::kHost:            return "Host";
+      case LatencyKind::kPageMigration:   return "Page-migration";
+      case LatencyKind::kRemoteAccess:    return "Remote-access";
+      case LatencyKind::kPageDuplication: return "Page-duplication";
+      case LatencyKind::kWriteCollapse:   return "Write-collapse";
+    }
+    return "?";
+}
+
+sim::Cycle
+LatencyBreakdown::total() const
+{
+    return std::accumulate(cycles_.begin(), cycles_.end(), sim::Cycle{0});
+}
+
+double
+LatencyBreakdown::fraction(LatencyKind kind) const
+{
+    const sim::Cycle sum = total();
+    if (sum == 0)
+        return 0.0;
+    return static_cast<double>(get(kind)) / static_cast<double>(sum);
+}
+
+}  // namespace grit::stats

@@ -1,0 +1,39 @@
+#include "stats/summary.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace grit::stats {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        assert(x > 0.0);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+speedup(double base, double test)
+{
+    assert(test > 0.0);
+    return base / test;
+}
+
+}  // namespace grit::stats

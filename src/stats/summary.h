@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small numeric summary helpers (means, speedups) used when reporting
+ * experiment results. The paper reports arithmetic-average improvements
+ * of per-application normalized speedups; we provide both arithmetic and
+ * geometric means so EXPERIMENTS.md can quote either.
+ */
+
+#ifndef GRIT_STATS_SUMMARY_H_
+#define GRIT_STATS_SUMMARY_H_
+
+#include <vector>
+
+namespace grit::stats {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for an empty input. @pre all xs > 0 */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Speedup of @p test over @p base given execution times
+ * (base_time / test_time). @pre test > 0
+ */
+double speedup(double base, double test);
+
+}  // namespace grit::stats
+
+#endif  // GRIT_STATS_SUMMARY_H_

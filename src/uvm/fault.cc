@@ -1,0 +1,34 @@
+#include "uvm/fault.h"
+
+namespace grit::uvm {
+
+sim::Cycle
+FaultCoalescer::inflight(sim::GpuId gpu, sim::PageId page, sim::Cycle now)
+{
+    const std::uint64_t k = key(gpu, page);
+    auto it = inflight_.find(k);
+    if (it == inflight_.end())
+        return sim::kCycleMax;
+    if (it->second <= now) {
+        inflight_.erase(it);  // episode finished; next fault is fresh
+        return sim::kCycleMax;
+    }
+    ++coalesced_;
+    return it->second;
+}
+
+void
+FaultCoalescer::record(sim::GpuId gpu, sim::PageId page,
+                       sim::Cycle completion)
+{
+    inflight_[key(gpu, page)] = completion;
+}
+
+void
+FaultCoalescer::reset()
+{
+    inflight_.clear();
+    coalesced_ = 0;
+}
+
+}  // namespace grit::uvm

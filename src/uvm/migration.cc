@@ -1,0 +1,342 @@
+/**
+ * @file
+ * UvmDriver mechanics: page migration, duplication, write collapse,
+ * replica drops, remote-mapping shootdowns, and capacity evictions.
+ *
+ * Protocol steps follow paper Section II-B: invalidations flush the
+ * in-flight pipeline, caches, and TLBs of the GPUs holding the page
+ * before data moves; transfers occupy the NVLink/PCIe fabric.
+ */
+
+#include <algorithm>
+#include <cassert>
+
+#include "uvm/uvm_driver.h"
+
+namespace grit::uvm {
+
+sim::Cycle
+UvmDriver::invalidateRemoteMappings(sim::PageId page, sim::Cycle now)
+{
+    PageInfo &info = directory_.info(page);
+    sim::Cycle done = now;
+    for (sim::GpuId mapper : info.remoteMappers) {
+        gpu::Gpu &g = gpuAt(mapper);
+        g.pageTable().invalidate(page);
+        g.invalidatePage(page);
+        sim::Cycle t = fabric_.message(now, sim::kHostId, mapper,
+                                       config_.messageBytes);
+        t += config_.invalidatePteCycles;
+        t = fabric_.message(t, mapper, sim::kHostId, config_.messageBytes);
+        done = std::max(done, t);
+        stats_.counter("uvm.remote_invalidations").inc();
+    }
+    info.remoteMappers.clear();
+    return done;
+}
+
+sim::Cycle
+UvmDriver::dropReplicas(sim::PageId page, sim::Cycle now,
+                        stats::LatencyKind kind)
+{
+    PageInfo &info = directory_.info(page);
+    sim::Cycle done = now;
+    for (sim::GpuId holder : info.replicas) {
+        gpu::Gpu &g = gpuAt(holder);
+        sim::Cycle t = fabric_.message(now, sim::kHostId, holder,
+                                       config_.messageBytes);
+        t = g.flushForInvalidation(t, drainCost());
+        g.pageTable().invalidate(page);
+        g.dram().erase(page);
+        t = fabric_.message(t, holder, sim::kHostId, config_.messageBytes);
+        done = std::max(done, t);
+        stats_.counter("uvm.replica_invalidations").inc();
+    }
+    info.replicas.clear();
+
+    // With no replicas left the owner's copy is exclusive again.
+    if (info.owner >= 0) {
+        gpu::Gpu &owner = gpuAt(info.owner);
+        if (mem::PteRecord *rec = owner.pageTable().find(page)) {
+            if (rec->pte.valid()) {
+                rec->pte.setWritable(true);
+                rec->readOnlyReplica = false;
+            }
+        }
+    }
+    breakdown_.add(kind, done - now);
+    return done;
+}
+
+sim::Cycle
+UvmDriver::handleEviction(sim::GpuId gpu, const mem::Eviction &victim,
+                          sim::Cycle now, stats::LatencyKind kind)
+{
+    PageInfo &info = directory_.info(victim.page);
+    gpu::Gpu &g = gpuAt(gpu);
+    g.pageTable().invalidate(victim.page);
+    g.invalidatePage(victim.page);
+
+    if (victim.kind == mem::FrameKind::kReplica) {
+        // A dropped replica loses nothing: the owner still has the data.
+        info.removeReplica(gpu);
+        stats_.counter("uvm.replica_evictions").inc();
+        if (info.replicas.empty() && info.owner >= 0 &&
+            info.owner != gpu) {
+            gpu::Gpu &owner = gpuAt(info.owner);
+            if (mem::PteRecord *rec = owner.pageTable().find(victim.page)) {
+                if (rec->pte.valid()) {
+                    rec->pte.setWritable(true);
+                    rec->readOnlyReplica = false;
+                }
+            }
+        }
+        return now + config_.invalidatePteCycles;
+    }
+
+    // An owned page was evicted; translations to this copy are stale.
+    stats_.counter("uvm.owner_evictions").inc();
+    now = invalidateRemoteMappings(victim.page, now);
+    while (!info.replicas.empty()) {
+        // Promote a replica to be the new authoritative copy, dropping
+        // any stale directory entries whose frames are already gone.
+        const sim::GpuId heir = info.replicas.front();
+        info.removeReplica(heir);
+        if (heir == gpu || !gpuAt(heir).dram().resident(victim.page)) {
+            stats_.counter("uvm.stale_replica_entries").inc();
+            continue;
+        }
+        info.owner = heir;
+        gpuAt(heir).dram().setKind(victim.page, mem::FrameKind::kOwned);
+        // The heir's mapping stays write-protected while other replicas
+        // remain; refresh its record to owned-local.
+        const bool write_protected = !info.replicas.empty();
+        gpuAt(heir).pageTable().install(victim.page,
+                                        mem::MappingKind::kLocal, heir,
+                                        !write_protected, write_protected);
+        return now + config_.invalidatePteCycles;
+    }
+
+    // Spill to host memory. Clean pages drop without a writeback; the
+    // spill time folds into the span the caller charges to @p kind.
+    (void)kind;
+    stats_.counter("uvm.spills").inc();
+    sim::Cycle t = now;
+    if (info.dirty) {
+        t = fabric_.transfer(now, gpu, sim::kHostId, config_.pageSize);
+        info.dirty = false;
+        stats_.counter("uvm.spill_writebacks").inc();
+    }
+    info.owner = sim::kHostId;
+    return t;
+}
+
+sim::Cycle
+UvmDriver::allocateFrame(sim::GpuId to, sim::PageId page,
+                         mem::FrameKind frame_kind, sim::Cycle now,
+                         stats::LatencyKind kind)
+{
+    gpu::Gpu &g = gpuAt(to);
+    if (g.dram().resident(page)) {
+        g.dram().touch(page);
+        g.dram().setKind(page, frame_kind);
+        return now;
+    }
+    const std::optional<mem::Eviction> victim =
+        g.dram().insert(page, frame_kind);
+    if (victim.has_value())
+        now = handleEviction(to, *victim, now, kind);
+    return now;
+}
+
+sim::Cycle
+UvmDriver::migratePage(sim::PageId page, sim::GpuId to, sim::Cycle now,
+                       stats::LatencyKind kind)
+{
+    PageInfo &info = directory_.info(page);
+    const sim::GpuId from = info.owner;
+    const sim::Cycle start = now;
+
+    if (from == to && gpuAt(to).dram().resident(page)) {
+        // Data is already here; only the translation needs repair.
+        return refillMapping(page, to, now);
+    }
+
+    sim::Cycle t = now;
+    // Any duplication replicas become stale once the page moves.
+    if (!info.replicas.empty())
+        t = dropReplicas(page, t, kind);
+    // Remote translations point at the old copy; shoot them down.
+    t = std::max(t, invalidateRemoteMappings(page, t));
+
+    // Invalidate and flush the previous owner.
+    if (from >= 0) {
+        gpu::Gpu &owner = gpuAt(from);
+        sim::Cycle f = fabric_.message(t, sim::kHostId, from,
+                                       config_.messageBytes);
+        f = owner.flushForInvalidation(f, drainCost());
+        owner.pageTable().invalidate(page);
+        owner.dram().erase(page);
+        t = fabric_.message(f, from, sim::kHostId, config_.messageBytes);
+    }
+
+    // Move the data and allocate the destination frame.
+    t = fabric_.transfer(t, from, to, config_.pageSize);
+    t = allocateFrame(to, page, mem::FrameKind::kOwned, t, kind);
+
+    info.owner = to;
+    info.touched = true;
+    gpuAt(to).pageTable().install(page, mem::MappingKind::kLocal, to,
+                                  /*writable=*/true);
+    t += config_.remapCycles;
+
+    breakdown_.add(kind, t - start);
+    stats_.counter(from >= 0 ? "uvm.migrations" : "uvm.host_migrations")
+        .inc();
+    notifyPlaced(to, page, t);
+    return t;
+}
+
+sim::Cycle
+UvmDriver::duplicatePage(sim::PageId page, sim::GpuId to, sim::Cycle now,
+                         bool writable_replicas)
+{
+    PageInfo &info = directory_.info(page);
+    const sim::GpuId from = info.owner;
+    const sim::Cycle start = now;
+    assert(from != to && !info.hasReplica(to));
+
+    // If `to` had a remote mapping it is superseded by the replica.
+    if (info.hasRemoteMapper(to))
+        info.removeRemoteMapper(to);
+
+    sim::Cycle t = fabric_.transfer(now, from, to, config_.pageSize);
+    t = allocateFrame(to, page, mem::FrameKind::kReplica, t,
+                      stats::LatencyKind::kPageDuplication);
+
+    gpuAt(to).pageTable().install(page, mem::MappingKind::kLocal, to,
+                                  /*writable=*/writable_replicas,
+                                  /*read_only_replica=*/!writable_replicas);
+
+    // The first replica write-protects the owner's copy so any write
+    // raises a page-protection fault (Section II-B3). GPS-style
+    // subscriptions skip this: stores broadcast instead of collapsing.
+    if (!writable_replicas && info.replicas.empty() && from >= 0) {
+        gpu::Gpu &owner = gpuAt(from);
+        sim::Cycle p = fabric_.message(t, sim::kHostId, from,
+                                       config_.messageBytes);
+        p += config_.invalidatePteCycles;
+        if (mem::PteRecord *rec = owner.pageTable().find(page)) {
+            if (rec->pte.valid()) {
+                rec->pte.setWritable(false);
+                rec->readOnlyReplica = true;
+            }
+        }
+        owner.invalidatePage(page);  // drop stale writable TLB entries
+        t = std::max(t, p);
+    }
+
+    info.addReplica(to);
+    info.touched = true;
+    t += config_.remapCycles;
+
+    breakdown_.add(stats::LatencyKind::kPageDuplication, t - start);
+    stats_.counter("uvm.duplications").inc();
+    notifyPlaced(to, page, t);
+    return t;
+}
+
+sim::Cycle
+UvmDriver::prefetchPage(sim::PageId page, sim::GpuId gpu, sim::Cycle now)
+{
+    PageInfo &info = directory_.info(page);
+    if (info.owner != sim::kHostId)
+        return now;  // only host-resident pages are prefetch targets
+    // Translations to the host copy go stale once the page moves.
+    invalidateRemoteMappings(page, now);
+    const sim::Cycle t0 =
+        fabric_.transfer(now, sim::kHostId, gpu, config_.pageSize);
+    const sim::Cycle t = allocateFrame(gpu, page, mem::FrameKind::kOwned,
+                                       t0, stats::LatencyKind::kHost);
+    // If the requester held a replica, that frame just became the
+    // authoritative copy; it must leave the replica list.
+    info.removeReplica(gpu);
+    info.owner = gpu;
+    info.touched = true;
+    // Surviving replicas keep the page write-protected.
+    const bool write_protected = !info.replicas.empty();
+    gpuAt(gpu).pageTable().install(page, mem::MappingKind::kLocal, gpu,
+                                   /*writable=*/!write_protected,
+                                   /*read_only_replica=*/write_protected);
+    stats_.counter("uvm.prefetches").inc();
+    // Background transfer: occupies bandwidth, charges no fault latency.
+    return t;
+}
+
+sim::Cycle
+UvmDriver::collapsePage(sim::PageId page, sim::GpuId writer, sim::Cycle now)
+{
+    PageInfo &info = directory_.info(page);
+    const sim::GpuId old_owner = info.owner;
+    const sim::Cycle start = now;
+
+    // Invalidate every holder except the writer: replica holders and
+    // the old owner flush pipelines, caches, and TLBs (Section II-B3).
+    sim::Cycle t = now;
+    std::vector<sim::GpuId> holders = info.replicas;
+    if (old_owner >= 0 && old_owner != writer)
+        holders.push_back(old_owner);
+    for (sim::GpuId holder : holders) {
+        if (holder == writer)
+            continue;
+        gpu::Gpu &g = gpuAt(holder);
+        sim::Cycle h = fabric_.message(now, sim::kHostId, holder,
+                                       config_.messageBytes);
+        h = g.flushForInvalidation(h, drainCost());
+        g.pageTable().invalidate(page);
+        g.dram().erase(page);
+        h = fabric_.message(h, holder, sim::kHostId, config_.messageBytes);
+        t = std::max(t, h);
+    }
+
+    // Remote translations also referenced the collapsed copy.
+    t = std::max(t, invalidateRemoteMappings(page, t));
+
+    const bool writer_had_replica = info.hasReplica(writer);
+    info.replicas.clear();
+
+    if (writer_had_replica) {
+        gpuAt(writer).dram().setKind(page, mem::FrameKind::kOwned);
+        gpuAt(writer).dram().touch(page);
+    } else if (old_owner != writer) {
+        // The writer has no copy: fetch the authoritative data.
+        t = fabric_.transfer(t, old_owner, writer, config_.pageSize);
+        t = allocateFrame(writer, page, mem::FrameKind::kOwned, t,
+                          stats::LatencyKind::kWriteCollapse);
+    } else {
+        gpuAt(writer).dram().touch(page);
+    }
+
+    info.owner = writer;
+    info.touched = true;
+    gpuAt(writer).pageTable().install(page, mem::MappingKind::kLocal,
+                                      writer, /*writable=*/true);
+    t += config_.remapCycles;
+
+    breakdown_.add(stats::LatencyKind::kWriteCollapse, t - start);
+    stats_.counter("uvm.collapses").inc();
+    notifyPlaced(writer, page, t);
+    return t;
+}
+
+sim::Cycle
+UvmDriver::resetDuplication(sim::PageId page, sim::Cycle now)
+{
+    PageInfo &info = directory_.info(page);
+    if (info.replicas.empty())
+        return now;
+    stats_.counter("uvm.scheme_reset_collapses").inc();
+    return dropReplicas(page, now, stats::LatencyKind::kWriteCollapse);
+}
+
+}  // namespace grit::uvm

@@ -1,0 +1,91 @@
+#include "uvm/replica_directory.h"
+
+#include <algorithm>
+
+namespace grit::uvm {
+
+namespace {
+
+bool
+contains(const std::vector<sim::GpuId> &xs, sim::GpuId gpu)
+{
+    return std::find(xs.begin(), xs.end(), gpu) != xs.end();
+}
+
+void
+removeFrom(std::vector<sim::GpuId> &xs, sim::GpuId gpu)
+{
+    xs.erase(std::remove(xs.begin(), xs.end(), gpu), xs.end());
+}
+
+}  // namespace
+
+bool
+PageInfo::hasReplica(sim::GpuId gpu) const
+{
+    return contains(replicas, gpu);
+}
+
+bool
+PageInfo::hasRemoteMapper(sim::GpuId gpu) const
+{
+    return contains(remoteMappers, gpu);
+}
+
+void
+PageInfo::addReplica(sim::GpuId gpu)
+{
+    if (!hasReplica(gpu))
+        replicas.push_back(gpu);
+}
+
+void
+PageInfo::removeReplica(sim::GpuId gpu)
+{
+    removeFrom(replicas, gpu);
+}
+
+void
+PageInfo::addRemoteMapper(sim::GpuId gpu)
+{
+    if (!hasRemoteMapper(gpu))
+        remoteMappers.push_back(gpu);
+}
+
+void
+PageInfo::removeRemoteMapper(sim::GpuId gpu)
+{
+    removeFrom(remoteMappers, gpu);
+}
+
+const PageInfo *
+ReplicaDirectory::find(sim::PageId page) const
+{
+    auto it = pages_.find(page);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+sim::GpuId
+ReplicaDirectory::ownerOf(sim::PageId page) const
+{
+    const PageInfo *info = find(page);
+    return info ? info->owner : sim::kHostId;
+}
+
+bool
+ReplicaDirectory::touched(sim::PageId page) const
+{
+    const PageInfo *info = find(page);
+    return info != nullptr && info->touched;
+}
+
+std::uint64_t
+ReplicaDirectory::totalReplicas() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[page, info] : pages_)
+        total += info.replicas.size();
+    return total;
+}
+
+}  // namespace grit::uvm

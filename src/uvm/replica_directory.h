@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Authoritative per-page residency directory kept by the UVM driver.
+ *
+ * For every virtual page the directory records the owner of the
+ * up-to-date copy (a GPU, or the host after a capacity spill), the set
+ * of read-only duplication replicas, the set of GPUs holding remote
+ * translations (which must be shot down when the page moves), and
+ * whether the page has ever been touched.
+ */
+
+#ifndef GRIT_UVM_REPLICA_DIRECTORY_H_
+#define GRIT_UVM_REPLICA_DIRECTORY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/types.h"
+
+namespace grit::uvm {
+
+/** Residency record of one virtual page. */
+struct PageInfo
+{
+    /** Processor holding the authoritative copy. */
+    sim::GpuId owner = sim::kHostId;
+    /** GPUs holding read-only duplication replicas (never the owner). */
+    std::vector<sim::GpuId> replicas;
+    /** GPUs holding remote translations to the owner's copy. */
+    std::vector<sim::GpuId> remoteMappers;
+    /** Page has been touched by some GPU at least once. */
+    bool touched = false;
+    /**
+     * Owner's copy diverges from the host copy (written since the last
+     * placement). Clean pages evict without a writeback transfer.
+     */
+    bool dirty = false;
+
+    bool hasReplica(sim::GpuId gpu) const;
+    bool hasRemoteMapper(sim::GpuId gpu) const;
+    void addReplica(sim::GpuId gpu);
+    void removeReplica(sim::GpuId gpu);
+    void addRemoteMapper(sim::GpuId gpu);
+    void removeRemoteMapper(sim::GpuId gpu);
+};
+
+/** Directory over all pages; absent pages are untouched host pages. */
+class ReplicaDirectory
+{
+  public:
+    /** Mutable record, created on first use. */
+    PageInfo &info(sim::PageId page) { return pages_[page]; }
+
+    /** Read-only lookup; nullptr when the page was never recorded. */
+    const PageInfo *find(sim::PageId page) const;
+
+    /** Owner of @p page (kHostId when unrecorded). */
+    sim::GpuId ownerOf(sim::PageId page) const;
+
+    /** True when some GPU has touched @p page. */
+    bool touched(sim::PageId page) const;
+
+    /** Total replicas alive across all pages (oversubscription metric). */
+    std::uint64_t totalReplicas() const;
+
+    std::size_t size() const { return pages_.size(); }
+
+    void clear() { pages_.clear(); }
+
+  private:
+    std::unordered_map<sim::PageId, PageInfo> pages_;
+};
+
+}  // namespace grit::uvm
+
+#endif  // GRIT_UVM_REPLICA_DIRECTORY_H_

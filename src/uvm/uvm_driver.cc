@@ -1,0 +1,254 @@
+#include "uvm/uvm_driver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace grit::uvm {
+
+namespace {
+
+/** Latency category a cold (first-touch) placement is charged to. */
+stats::LatencyKind
+coldKind(policy::FaultAction action)
+{
+    switch (action) {
+      case policy::FaultAction::kDuplicate:
+      case policy::FaultAction::kSubscribe:
+        return stats::LatencyKind::kPageDuplication;
+      case policy::FaultAction::kIdealLocal:
+        return stats::LatencyKind::kHost;
+      case policy::FaultAction::kMigrate:
+      case policy::FaultAction::kMapRemote:
+        return stats::LatencyKind::kPageMigration;
+    }
+    return stats::LatencyKind::kPageMigration;
+}
+
+}  // namespace
+
+UvmDriver::UvmDriver(const UvmConfig &config, ic::Fabric &fabric,
+                     std::vector<gpu::Gpu *> gpus, stats::StatSet &stats,
+                     stats::LatencyBreakdown &breakdown)
+    : config_(config),
+      fabric_(fabric),
+      gpus_(std::move(gpus)),
+      stats_(stats),
+      breakdown_(breakdown),
+      servers_("uvm.servers", config.servers),
+      hostMem_("uvm.hostmem", config.hostMemGBs)
+{
+    assert(!gpus_.empty());
+}
+
+void
+UvmDriver::setPolicy(policy::PlacementPolicy *policy)
+{
+    policy_ = policy;
+    if (policy_ != nullptr)
+        policy_->attach(*this);
+}
+
+gpu::Gpu &
+UvmDriver::gpuAt(sim::GpuId id)
+{
+    assert(id >= 0 && static_cast<std::size_t>(id) < gpus_.size());
+    return *gpus_[static_cast<std::size_t>(id)];
+}
+
+std::uint64_t
+UvmDriver::totalFaults() const
+{
+    return stats_.get("uvm.local_faults") +
+           stats_.get("uvm.protection_faults");
+}
+
+sim::Cycle
+UvmDriver::hostMemAccess(sim::Cycle now, std::uint64_t bytes)
+{
+    return hostMem_.acquire(now, bytes) + config_.hostMemAccessCycles;
+}
+
+FaultOutcome
+UvmDriver::handleFault(sim::GpuId gpu, sim::PageId page, bool write,
+                       bool protection_fault, sim::Cycle now)
+{
+    assert(policy_ != nullptr && "no placement policy attached");
+
+    // Faults for a page already being serviced for this GPU coalesce
+    // onto the in-flight episode, as the GMMU fault queues do.
+    const sim::Cycle pending = coalescer_.inflight(gpu, page, now);
+    if (pending != sim::kCycleMax) {
+        stats_.counter("uvm.coalesced_faults").inc();
+        return FaultOutcome{pending, true};
+    }
+
+    stats_
+        .counter(protection_fault ? "uvm.protection_faults"
+                                  : "uvm.local_faults")
+        .inc();
+
+    PageInfo &info = directory_.info(page);
+    const bool cold = !info.touched;
+
+    policy::FaultInfo fi;
+    fi.gpu = gpu;
+    fi.page = page;
+    fi.write = write;
+    fi.protectionFault = protection_fault;
+    fi.coldTouch = cold;
+    fi.owner = info.owner;
+    fi.replicaCount = static_cast<unsigned>(info.replicas.size());
+
+    const policy::FaultAction action = policy_->onFault(fi, now);
+    const sim::Cycle overhead = policy_->faultOverhead(fi, now);
+
+    // Trans-FW short-circuit: a non-cold read fault resolving to a
+    // remote mapping fetches the translation from the owning GPU over
+    // NVLink instead of round-tripping through the host driver.
+    if (config_.transFw && !cold && !protection_fault &&
+        action == policy::FaultAction::kMapRemote && info.owner >= 0 &&
+        info.owner != gpu) {
+        sim::Cycle at = fabric_.message(now, gpu, info.owner,
+                                        config_.messageBytes);
+        at += config_.transFwCycles + overhead;
+        at = fabric_.message(at, info.owner, gpu, config_.messageBytes);
+        const sim::Cycle done = mapRemote(page, gpu, at);
+        breakdown_.add(stats::LatencyKind::kHost, done - now);
+        stats_.counter("uvm.transfw_forwards").inc();
+        coalescer_.record(gpu, page, done);
+        return FaultOutcome{done, false};
+    }
+
+    // Fault descriptor to the host, driver software servicing (plus any
+    // policy machinery such as GRIT's PA-Table lookup).
+    sim::Cycle at = fabric_.message(now, gpu, sim::kHostId,
+                                    config_.messageBytes);
+    // A write that must invalidate live copies elsewhere (replicas, or
+    // an owner losing the page) is a true write collapse and costs the
+    // driver the full invalidate-everyone coordination; a write fault
+    // on a spilled page with no other holders is just a placement.
+    sim::Cycle service = config_.serviceCycles + overhead;
+    const bool other_holders =
+        fi.replicaCount > 0 || (info.owner >= 0 && info.owner != gpu);
+    const bool collapses =
+        protection_fault ||
+        (!cold && write && action == policy::FaultAction::kDuplicate &&
+         other_holders);
+    if (collapses)
+        service += config_.collapseServiceCycles;
+    at = servers_.acquire(at, service);
+    breakdown_.add(stats::LatencyKind::kHost, at - now);
+
+    sim::Cycle done = at;
+    if (protection_fault) {
+        done = collapsePage(page, gpu, at);
+    } else if (cold) {
+        // First touch anywhere: the page comes from host memory under
+        // every scheme; only the charged category differs.
+        stats_.counter("uvm.cold_migrations").inc();
+        done = migratePage(page, gpu, at, coldKind(action));
+    } else {
+        switch (action) {
+          case policy::FaultAction::kMigrate:
+            done = migratePage(page, gpu, at,
+                               stats::LatencyKind::kPageMigration);
+            break;
+          case policy::FaultAction::kMapRemote:
+            if (info.owner == gpu)
+                done = refillMapping(page, gpu, at);
+            else
+                done = mapRemote(page, gpu, at);
+            break;
+          case policy::FaultAction::kDuplicate:
+            if (write)
+                done = collapsePage(page, gpu, at);
+            else if (info.owner == gpu || info.hasReplica(gpu))
+                done = refillMapping(page, gpu, at);
+            else
+                done = duplicatePage(page, gpu, at);
+            break;
+          case policy::FaultAction::kSubscribe:
+            if (info.owner == gpu || info.hasReplica(gpu)) {
+                // GPS replicas stay writable; just repair the mapping.
+                gpuAt(gpu).pageTable().install(
+                    page, mem::MappingKind::kLocal, gpu,
+                    /*writable=*/true);
+                gpuAt(gpu).dram().touch(page);
+                stats_.counter("uvm.refills").inc();
+                done = at + config_.remapCycles;
+            } else {
+                done = duplicatePage(page, gpu, at,
+                                     /*writable_replicas=*/true);
+            }
+            break;
+          case policy::FaultAction::kIdealLocal:
+            gpuAt(gpu).pageTable().install(page, mem::MappingKind::kLocal,
+                                           gpu, /*writable=*/true);
+            done = at;
+            break;
+        }
+    }
+
+    // The replayed write will dirty the page as soon as it retires.
+    if (write)
+        info.dirty = true;
+
+    // Fault replay notification back to the GPU.
+    done = fabric_.message(done, sim::kHostId, gpu, config_.messageBytes);
+    coalescer_.record(gpu, page, done);
+    return FaultOutcome{done, false};
+}
+
+sim::Cycle
+UvmDriver::mapRemote(sim::PageId page, sim::GpuId gpu, sim::Cycle now)
+{
+    PageInfo &info = directory_.info(page);
+    assert(info.owner != gpu);
+    gpuAt(gpu).pageTable().install(page, mem::MappingKind::kRemote,
+                                   info.owner, /*writable=*/true);
+    info.addRemoteMapper(gpu);
+    stats_.counter("uvm.remote_maps").inc();
+    return now + config_.remapCycles;
+}
+
+sim::Cycle
+UvmDriver::refillMapping(sim::PageId page, sim::GpuId gpu, sim::Cycle now)
+{
+    PageInfo &info = directory_.info(page);
+    const bool replica = info.hasReplica(gpu);
+    const bool write_protected =
+        replica || (info.owner == gpu && !info.replicas.empty());
+    gpuAt(gpu).pageTable().install(page, mem::MappingKind::kLocal, gpu,
+                                   /*writable=*/!write_protected,
+                                   /*read_only_replica=*/write_protected);
+    gpuAt(gpu).dram().touch(page);
+    stats_.counter("uvm.refills").inc();
+    return now + config_.remapCycles;
+}
+
+sim::Cycle
+UvmDriver::counterMigration(sim::GpuId gpu, sim::PageId page,
+                            sim::Cycle now)
+{
+    const unsigned group_pages = gpuAt(gpu).counters().pagesPerGroup();
+    const sim::PageId base = mem::groupBase(page, group_pages);
+
+    sim::Cycle done = now;
+    unsigned migrated = 0;
+    for (unsigned i = 0; i < group_pages; ++i) {
+        const sim::PageId p = base + i;
+        const PageInfo *info = directory_.find(p);
+        if (info == nullptr || !info->touched || info->owner == gpu)
+            continue;
+        if (policy_ != nullptr && !policy_->countsRemote(p))
+            continue;
+        done = std::max(done,
+                        migratePage(p, gpu, now,
+                                    stats::LatencyKind::kPageMigration));
+        ++migrated;
+    }
+    stats_.counter("uvm.counter_migrations").inc(migrated);
+    return done;
+}
+
+}  // namespace grit::uvm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The paper's eight applications (Table II) as synthetic trace
+ * generators.
+ *
+ * Real OpenCL binaries are unavailable offline, so each generator is
+ * built from the paper's published characterization of the application:
+ * Table II's access archetype and footprint, Figure 4's private/shared
+ * mix, Figure 5's temporal sharing behaviour, Figure 9's read/read-write
+ * mix, and Figure 10's phase changes. Footprints are scaled down by
+ * `WorkloadParams::footprintDivisor` (default 16) to keep simulations
+ * fast while preserving thousands of pages; DESIGN.md documents the
+ * substitution.
+ */
+
+#ifndef GRIT_WORKLOAD_APPS_H_
+#define GRIT_WORKLOAD_APPS_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace grit::workload {
+
+/** Table II applications. */
+enum class AppId { kBfs, kBs, kC2d, kFir, kGemm, kMm, kSc, kSt };
+
+/** All eight applications in Table II order. */
+inline constexpr std::array<AppId, 8> kAllApps = {
+    AppId::kBfs, AppId::kBs,   AppId::kC2d, AppId::kFir,
+    AppId::kGemm, AppId::kMm,  AppId::kSc,  AppId::kSt,
+};
+
+/** Static Table II metadata. */
+struct AppMeta
+{
+    const char *abbr;
+    const char *fullName;
+    const char *suite;
+    const char *pattern;
+    unsigned paperFootprintMB;
+};
+
+/** Metadata for @p app (Table II row). */
+const AppMeta &appMeta(AppId app);
+
+/** Parse a Table II abbreviation ("BFS", case-insensitive). */
+std::optional<AppId> appFromName(const std::string &name);
+
+/** Generation parameters. */
+struct WorkloadParams
+{
+    /** GPUs sharing the workload. */
+    unsigned numGpus = 4;
+    /**
+     * Footprint scale: generated 4 KB pages =
+     * paperFootprintMB * 256 / footprintDivisor.
+     */
+    unsigned footprintDivisor = 16;
+    /** Deterministic RNG seed. */
+    std::uint64_t seed = 1;
+    /** Multiplies iteration counts (trace length). */
+    double intensity = 1.0;
+};
+
+/** Generate the trace for @p app. */
+Workload makeWorkload(AppId app, const WorkloadParams &params = {});
+
+}  // namespace grit::workload
+
+#endif  // GRIT_WORKLOAD_APPS_H_

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Offline trace characterization backing the paper's Section IV
+ * figures: private/shared and read/read-write page classification
+ * (Figs. 4 and 9), per-page temporal access distributions (Figs. 5 and
+ * 10), attribute maps over time (Figs. 6-8), and the neighboring-page
+ * similarity metric motivating Neighboring-Aware Prediction.
+ *
+ * Time is approximated by access index: each GPU's trace is divided
+ * into equal-count chunks, and chunk i across all GPUs forms interval i
+ * (the paper samples one-million-cycle wall-clock intervals; equal-work
+ * intervals preserve the phase structure).
+ */
+
+#ifndef GRIT_WORKLOAD_CHARACTERIZER_H_
+#define GRIT_WORKLOAD_CHARACTERIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/types.h"
+#include "workload/trace.h"
+
+namespace grit::workload {
+
+/** Aggregate page/access classification (Figs. 4 and 9). */
+struct PageClassification
+{
+    std::uint64_t privatePages = 0;
+    std::uint64_t sharedPages = 0;
+    std::uint64_t accessesToPrivate = 0;
+    std::uint64_t accessesToShared = 0;
+    std::uint64_t readPages = 0;      //!< never written
+    std::uint64_t readWritePages = 0; //!< written at least once
+    std::uint64_t accessesToRead = 0;
+    std::uint64_t accessesToReadWrite = 0;
+
+    std::uint64_t totalPages() const { return privatePages + sharedPages; }
+    std::uint64_t
+    totalAccesses() const
+    {
+        return accessesToPrivate + accessesToShared;
+    }
+};
+
+/** Classify every touched page of @p w (4 KB granularity). */
+PageClassification classifyPages(const Workload &w);
+
+/** Per-page attribute within one interval (Figs. 6-8 cell values). */
+enum class PageAttr : std::uint8_t {
+    kUntouched = 0,
+    kPrivateRead,
+    kPrivateReadWrite,
+    kSharedRead,
+    kSharedReadWrite,
+};
+
+/** Printable attribute name. */
+const char *pageAttrName(PageAttr attr);
+
+/**
+ * Attribute map over time: result[interval][page] for all pages in
+ * [0, footprintPages4k).
+ */
+std::vector<std::vector<PageAttr>> attributesOverTime(const Workload &w,
+                                                      unsigned intervals);
+
+/**
+ * Fraction of adjacent same-interval page pairs (both touched) sharing
+ * the same attribute — the spatial-similarity observation of
+ * Section IV-C.
+ */
+double neighborSimilarity(
+    const std::vector<std::vector<PageAttr>> &attr_map);
+
+/**
+ * Per-interval, per-GPU access counts for one page (Fig. 5).
+ * result[interval][gpu].
+ */
+std::vector<std::vector<std::uint64_t>> pageGpuDistribution(
+    const Workload &w, sim::PageId page, unsigned intervals);
+
+/**
+ * Per-interval {reads, writes} for one page (Fig. 10).
+ * result[interval] = {reads, writes}.
+ */
+std::vector<std::pair<std::uint64_t, std::uint64_t>> pageRwDistribution(
+    const Workload &w, sim::PageId page, unsigned intervals);
+
+/** The shared page with the most accesses (a Fig. 5 / 10 subject). */
+sim::PageId mostAccessedSharedPage(const Workload &w);
+
+/** The read-write shared page with the most accesses. */
+sim::PageId mostAccessedSharedRwPage(const Workload &w);
+
+}  // namespace grit::workload
+
+#endif  // GRIT_WORKLOAD_CHARACTERIZER_H_

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * DNN model-parallel workloads (paper Section VI-F): VGG16 and ResNet18
+ * training with layers partitioned across GPUs.
+ *
+ * Each GPU owns a contiguous span of layers: its weights and gradients
+ * are private read-write data, while the activation (and activation-
+ * gradient) buffers at GPU boundaries are producer-consumer shared
+ * between neighboring GPUs in the forward and backward directions.
+ */
+
+#ifndef GRIT_WORKLOAD_DNN_H_
+#define GRIT_WORKLOAD_DNN_H_
+
+#include <cstdint>
+
+#include "workload/apps.h"
+#include "workload/trace.h"
+
+namespace grit::workload {
+
+/** The two DNN models of Figure 31. */
+enum class DnnModel { kVgg16, kResNet18 };
+
+/** Printable model name. */
+const char *dnnModelName(DnnModel model);
+
+/** Generate a model-parallel training trace for @p model. */
+Workload makeDnnWorkload(DnnModel model, const WorkloadParams &params = {});
+
+}  // namespace grit::workload
+
+#endif  // GRIT_WORKLOAD_DNN_H_

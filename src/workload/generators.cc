@@ -1,0 +1,89 @@
+#include "workload/generators.h"
+
+#include <cassert>
+
+namespace grit::workload {
+
+Region
+Region::slice(unsigned i, unsigned n) const
+{
+    assert(n > 0 && i < n);
+    const std::uint64_t base = pages / n;
+    const std::uint64_t extra = pages % n;
+    const std::uint64_t begin =
+        static_cast<std::uint64_t>(i) * base + std::min<std::uint64_t>(i, extra);
+    const std::uint64_t len = base + (i < extra ? 1 : 0);
+    return Region{firstPage + begin, len};
+}
+
+Region
+RegionAllocator::alloc(std::uint64_t pages)
+{
+    const Region region{next_, pages};
+    next_ += pages;
+    return region;
+}
+
+TraceBuilder::TraceBuilder(unsigned num_gpus, std::uint64_t seed)
+    : gpus_(num_gpus), rng_(seed), traces_(num_gpus)
+{
+    assert(num_gpus > 0);
+}
+
+void
+TraceBuilder::touch(unsigned gpu, sim::PageId page, bool write)
+{
+    assert(gpu < gpus_);
+    const unsigned line = static_cast<unsigned>(
+        rng_.below(sim::kPageSize4K / sim::kLineSize));
+    traces_[gpu].push_back(Access{pageLineAddr(page, line), write});
+}
+
+void
+TraceBuilder::touchLines(unsigned gpu, sim::PageId page, unsigned count,
+                         bool write)
+{
+    const unsigned lines_per_page =
+        static_cast<unsigned>(sim::kPageSize4K / sim::kLineSize);
+    for (unsigned i = 0; i < count; ++i) {
+        const unsigned line = i % lines_per_page;
+        traces_[gpu].push_back(Access{pageLineAddr(page, line), write});
+    }
+}
+
+void
+TraceBuilder::sweep(unsigned gpu, const Region &region, unsigned per_page,
+                    double write_prob)
+{
+    for (sim::PageId p = region.firstPage; p < region.endPage(); ++p) {
+        for (unsigned i = 0; i < per_page; ++i)
+            touch(gpu, p, rng_.chance(write_prob));
+    }
+}
+
+void
+TraceBuilder::randomAccesses(unsigned gpu, const Region &region,
+                             std::uint64_t count, double write_prob)
+{
+    assert(region.pages > 0);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const sim::PageId p = region.firstPage + rng_.below(region.pages);
+        touch(gpu, p, rng_.chance(write_prob));
+    }
+}
+
+void
+TraceBuilder::stridedPass(unsigned gpu, const Region &region,
+                          std::uint64_t start_offset, std::uint64_t stride,
+                          unsigned per_page, double write_prob)
+{
+    assert(stride > 0);
+    for (std::uint64_t off = start_offset; off < region.pages;
+         off += stride) {
+        const sim::PageId p = region.firstPage + off;
+        for (unsigned i = 0; i < per_page; ++i)
+            touch(gpu, p, rng_.chance(write_prob));
+    }
+}
+
+}  // namespace grit::workload

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Building blocks for synthetic trace generation.
+ *
+ * A TraceBuilder accumulates per-GPU streams; Region describes a
+ * contiguous range of logical 4 KB pages (the data structures the
+ * paper's Section IV-C ties attribute clustering to). Pattern helpers
+ * emit the paper's three access archetypes: sequential sweeps
+ * (adjacent), uniform random, and strided scatter-gather.
+ */
+
+#ifndef GRIT_WORKLOAD_GENERATORS_H_
+#define GRIT_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/rng.h"
+#include "simcore/types.h"
+#include "workload/trace.h"
+
+namespace grit::workload {
+
+/** A contiguous span of logical 4 KB pages. */
+struct Region
+{
+    sim::PageId firstPage = 0;
+    std::uint64_t pages = 0;
+
+    sim::PageId endPage() const { return firstPage + pages; }
+
+    /** Contiguous sub-slice [i/n, (i+1)/n) of the region. */
+    Region slice(unsigned i, unsigned n) const;
+
+    bool
+    contains(sim::PageId page) const
+    {
+        return page >= firstPage && page < endPage();
+    }
+};
+
+/** Allocates regions sequentially, mimicking consecutive mallocs. */
+class RegionAllocator
+{
+  public:
+    /** Reserve @p pages contiguous logical pages. */
+    Region alloc(std::uint64_t pages);
+
+    /** Total pages allocated so far (the workload footprint). */
+    std::uint64_t allocated() const { return next_; }
+
+  private:
+    sim::PageId next_ = 0;
+};
+
+/** Accumulates the per-GPU access streams of one workload. */
+class TraceBuilder
+{
+  public:
+    /**
+     * @param num_gpus GPUs in the system.
+     * @param seed     deterministic RNG seed.
+     */
+    TraceBuilder(unsigned num_gpus, std::uint64_t seed);
+
+    unsigned numGpus() const { return static_cast<unsigned>(gpus_); }
+
+    /** Append one access by @p gpu to @p page at a random line. */
+    void touch(unsigned gpu, sim::PageId page, bool write);
+
+    /** Append @p count accesses by @p gpu across @p page's lines. */
+    void touchLines(unsigned gpu, sim::PageId page, unsigned count,
+                    bool write);
+
+    /**
+     * Sequential sweep: @p gpu touches every page of @p region in
+     * order, @p per_page accesses each, with write probability
+     * @p write_prob per access.
+     */
+    void sweep(unsigned gpu, const Region &region, unsigned per_page,
+               double write_prob);
+
+    /**
+     * Uniform random accesses by @p gpu within @p region.
+     * @param count      number of accesses.
+     * @param write_prob write probability per access.
+     */
+    void randomAccesses(unsigned gpu, const Region &region,
+                        std::uint64_t count, double write_prob);
+
+    /**
+     * Strided pass: @p gpu touches pages first, first+stride, ... within
+     * @p region (scatter-gather archetype).
+     */
+    void stridedPass(unsigned gpu, const Region &region,
+                     std::uint64_t start_offset, std::uint64_t stride,
+                     unsigned per_page, double write_prob);
+
+    sim::Rng &rng() { return rng_; }
+
+    /** Move the accumulated streams out. */
+    std::vector<GpuTrace> take() { return std::move(traces_); }
+
+  private:
+    std::size_t gpus_;
+    sim::Rng rng_;
+    std::vector<GpuTrace> traces_;
+};
+
+}  // namespace grit::workload
+
+#endif  // GRIT_WORKLOAD_GENERATORS_H_

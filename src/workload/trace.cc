@@ -1,0 +1,24 @@
+#include "workload/trace.h"
+
+namespace grit::workload {
+
+std::uint64_t
+Workload::totalAccesses() const
+{
+    std::uint64_t n = 0;
+    for (const GpuTrace &trace : traces)
+        n += trace.size();
+    return n;
+}
+
+std::uint64_t
+Workload::totalWrites() const
+{
+    std::uint64_t n = 0;
+    for (const GpuTrace &trace : traces)
+        for (const Access &a : trace)
+            n += a.write ? 1 : 0;
+    return n;
+}
+
+}  // namespace grit::workload

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload traces: per-GPU memory access streams.
+ *
+ * A Workload is the unit the simulator runs: one access stream per GPU
+ * (already sharded by the contiguous-span thread-block scheduler the
+ * generators emulate), plus Table II metadata. Accesses carry byte
+ * addresses so the same workload runs under 4 KB and 2 MB page sizes
+ * (the large-page study's false sharing emerges naturally).
+ */
+
+#ifndef GRIT_WORKLOAD_TRACE_H_
+#define GRIT_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/types.h"
+
+namespace grit::workload {
+
+/** One memory access: byte address + direction. */
+struct Access
+{
+    sim::Address addr = 0;
+    bool write = false;
+};
+
+/** A single GPU's in-order access stream. */
+using GpuTrace = std::vector<Access>;
+
+/** A complete multi-GPU workload. */
+struct Workload
+{
+    std::string name;     //!< Table II abbreviation (e.g. "BFS")
+    std::string fullName; //!< full application name
+    std::string suite;    //!< benchmark suite
+    std::string pattern;  //!< "Random", "Adjacent", "Scatter-Gather"
+    /** Paper memory footprint (Table II), for documentation. */
+    unsigned paperFootprintMB = 0;
+    /** Scaled footprint actually generated, in 4 KB units. */
+    std::uint64_t footprintPages4k = 0;
+    /** Per-GPU access streams. */
+    std::vector<GpuTrace> traces;
+
+    unsigned numGpus() const { return static_cast<unsigned>(traces.size()); }
+
+    /** Footprint in bytes. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return footprintPages4k * sim::kPageSize4K;
+    }
+
+    /** Total accesses across all GPUs. */
+    std::uint64_t totalAccesses() const;
+
+    /** Total write accesses across all GPUs. */
+    std::uint64_t totalWrites() const;
+};
+
+/** Convert a 4 KB-unit logical page number + line to a byte address. */
+inline sim::Address
+pageLineAddr(sim::PageId page4k, unsigned line)
+{
+    return page4k * sim::kPageSize4K +
+           static_cast<sim::Address>(line) * sim::kLineSize;
+}
+
+}  // namespace grit::workload
+
+#endif  // GRIT_WORKLOAD_TRACE_H_

@@ -1,0 +1,143 @@
+/** @file Unit tests for the offline trace characterizer on hand-built
+ *  workloads with known properties. */
+
+#include <gtest/gtest.h>
+
+#include "workload/characterizer.h"
+#include "workload/trace.h"
+
+namespace grit::workload {
+namespace {
+
+/** Hand-built workload: two GPUs, four pages with known classes. */
+Workload
+tinyWorkload()
+{
+    Workload w;
+    w.name = "tiny";
+    w.footprintPages4k = 4;
+    w.traces.resize(2);
+    auto touch = [&](unsigned gpu, sim::PageId page, bool write) {
+        w.traces[gpu].push_back(Access{pageLineAddr(page, 0), write});
+    };
+    // Page 0: private read (GPU 0 only, reads).
+    touch(0, 0, false);
+    touch(0, 0, false);
+    // Page 1: private read-write (GPU 1 only).
+    touch(1, 1, false);
+    touch(1, 1, true);
+    // Page 2: shared read (both GPUs).
+    touch(0, 2, false);
+    touch(1, 2, false);
+    // Page 3: shared read-write.
+    touch(0, 3, true);
+    touch(1, 3, false);
+    return w;
+}
+
+TEST(Characterizer, ClassifiesPagesAndAccesses)
+{
+    const auto c = classifyPages(tinyWorkload());
+    EXPECT_EQ(c.privatePages, 2u);
+    EXPECT_EQ(c.sharedPages, 2u);
+    EXPECT_EQ(c.readPages, 2u);
+    EXPECT_EQ(c.readWritePages, 2u);
+    EXPECT_EQ(c.accessesToPrivate, 4u);
+    EXPECT_EQ(c.accessesToShared, 4u);
+    EXPECT_EQ(c.accessesToRead, 4u);
+    EXPECT_EQ(c.accessesToReadWrite, 4u);
+    EXPECT_EQ(c.totalPages(), 4u);
+    EXPECT_EQ(c.totalAccesses(), 8u);
+}
+
+TEST(Characterizer, AttributesOverTime)
+{
+    const auto map = attributesOverTime(tinyWorkload(), 1);
+    ASSERT_EQ(map.size(), 1u);
+    ASSERT_EQ(map[0].size(), 4u);
+    EXPECT_EQ(map[0][0], PageAttr::kPrivateRead);
+    EXPECT_EQ(map[0][1], PageAttr::kPrivateReadWrite);
+    EXPECT_EQ(map[0][2], PageAttr::kSharedRead);
+    EXPECT_EQ(map[0][3], PageAttr::kSharedReadWrite);
+}
+
+TEST(Characterizer, AttributesChangePerInterval)
+{
+    Workload w;
+    w.footprintPages4k = 1;
+    w.traces.resize(2);
+    // First half: GPU 0 reads page 0; second half: GPU 1 writes it.
+    w.traces[0].push_back(Access{0, false});
+    w.traces[0].push_back(Access{0, false});
+    w.traces[1].push_back(Access{0, true});
+    w.traces[1].push_back(Access{0, true});
+    // With 2 intervals, each GPU's trace splits in half; both GPUs are
+    // active in both intervals -> shared either way, write bit varies
+    // per interval via the per-interval facts.
+    const auto map = attributesOverTime(w, 2);
+    EXPECT_EQ(map[0][0], PageAttr::kSharedReadWrite);
+}
+
+TEST(Characterizer, UntouchedPagesStayUntouched)
+{
+    Workload w;
+    w.footprintPages4k = 3;
+    w.traces.resize(1);
+    w.traces[0].push_back(Access{0, false});  // only page 0 touched
+    const auto map = attributesOverTime(w, 2);
+    EXPECT_EQ(map[0][1], PageAttr::kUntouched);
+    EXPECT_EQ(map[1][2], PageAttr::kUntouched);
+}
+
+TEST(Characterizer, NeighborSimilarityBounds)
+{
+    // Identical neighbors -> similarity 1.
+    std::vector<std::vector<PageAttr>> uniform(
+        2, std::vector<PageAttr>(8, PageAttr::kSharedRead));
+    EXPECT_DOUBLE_EQ(neighborSimilarity(uniform), 1.0);
+
+    // Alternating attributes -> similarity 0.
+    std::vector<std::vector<PageAttr>> alternating(
+        1, std::vector<PageAttr>(8));
+    for (std::size_t p = 0; p < 8; ++p)
+        alternating[0][p] = p % 2 == 0 ? PageAttr::kPrivateRead
+                                       : PageAttr::kSharedRead;
+    EXPECT_DOUBLE_EQ(neighborSimilarity(alternating), 0.0);
+
+    // Untouched pages are excluded from the metric.
+    std::vector<std::vector<PageAttr>> sparse(
+        1, std::vector<PageAttr>(4, PageAttr::kUntouched));
+    EXPECT_DOUBLE_EQ(neighborSimilarity(sparse), 0.0);
+}
+
+TEST(Characterizer, PageGpuDistribution)
+{
+    const auto dist = pageGpuDistribution(tinyWorkload(), 2, 1);
+    ASSERT_EQ(dist.size(), 1u);
+    EXPECT_EQ(dist[0][0], 1u);
+    EXPECT_EQ(dist[0][1], 1u);
+}
+
+TEST(Characterizer, PageRwDistribution)
+{
+    const auto dist = pageRwDistribution(tinyWorkload(), 3, 1);
+    EXPECT_EQ(dist[0].first, 1u);   // one read
+    EXPECT_EQ(dist[0].second, 1u);  // one write
+}
+
+TEST(Characterizer, SharedPagePickers)
+{
+    const Workload w = tinyWorkload();
+    const sim::PageId shared = mostAccessedSharedPage(w);
+    EXPECT_TRUE(shared == 2 || shared == 3);
+    EXPECT_EQ(mostAccessedSharedRwPage(w), 3u);
+}
+
+TEST(Characterizer, PageAttrNames)
+{
+    EXPECT_STREQ(pageAttrName(PageAttr::kUntouched), "untouched");
+    EXPECT_STREQ(pageAttrName(PageAttr::kSharedReadWrite), "shared-rw");
+}
+
+}  // namespace
+}  // namespace grit::workload

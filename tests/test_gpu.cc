@@ -1,0 +1,218 @@
+/** @file Unit tests for the GPU model: translation path, flushes, GMMU,
+ *  TB scheduler, and remote/fault slots. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gmmu.h"
+#include "gpu/gpu.h"
+#include "gpu/tb_scheduler.h"
+
+namespace grit::gpu {
+namespace {
+
+GpuConfig
+smallConfig()
+{
+    GpuConfig config;
+    config.lanes = 2;
+    return config;
+}
+
+TEST(Gmmu, ColdWalkCostsFourLevels)
+{
+    Gmmu gmmu(GmmuConfig{});
+    const WalkResult walk = gmmu.walk(100, 0);
+    EXPECT_EQ(walk.accesses, 4u);
+    EXPECT_EQ(walk.completion, 400u);  // 4 levels x 100 cycles
+}
+
+TEST(Gmmu, WarmWalkHitsWalkCache)
+{
+    Gmmu gmmu(GmmuConfig{});
+    gmmu.walk(100, 0);
+    const WalkResult walk = gmmu.walk(100, 1000);
+    EXPECT_EQ(walk.accesses, 1u);
+    EXPECT_EQ(walk.completion, 1100u);
+}
+
+TEST(Gmmu, WalkersParallelUpToEight)
+{
+    Gmmu gmmu(GmmuConfig{});
+    sim::Cycle last = 0;
+    for (unsigned i = 0; i < 9; ++i) {
+        // Distinct top-level regions: all cold walks.
+        const sim::PageId page = static_cast<sim::PageId>(i) << 27;
+        last = std::max(last, gmmu.walk(page, 0).completion);
+    }
+    // Nine 400-cycle walks over eight walkers: the ninth queues.
+    EXPECT_EQ(last, 800u);
+    EXPECT_EQ(gmmu.walks(), 9u);
+}
+
+TEST(Gpu, TranslateFaultsOnUnmappedPage)
+{
+    Gpu gpu(0, smallConfig());
+    const TranslateOutcome out = gpu.translate(0, 42, false, 0);
+    EXPECT_TRUE(out.fault);
+    EXPECT_FALSE(out.protectionFault);
+    EXPECT_GT(out.walkCycles, 0u);  // walked before faulting
+}
+
+TEST(Gpu, TranslateHitsAfterInstallAndFill)
+{
+    Gpu gpu(0, smallConfig());
+    gpu.pageTable().install(42, mem::MappingKind::kLocal, 0, true);
+    TranslateOutcome out = gpu.translate(0, 42, false, 0);
+    EXPECT_FALSE(out.fault);
+    ASSERT_NE(out.rec, nullptr);
+    EXPECT_EQ(out.rec->location, 0);
+    const sim::Cycle walked = out.readyAt;
+
+    // Second access: L1 TLB hit, much faster.
+    out = gpu.translate(0, 42, false, 1000);
+    EXPECT_FALSE(out.fault);
+    EXPECT_EQ(out.walkCycles, 0u);
+    EXPECT_LT(out.readyAt - 1000, walked);
+}
+
+TEST(Gpu, WriteToReadOnlyReplicaRaisesProtectionFault)
+{
+    Gpu gpu(0, smallConfig());
+    gpu.pageTable().install(7, mem::MappingKind::kLocal, 0,
+                            /*writable=*/false,
+                            /*read_only_replica=*/true);
+    const TranslateOutcome read = gpu.translate(0, 7, false, 0);
+    EXPECT_FALSE(read.fault);
+    EXPECT_FALSE(read.protectionFault);
+    const TranslateOutcome write = gpu.translate(0, 7, true, 0);
+    EXPECT_TRUE(write.protectionFault);
+    EXPECT_FALSE(write.fault);
+}
+
+TEST(Gpu, InvalidatedPageFaultsAgain)
+{
+    Gpu gpu(0, smallConfig());
+    gpu.pageTable().install(9, mem::MappingKind::kLocal, 0, true);
+    gpu.translate(0, 9, false, 0);  // fills TLBs
+    gpu.pageTable().invalidate(9);
+    gpu.invalidatePage(9);
+    const TranslateOutcome out = gpu.translate(0, 9, false, 100);
+    EXPECT_TRUE(out.fault);
+}
+
+TEST(Gpu, FlushForInvalidationWipesTlbsAndCosts)
+{
+    GpuConfig config = smallConfig();
+    Gpu gpu(0, config);
+    gpu.pageTable().install(3, mem::MappingKind::kLocal, 0, true);
+    gpu.translate(0, 3, false, 0);
+
+    const sim::Cycle done = gpu.flushForInvalidation(1000, 1500);
+    EXPECT_EQ(done, 2500u);
+    EXPECT_EQ(gpu.flushes(), 1u);
+
+    // Next translation misses the TLBs and re-walks (PTE still valid).
+    const TranslateOutcome out = gpu.translate(0, 3, false, 3000);
+    EXPECT_FALSE(out.fault);
+    EXPECT_GT(out.walkCycles, 0u);
+}
+
+TEST(Gpu, DramAccessAddsLatency)
+{
+    Gpu gpu(0, smallConfig());
+    const sim::Cycle done = gpu.dramAccess(0, 64);
+    EXPECT_GE(done, gpu.config().dramLatency);
+}
+
+TEST(Gpu, RemoteSlotsThrottleThroughput)
+{
+    GpuConfig config = smallConfig();
+    config.nvlinkSlots = 2;
+    Gpu gpu(0, config);
+    EXPECT_EQ(gpu.remoteSlot(0, 100, false), 100u);
+    EXPECT_EQ(gpu.remoteSlot(0, 100, false), 100u);
+    EXPECT_EQ(gpu.remoteSlot(0, 100, false), 200u);  // queues
+}
+
+TEST(Gpu, PcieAndNvlinkSlotsAreSeparate)
+{
+    GpuConfig config = smallConfig();
+    config.nvlinkSlots = 1;
+    config.pcieSlots = 1;
+    Gpu gpu(0, config);
+    gpu.remoteSlot(0, 100, /*to_host=*/false);
+    // The PCIe pool is untouched by NVLink occupancy.
+    EXPECT_EQ(gpu.remoteSlot(0, 100, /*to_host=*/true), 100u);
+}
+
+TEST(Gpu, FaultSlotsThrottleFaultStorms)
+{
+    GpuConfig config = smallConfig();
+    config.faultSlots = 2;
+    Gpu gpu(0, config);
+    gpu.faultSlot(0, 1000);
+    gpu.faultSlot(0, 1000);
+    EXPECT_EQ(gpu.faultSlot(0, 1000), 2000u);
+}
+
+TEST(Gpu, LinesPerPageFollowsPageSize)
+{
+    GpuConfig config = smallConfig();
+    EXPECT_EQ(Gpu(0, config).linesPerPage(), 64u);
+    config.pageSize = 2 * 1024 * 1024;
+    EXPECT_EQ(Gpu(1, config).linesPerPage(), 32768u);
+}
+
+// ---------------------------------------------------------------- TbScheduler
+
+TEST(TbScheduler, ContiguousPartition)
+{
+    TbScheduler sched(100, 4);
+    EXPECT_EQ(sched.blockCount(0), 25u);
+    EXPECT_EQ(sched.firstBlock(0), 0u);
+    EXPECT_EQ(sched.firstBlock(3), 75u);
+    EXPECT_EQ(sched.gpuFor(0), 0);
+    EXPECT_EQ(sched.gpuFor(24), 0);
+    EXPECT_EQ(sched.gpuFor(25), 1);
+    EXPECT_EQ(sched.gpuFor(99), 3);
+}
+
+TEST(TbScheduler, UnevenDivisionFillsEarlierGpusFirst)
+{
+    TbScheduler sched(10, 4);  // 3,3,2,2
+    EXPECT_EQ(sched.blockCount(0), 3u);
+    EXPECT_EQ(sched.blockCount(2), 2u);
+    EXPECT_EQ(sched.gpuFor(2), 0);
+    EXPECT_EQ(sched.gpuFor(3), 1);
+    EXPECT_EQ(sched.gpuFor(6), 2);
+    EXPECT_EQ(sched.gpuFor(9), 3);
+}
+
+/** Property: gpuFor inverts firstBlock/blockCount for any geometry. */
+class TbSchedulerProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
+{
+};
+
+TEST_P(TbSchedulerProperty, PartitionIsConsistent)
+{
+    const auto [blocks, gpus] = GetParam();
+    TbScheduler sched(blocks, gpus);
+    std::uint64_t total = 0;
+    for (unsigned g = 0; g < gpus; ++g) {
+        const std::uint64_t first = sched.firstBlock(g);
+        const std::uint64_t count = sched.blockCount(g);
+        total += count;
+        for (std::uint64_t tb = first; tb < first + count; ++tb)
+            EXPECT_EQ(sched.gpuFor(tb), static_cast<sim::GpuId>(g));
+    }
+    EXPECT_EQ(total, blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TbSchedulerProperty,
+    ::testing::Combine(::testing::Values(1ull, 7ull, 64ull, 1000ull),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u)));
+
+}  // namespace
+}  // namespace grit::gpu

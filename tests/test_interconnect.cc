@@ -1,0 +1,111 @@
+/** @file Unit tests for links and the multi-GPU fabric. */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/fabric.h"
+#include "interconnect/link.h"
+
+namespace grit::ic {
+namespace {
+
+TEST(Link, TransferAddsSerializationAndLatency)
+{
+    Link link("l", 1.0, 100);  // 1 B/cy, 100-cycle latency
+    // 50 bytes: 50 cycles serialization + 100 latency.
+    EXPECT_EQ(link.transfer(0, 50), 150u);
+    EXPECT_EQ(link.bytesMoved(), 50u);
+    EXPECT_EQ(link.busyCycles(), 50u);
+}
+
+TEST(Link, TableIBandwidths)
+{
+    // 300 GB/s NVLink: a 4 KB page serializes in ceil(4096/300) = 14 cy.
+    Link nvlink("nv", 300.0, 0);
+    EXPECT_EQ(nvlink.transfer(0, 4096), 14u);
+    // 32 GB/s PCIe: 4096/32 = 128 cy.
+    Link pcie("pcie", 32.0, 0);
+    EXPECT_EQ(pcie.transfer(0, 4096), 128u);
+}
+
+TEST(Fabric, GpuToGpuUsesNvlinkLatency)
+{
+    FabricConfig config;
+    config.numGpus = 4;
+    Fabric fabric(config);
+    const sim::Cycle done = fabric.transfer(0, 0, 1, 4096);
+    // 14 cycles serialization + 700 NVLink latency.
+    EXPECT_EQ(done, 714u);
+    EXPECT_EQ(fabric.flightLatency(0, 1), 700u);
+}
+
+TEST(Fabric, HostTransfersUsePcie)
+{
+    FabricConfig config;
+    config.numGpus = 2;
+    Fabric fabric(config);
+    EXPECT_EQ(fabric.transfer(0, sim::kHostId, 0, 4096), 1128u);
+    EXPECT_EQ(fabric.transfer(0, 0, sim::kHostId, 4096), 1128u);
+    EXPECT_EQ(fabric.flightLatency(sim::kHostId, 1), 1000u);
+    EXPECT_EQ(fabric.pcieBytes(), 8192u);
+}
+
+TEST(Fabric, MessagesAreLatencyOnly)
+{
+    FabricConfig config;
+    config.numGpus = 2;
+    Fabric fabric(config);
+    // Control messages never queue behind bulk DMAs.
+    fabric.transfer(0, 0, 1, 1 << 20);  // big DMA
+    EXPECT_EQ(fabric.message(0, 0, 1), 700u);
+    EXPECT_EQ(fabric.message(0, 0, sim::kHostId), 1000u);
+    EXPECT_EQ(fabric.messages(), 2u);
+}
+
+TEST(Fabric, NvlinkByteAccounting)
+{
+    FabricConfig config;
+    config.numGpus = 2;
+    Fabric fabric(config);
+    fabric.transfer(0, 0, 1, 1000);
+    EXPECT_EQ(fabric.nvlinkBytes(), 1000u);  // egress side accounting
+}
+
+TEST(Fabric, ResetClearsOccupancy)
+{
+    FabricConfig config;
+    config.numGpus = 2;
+    Fabric fabric(config);
+    fabric.transfer(0, 0, 1, 1 << 20);
+    fabric.reset();
+    EXPECT_EQ(fabric.nvlinkBytes(), 0u);
+    EXPECT_EQ(fabric.transfer(0, 0, 1, 300), 701u);
+}
+
+/** Property sweep: transfer time is monotone in size for every pair. */
+class FabricPairs
+    : public ::testing::TestWithParam<std::pair<sim::GpuId, sim::GpuId>>
+{
+};
+
+TEST_P(FabricPairs, MonotoneInSize)
+{
+    FabricConfig config;
+    config.numGpus = 4;
+    const auto [src, dst] = GetParam();
+    sim::Cycle prev = 0;
+    for (std::uint64_t bytes : {64ull, 4096ull, 65536ull}) {
+        Fabric fabric(config);
+        const sim::Cycle t = fabric.transfer(0, src, dst, bytes);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, FabricPairs,
+    ::testing::Values(std::make_pair(0, 1), std::make_pair(3, 0),
+                      std::make_pair(sim::kHostId, 2),
+                      std::make_pair(2, sim::kHostId)));
+
+}  // namespace
+}  // namespace grit::ic

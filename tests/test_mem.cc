@@ -1,0 +1,380 @@
+/** @file Unit tests for page tables, TLBs, walk cache, data cache, DRAM
+ *  manager, and access counters. */
+
+#include <gtest/gtest.h>
+
+#include "mem/access_counter.h"
+#include "mem/data_cache.h"
+#include "mem/dram_manager.h"
+#include "mem/page_table.h"
+#include "mem/page_walk_cache.h"
+#include "mem/tlb.h"
+
+namespace grit::mem {
+namespace {
+
+// ------------------------------------------------------------------ PageTable
+
+TEST(PageTable, InstallAndLookup)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.translates(5));
+    pt.install(5, MappingKind::kLocal, 0, /*writable=*/true);
+    EXPECT_TRUE(pt.translates(5));
+    const PteRecord *rec = pt.find(5);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->kind, MappingKind::kLocal);
+    EXPECT_EQ(rec->location, 0);
+    EXPECT_TRUE(rec->pte.writable());
+}
+
+TEST(PageTable, RemoteMapping)
+{
+    PageTable pt;
+    pt.install(9, MappingKind::kRemote, 3, /*writable=*/true);
+    EXPECT_EQ(pt.find(9)->kind, MappingKind::kRemote);
+    EXPECT_EQ(pt.find(9)->location, 3);
+}
+
+TEST(PageTable, InvalidateKeepsSchemeAnnotation)
+{
+    PageTable pt;
+    pt.install(7, MappingKind::kLocal, 1, true);
+    pt.setScheme(7, Scheme::kDuplication);
+    pt.invalidate(7);
+    EXPECT_FALSE(pt.translates(7));
+    EXPECT_EQ(pt.scheme(7), Scheme::kDuplication);
+}
+
+TEST(PageTable, SchemeAnnotationBeforeMapping)
+{
+    PageTable pt;
+    pt.setScheme(11, Scheme::kAccessCounter);
+    EXPECT_FALSE(pt.translates(11));
+    EXPECT_EQ(pt.scheme(11), Scheme::kAccessCounter);
+    pt.setGroupBits(11, GroupBits::kPages8);
+    EXPECT_EQ(pt.groupBits(11), GroupBits::kPages8);
+}
+
+TEST(PageTable, EraseRemovesEntry)
+{
+    PageTable pt;
+    pt.install(3, MappingKind::kLocal, 0, true);
+    pt.erase(3);
+    EXPECT_EQ(pt.find(3), nullptr);
+    EXPECT_EQ(pt.scheme(3), Scheme::kNone);
+}
+
+TEST(PageTable, ValidCountExcludesAnnotations)
+{
+    PageTable pt;
+    pt.install(1, MappingKind::kLocal, 0, true);
+    pt.install(2, MappingKind::kLocal, 0, true);
+    pt.setScheme(3, Scheme::kOnTouch);  // annotation only
+    pt.invalidate(2);
+    EXPECT_EQ(pt.size(), 3u);
+    EXPECT_EQ(pt.validCount(), 1u);
+}
+
+TEST(PageTable, ReadOnlyReplicaFlag)
+{
+    PageTable pt;
+    pt.install(4, MappingKind::kLocal, 2, /*writable=*/false,
+               /*read_only_replica=*/true);
+    EXPECT_TRUE(pt.find(4)->readOnlyReplica);
+    pt.invalidate(4);
+    EXPECT_FALSE(pt.find(4)->readOnlyReplica);
+}
+
+// ------------------------------------------------------------------------ Tlb
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb("t", 32, 32, 1);
+    EXPECT_FALSE(tlb.lookup(10));
+    tlb.insert(10);
+    EXPECT_TRUE(tlb.lookup(10));
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    Tlb tlb("t", 2, 2, 1);  // one set, two ways
+    tlb.insert(1);
+    tlb.insert(2);
+    EXPECT_TRUE(tlb.lookup(1));  // make 2 the LRU
+    tlb.insert(3);               // evicts 2
+    EXPECT_TRUE(tlb.lookup(1));
+    EXPECT_FALSE(tlb.lookup(2));
+    EXPECT_TRUE(tlb.lookup(3));
+}
+
+TEST(Tlb, SetsIndexedByPageModulo)
+{
+    Tlb tlb("t", 4, 2, 1);  // two sets
+    // Pages 0 and 2 map to set 0; 1 and 3 to set 1.
+    tlb.insert(0);
+    tlb.insert(2);
+    tlb.insert(4);  // evicts within set 0 only
+    EXPECT_TRUE(tlb.lookup(4));
+    EXPECT_EQ(tlb.occupancy(), 2u);
+}
+
+TEST(Tlb, InvalidateSinglePage)
+{
+    Tlb tlb("t", 32, 32, 1);
+    tlb.insert(5);
+    tlb.insert(6);
+    tlb.invalidate(5);
+    EXPECT_FALSE(tlb.lookup(5));
+    EXPECT_TRUE(tlb.lookup(6));
+}
+
+TEST(Tlb, FlushAllIsTotal)
+{
+    Tlb tlb("t", 32, 32, 1);
+    for (sim::PageId p = 0; p < 20; ++p)
+        tlb.insert(p);
+    EXPECT_EQ(tlb.occupancy(), 20u);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.occupancy(), 0u);
+    EXPECT_FALSE(tlb.lookup(3));
+    tlb.insert(3);
+    EXPECT_TRUE(tlb.lookup(3));  // usable after flush
+}
+
+TEST(Tlb, DoubleInsertDoesNotDuplicate)
+{
+    Tlb tlb("t", 4, 4, 1);
+    tlb.insert(9);
+    tlb.insert(9);
+    EXPECT_EQ(tlb.occupancy(), 1u);
+}
+
+/** Property sweep over Table I TLB geometries. */
+class TlbGeometry
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(TlbGeometry, CapacityNeverExceeded)
+{
+    const auto [entries, ways] = GetParam();
+    Tlb tlb("t", entries, ways, 1);
+    for (sim::PageId p = 0; p < 4 * entries; ++p)
+        tlb.insert(p);
+    EXPECT_LE(tlb.occupancy(), entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIGeometries, TlbGeometry,
+    ::testing::Values(std::make_tuple(32u, 32u),    // L1 TLB
+                      std::make_tuple(512u, 16u),   // L2 TLB
+                      std::make_tuple(64u, 4u),
+                      std::make_tuple(16u, 1u)));
+
+// -------------------------------------------------------------- PageWalkCache
+
+TEST(PageWalkCache, ColdWalkTakesAllLevels)
+{
+    PageWalkCache pwc(128);
+    EXPECT_EQ(pwc.walkAccesses(0x12345), PageWalkCache::kLevels);
+}
+
+TEST(PageWalkCache, FilledPrefixShortensWalk)
+{
+    PageWalkCache pwc(128);
+    pwc.fill(0x12345);
+    EXPECT_EQ(pwc.walkAccesses(0x12345), 1u);  // leaf access only
+    // A page in the same 2 MB region shares the level-1 prefix.
+    EXPECT_EQ(pwc.walkAccesses(0x12345 ^ 0x1), 1u);
+}
+
+TEST(PageWalkCache, DistantPageSharesOnlyUpperLevels)
+{
+    PageWalkCache pwc(128);
+    pwc.fill(0);  // covers prefixes of page 0
+    // Same 1 GB region, different 2 MB region: level-2 hit -> 2 accesses.
+    EXPECT_EQ(pwc.walkAccesses(1 << 9), 2u);
+    // Same 512 GB region, different 1 GB region: 3 accesses.
+    EXPECT_EQ(pwc.walkAccesses(1 << 18), 3u);
+    // Different top-level region: full walk.
+    EXPECT_EQ(pwc.walkAccesses(std::uint64_t{1} << 27), 4u);
+}
+
+TEST(PageWalkCache, FlushRestoresFullWalks)
+{
+    PageWalkCache pwc(128);
+    pwc.fill(42);
+    pwc.flushAll();
+    EXPECT_EQ(pwc.walkAccesses(42), PageWalkCache::kLevels);
+}
+
+TEST(PageWalkCache, RecordsHitsAndMisses)
+{
+    PageWalkCache pwc(128);
+    pwc.recordWalk(4);
+    pwc.recordWalk(1);
+    EXPECT_EQ(pwc.hits(), 1u);
+    EXPECT_EQ(pwc.misses(), 1u);
+}
+
+// ------------------------------------------------------------------ DataCache
+
+TEST(DataCache, MissFillsThenHits)
+{
+    DataCache cache("c", 1024, 2, 64, 10);
+    EXPECT_FALSE(cache.access(7));
+    EXPECT_TRUE(cache.access(7));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DataCache, LruEvictionWithinSet)
+{
+    DataCache cache("c", 2 * 64, 2, 64, 10);  // one set, two ways
+    cache.access(1);
+    cache.access(2);
+    cache.access(1);  // 2 becomes LRU
+    cache.access(3);  // evicts 2
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(DataCache, InvalidatePageRemovesItsLines)
+{
+    DataCache cache("c", 256 * 1024, 16, 64, 10);
+    const unsigned lines_per_page = 64;
+    cache.access(5 * lines_per_page + 3);
+    cache.access(6 * lines_per_page + 3);
+    cache.invalidatePage(5, lines_per_page);
+    EXPECT_FALSE(cache.contains(5 * lines_per_page + 3));
+    EXPECT_TRUE(cache.contains(6 * lines_per_page + 3));
+}
+
+TEST(DataCache, FlushAllClears)
+{
+    DataCache cache("c", 1024, 2, 64, 10);
+    cache.access(1);
+    cache.flushAll();
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_FALSE(cache.access(1));  // refill works
+    EXPECT_TRUE(cache.contains(1));
+}
+
+// ---------------------------------------------------------------- DramManager
+
+TEST(DramManager, UnlimitedCapacityNeverEvicts)
+{
+    DramManager dram(0);
+    for (sim::PageId p = 0; p < 1000; ++p)
+        EXPECT_FALSE(dram.insert(p, FrameKind::kOwned).has_value());
+    EXPECT_EQ(dram.size(), 1000u);
+    EXPECT_EQ(dram.evictions(), 0u);
+}
+
+TEST(DramManager, EvictsLruWhenFull)
+{
+    DramManager dram(2);
+    dram.insert(1, FrameKind::kOwned);
+    dram.insert(2, FrameKind::kOwned);
+    dram.touch(1);  // 2 becomes LRU
+    const auto victim = dram.insert(3, FrameKind::kOwned);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->page, 2u);
+    EXPECT_TRUE(dram.resident(1));
+    EXPECT_TRUE(dram.resident(3));
+    EXPECT_EQ(dram.evictions(), 1u);
+}
+
+TEST(DramManager, VictimReportsFrameKind)
+{
+    DramManager dram(1);
+    dram.insert(1, FrameKind::kReplica);
+    const auto victim = dram.insert(2, FrameKind::kOwned);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->kind, FrameKind::kReplica);
+}
+
+TEST(DramManager, ReplicaCounting)
+{
+    DramManager dram(0);
+    dram.insert(1, FrameKind::kReplica);
+    dram.insert(2, FrameKind::kOwned);
+    EXPECT_EQ(dram.replicaCount(), 1u);
+    dram.setKind(1, FrameKind::kOwned);
+    EXPECT_EQ(dram.replicaCount(), 0u);
+    dram.setKind(2, FrameKind::kReplica);
+    EXPECT_EQ(dram.replicaCount(), 1u);
+    dram.erase(2);
+    EXPECT_EQ(dram.replicaCount(), 0u);
+}
+
+TEST(DramManager, EraseFreesFrame)
+{
+    DramManager dram(1);
+    dram.insert(1, FrameKind::kOwned);
+    EXPECT_TRUE(dram.erase(1));
+    EXPECT_FALSE(dram.erase(1));
+    EXPECT_FALSE(dram.insert(2, FrameKind::kOwned).has_value());
+}
+
+TEST(DramManager, KindOfResidentPage)
+{
+    DramManager dram(0);
+    dram.insert(9, FrameKind::kReplica);
+    EXPECT_EQ(dram.kindOf(9), FrameKind::kReplica);
+}
+
+// --------------------------------------------------------- AccessCounterTable
+
+TEST(AccessCounterTable, GroupsAre64KB)
+{
+    // 16 pages of 4 KB per group (Table I's 64 KB granularity).
+    AccessCounterTable counters(16, 256);
+    EXPECT_EQ(counters.groupOf(0), 0u);
+    EXPECT_EQ(counters.groupOf(15), 0u);
+    EXPECT_EQ(counters.groupOf(16), 1u);
+    EXPECT_EQ(counters.groupFirstPage(2), 32u);
+}
+
+TEST(AccessCounterTable, TriggersAtThresholdAndResets)
+{
+    AccessCounterTable counters(16, 4);
+    EXPECT_FALSE(counters.recordRemoteAccess(0));
+    EXPECT_FALSE(counters.recordRemoteAccess(1));
+    EXPECT_FALSE(counters.recordRemoteAccess(2));
+    EXPECT_TRUE(counters.recordRemoteAccess(3));  // 4th access, same group
+    EXPECT_EQ(counters.count(0), 0u);             // reset after trigger
+    EXPECT_EQ(counters.triggers(), 1u);
+}
+
+TEST(AccessCounterTable, GroupsAreIndependent)
+{
+    AccessCounterTable counters(16, 4);
+    counters.recordRemoteAccess(0);
+    counters.recordRemoteAccess(16);
+    EXPECT_EQ(counters.count(0), 1u);
+    EXPECT_EQ(counters.count(16), 1u);
+}
+
+TEST(AccessCounterTable, ClearErasesGroup)
+{
+    AccessCounterTable counters(16, 4);
+    counters.recordRemoteAccess(5);
+    counters.clear(5);
+    EXPECT_EQ(counters.count(5), 0u);
+}
+
+TEST(AccessCounterTable, DefaultThresholdIs256)
+{
+    AccessCounterTable counters(16, 256);
+    for (int i = 0; i < 255; ++i)
+        EXPECT_FALSE(counters.recordRemoteAccess(0));
+    EXPECT_TRUE(counters.recordRemoteAccess(0));
+}
+
+}  // namespace
+}  // namespace grit::mem

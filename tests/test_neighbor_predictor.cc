@@ -1,0 +1,173 @@
+/** @file Unit tests for Neighboring-Aware Prediction (paper Section V-D,
+ *  Figure 15, Table V). */
+
+#include <gtest/gtest.h>
+
+#include "core/neighbor_predictor.h"
+
+namespace grit::core {
+namespace {
+
+class NapTest : public ::testing::Test
+{
+  protected:
+    /** Give pages [first, first+n) the scheme @p s. */
+    void
+    fill(sim::PageId first, unsigned n, mem::Scheme s)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            central.setScheme(first + i, s);
+    }
+
+    mem::PageTable central;
+    NeighborPredictor nap{central};
+};
+
+TEST_F(NapTest, NoPromotionWithoutMajority)
+{
+    // 4 of 8 pages on duplication is not *more than half*.
+    fill(0, 4, mem::Scheme::kDuplication);
+    fill(4, 4, mem::Scheme::kOnTouch);
+    const NapOutcome out =
+        nap.onSchemeChange(0, mem::Scheme::kDuplication);
+    EXPECT_EQ(out.groupPages, 1u);
+    EXPECT_TRUE(out.adopted.empty());
+    EXPECT_EQ(central.groupBits(0), mem::GroupBits::kPages1);
+}
+
+TEST_F(NapTest, MajorityPromotesEightPageGroup)
+{
+    // 5 of 8 pages already use duplication.
+    fill(0, 5, mem::Scheme::kDuplication);
+    fill(5, 3, mem::Scheme::kOnTouch);
+    const NapOutcome out =
+        nap.onSchemeChange(0, mem::Scheme::kDuplication);
+    EXPECT_EQ(out.groupPages, 8u);
+    EXPECT_EQ(out.adopted.size(), 3u);  // the three on-touch pages flip
+    EXPECT_EQ(central.groupBits(0), mem::GroupBits::kPages8);
+    for (sim::PageId p = 0; p < 8; ++p)
+        EXPECT_EQ(central.scheme(p), mem::Scheme::kDuplication);
+    // Non-base pages carry no group bits.
+    EXPECT_EQ(central.groupBits(1), mem::GroupBits::kPages1);
+}
+
+TEST_F(NapTest, RecursivePromotionTo64Pages)
+{
+    // Seven sibling 8-groups already promoted on duplication; the
+    // eighth group reaches majority now.
+    for (unsigned g = 1; g < 8; ++g) {
+        fill(g * 8, 8, mem::Scheme::kDuplication);
+        central.setGroupBits(g * 8, mem::GroupBits::kPages8);
+    }
+    fill(0, 5, mem::Scheme::kDuplication);
+    const NapOutcome out =
+        nap.onSchemeChange(0, mem::Scheme::kDuplication);
+    EXPECT_EQ(out.groupPages, 64u);
+    EXPECT_EQ(central.groupBits(0), mem::GroupBits::kPages64);
+    // Former sub-group bases lose their group bits.
+    EXPECT_EQ(central.groupBits(8), mem::GroupBits::kPages1);
+    for (sim::PageId p = 0; p < 64; ++p)
+        EXPECT_EQ(central.scheme(p), mem::Scheme::kDuplication);
+}
+
+TEST_F(NapTest, PromotionTo512NeedsPromotedChildren)
+{
+    // All 512 pages share the scheme but no child group bits are set:
+    // level-64 promotion requires promoted 8-groups, which exist only
+    // around the changed page after the level-8 step.
+    fill(0, 512, mem::Scheme::kAccessCounter);
+    const NapOutcome out =
+        nap.onSchemeChange(0, mem::Scheme::kAccessCounter);
+    // Level 8 promotes (all agree); level 64 fails (children of the
+    // 64-group are not promoted groups yet).
+    EXPECT_EQ(out.groupPages, 8u);
+}
+
+TEST_F(NapTest, FullRecursivePromotionTo512)
+{
+    // All 64 8-group bases promoted, and all eight 64-group bases
+    // promoted, except the block containing the changed page.
+    fill(0, 512, mem::Scheme::kDuplication);
+    for (unsigned g = 0; g < 64; ++g)
+        central.setGroupBits(g * 8, mem::GroupBits::kPages8);
+    for (unsigned b = 1; b < 8; ++b)
+        central.setGroupBits(b * 64, mem::GroupBits::kPages64);
+    central.setGroupBits(0, mem::GroupBits::kPages1);
+
+    const NapOutcome out =
+        nap.onSchemeChange(0, mem::Scheme::kDuplication);
+    EXPECT_EQ(out.groupPages, 512u);
+    EXPECT_EQ(central.groupBits(0), mem::GroupBits::kPages512);
+    EXPECT_EQ(central.groupBits(64), mem::GroupBits::kPages1);
+}
+
+TEST_F(NapTest, EnclosingGroupDetection)
+{
+    fill(0, 8, mem::Scheme::kOnTouch);
+    central.setGroupBits(0, mem::GroupBits::kPages8);
+    EXPECT_EQ(nap.enclosingGroupPages(3), 8u);
+    EXPECT_EQ(nap.enclosingGroupPages(9), 1u);
+
+    central.setGroupBits(0, mem::GroupBits::kPages64);
+    EXPECT_EQ(nap.enclosingGroupPages(63), 64u);
+    EXPECT_EQ(nap.enclosingGroupPages(64), 1u);
+}
+
+TEST_F(NapTest, DivergenceDegrades64Into8Groups)
+{
+    // The paper's example: a 64-page group degrades into eight 8-page
+    // groups; the sub-group containing the change dissolves to "00".
+    fill(0, 64, mem::Scheme::kAccessCounter);
+    central.setGroupBits(0, mem::GroupBits::kPages64);
+
+    central.setScheme(20, mem::Scheme::kDuplication);  // divergent page
+    const NapOutcome out =
+        nap.onSchemeChange(20, mem::Scheme::kDuplication);
+    EXPECT_TRUE(out.degraded);
+
+    // The seven sibling sub-groups survive as 8-page groups.
+    for (unsigned g = 0; g < 8; ++g) {
+        const sim::PageId base = g * 8;
+        if (g == 20 / 8) {
+            EXPECT_EQ(central.groupBits(base), mem::GroupBits::kPages1);
+        } else {
+            EXPECT_EQ(central.groupBits(base), mem::GroupBits::kPages8);
+        }
+    }
+    // No promotion for the lone duplication page.
+    EXPECT_EQ(out.groupPages, 1u);
+}
+
+TEST_F(NapTest, DegradationOf512RecursesIntoContainingBlock)
+{
+    fill(0, 512, mem::Scheme::kAccessCounter);
+    central.setGroupBits(0, mem::GroupBits::kPages512);
+
+    central.setScheme(100, mem::Scheme::kDuplication);
+    const NapOutcome out =
+        nap.onSchemeChange(100, mem::Scheme::kDuplication);
+    EXPECT_TRUE(out.degraded);
+    // Page 100 lives in 64-block 1 (pages 64-127), 8-group 12
+    // (pages 96-103).
+    EXPECT_EQ(central.groupBits(0), mem::GroupBits::kPages64);
+    EXPECT_EQ(central.groupBits(128), mem::GroupBits::kPages64);
+    EXPECT_EQ(central.groupBits(448), mem::GroupBits::kPages64);
+    // Inside the containing 64-block, sibling 8-groups survive — even
+    // the one based at the block's first page — while the 8-group
+    // containing page 100 (pages 96-103) dissolves completely.
+    EXPECT_EQ(central.groupBits(64), mem::GroupBits::kPages8);
+    EXPECT_EQ(central.groupBits(72), mem::GroupBits::kPages8);
+    EXPECT_EQ(central.groupBits(96), mem::GroupBits::kPages1);
+}
+
+TEST_F(NapTest, AdoptedListExcludesAlreadyMatchingPages)
+{
+    fill(0, 8, mem::Scheme::kDuplication);
+    const NapOutcome out =
+        nap.onSchemeChange(2, mem::Scheme::kDuplication);
+    EXPECT_EQ(out.groupPages, 8u);
+    EXPECT_TRUE(out.adopted.empty());  // everyone already agreed
+}
+
+}  // namespace
+}  // namespace grit::core

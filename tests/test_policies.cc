@@ -1,0 +1,138 @@
+/** @file Unit tests for the uniform placement policies and the scheme
+ *  decision matrix (Table III). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scheme_decision.h"
+#include "policy/access_counter_policy.h"
+#include "policy/duplication.h"
+#include "policy/first_touch.h"
+#include "policy/ideal.h"
+#include "policy/on_touch.h"
+
+namespace grit::policy {
+namespace {
+
+FaultInfo
+faultAt(sim::GpuId gpu, sim::PageId page, bool write, bool cold)
+{
+    FaultInfo info;
+    info.gpu = gpu;
+    info.page = page;
+    info.write = write;
+    info.coldTouch = cold;
+    info.owner = cold ? sim::kHostId : 0;
+    return info;
+}
+
+TEST(OnTouchPolicy, AlwaysMigrates)
+{
+    OnTouchPolicy policy;
+    EXPECT_EQ(policy.onFault(faultAt(1, 5, false, false), 0),
+              FaultAction::kMigrate);
+    EXPECT_EQ(policy.onFault(faultAt(1, 5, true, true), 0),
+              FaultAction::kMigrate);
+    EXPECT_EQ(policy.schemeOf(5), mem::Scheme::kOnTouch);
+    EXPECT_FALSE(policy.countsRemote(5));
+    EXPECT_STREQ(policy.name(), "on-touch");
+}
+
+TEST(AccessCounterPolicy, MapsRemoteAndCounts)
+{
+    AccessCounterPolicy policy;
+    EXPECT_EQ(policy.onFault(faultAt(1, 5, false, false), 0),
+              FaultAction::kMapRemote);
+    EXPECT_TRUE(policy.countsRemote(5));
+    EXPECT_EQ(policy.schemeOf(5), mem::Scheme::kAccessCounter);
+}
+
+TEST(DuplicationPolicy, AlwaysDuplicates)
+{
+    DuplicationPolicy policy;
+    EXPECT_EQ(policy.onFault(faultAt(1, 5, false, false), 0),
+              FaultAction::kDuplicate);
+    EXPECT_EQ(policy.onFault(faultAt(1, 5, true, false), 0),
+              FaultAction::kDuplicate);  // driver turns write into collapse
+    EXPECT_EQ(policy.schemeOf(5), mem::Scheme::kDuplication);
+}
+
+TEST(FirstTouchPolicy, PinsOnColdThenPeerAccess)
+{
+    FirstTouchPolicy policy;
+    EXPECT_EQ(policy.onFault(faultAt(0, 5, false, true), 0),
+              FaultAction::kMigrate);
+    EXPECT_EQ(policy.onFault(faultAt(1, 5, false, false), 0),
+              FaultAction::kMapRemote);
+    EXPECT_FALSE(policy.countsRemote(5));  // pinned forever
+}
+
+TEST(IdealPolicy, ColdPaysThenFree)
+{
+    IdealPolicy policy;
+    EXPECT_EQ(policy.onFault(faultAt(0, 5, false, true), 0),
+              FaultAction::kMigrate);
+    EXPECT_EQ(policy.onFault(faultAt(1, 5, true, false), 0),
+              FaultAction::kIdealLocal);
+}
+
+TEST(PolicyDefaults, NoOverheadNoAccessHook)
+{
+    OnTouchPolicy policy;
+    EXPECT_EQ(policy.faultOverhead(faultAt(0, 1, false, false), 0), 0u);
+    EXPECT_EQ(policy.onAccess(0, 1, false, false, 0), 0u);
+}
+
+// ------------------------------------------------------- Scheme decision
+
+TEST(SchemeDecision, Figure13Rule)
+{
+    using core::decideScheme;
+    EXPECT_EQ(decideScheme(false), mem::Scheme::kDuplication);
+    EXPECT_EQ(decideScheme(true), mem::Scheme::kAccessCounter);
+}
+
+TEST(SchemeDecision, TableIIIPreferences)
+{
+    using core::preferredSchemes;
+    using core::SharingClass;
+    using mem::Scheme;
+
+    // Read row: private/PC-shared prefer OT (duplication acceptable);
+    // all-shared prefers duplication.
+    auto read_private =
+        preferredSchemes(SharingClass::kPrivate, false);
+    EXPECT_EQ(read_private.front(), Scheme::kOnTouch);
+    EXPECT_NE(std::find(read_private.begin(), read_private.end(),
+                        Scheme::kDuplication),
+              read_private.end());
+    EXPECT_EQ(preferredSchemes(SharingClass::kAllShared, false),
+              std::vector<Scheme>{Scheme::kDuplication});
+
+    // Read-write row: private -> OT; PC-shared -> OT/AC;
+    // all-shared -> AC.
+    EXPECT_EQ(preferredSchemes(SharingClass::kPrivate, true),
+              std::vector<Scheme>{Scheme::kOnTouch});
+    auto rw_pc = preferredSchemes(SharingClass::kPcShared, true);
+    EXPECT_EQ(rw_pc.front(), Scheme::kOnTouch);
+    EXPECT_NE(std::find(rw_pc.begin(), rw_pc.end(),
+                        Scheme::kAccessCounter),
+              rw_pc.end());
+    EXPECT_EQ(preferredSchemes(SharingClass::kAllShared, true),
+              std::vector<Scheme>{Scheme::kAccessCounter});
+}
+
+TEST(SchemeDecision, SharingClassNames)
+{
+    using core::SharingClass;
+    EXPECT_STREQ(core::sharingClassName(SharingClass::kPrivate),
+                 "private");
+    EXPECT_STREQ(core::sharingClassName(SharingClass::kPcShared),
+                 "pc-shared");
+    EXPECT_STREQ(core::sharingClassName(SharingClass::kAllShared),
+                 "all-shared");
+}
+
+}  // namespace
+}  // namespace grit::policy

@@ -1,0 +1,287 @@
+/** @file Unit tests for the simulation core: event queue, RNG, resources. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/event_queue.h"
+#include "simcore/resource.h"
+#include "simcore/rng.h"
+
+namespace grit::sim {
+namespace {
+
+// ---------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(42, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, SchedulingInThePastClampsToNow)
+{
+    EventQueue q;
+    Cycle seen = 0;
+    q.schedule(100, [&] {
+        q.schedule(5, [&] { seen = q.now(); });  // in the past
+    });
+    q.run();
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 5)
+            q.scheduleAfter(10, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(i, [] {});
+    EXPECT_EQ(q.run(4), 4u);
+    EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, StepExecutesOneEvent)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&] { ++count; });
+    q.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    q.schedule(20, [] {});
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+}
+
+// ----------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 100; ++i)
+        differing += a.next() != b.next() ? 1 : 0;
+    EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000003ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, BelowRoughlyUniform)
+{
+    Rng rng(17);
+    int buckets[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 8000; ++i)
+        buckets[rng.below(4)] += 1;
+    for (int b : buckets)
+        EXPECT_NEAR(b, 2000, 250);
+}
+
+// ---------------------------------------------------------- BandwidthResource
+
+TEST(BandwidthResource, ServiceCyclesRoundUp)
+{
+    BandwidthResource pipe("p", 32.0);
+    EXPECT_EQ(pipe.serviceCycles(0), 0u);
+    EXPECT_EQ(pipe.serviceCycles(1), 1u);
+    EXPECT_EQ(pipe.serviceCycles(32), 1u);
+    EXPECT_EQ(pipe.serviceCycles(33), 2u);
+    EXPECT_EQ(pipe.serviceCycles(4096), 128u);
+}
+
+TEST(BandwidthResource, SingleTransferCompletesAfterService)
+{
+    BandwidthResource pipe("p", 1.0, 1);
+    EXPECT_EQ(pipe.acquire(100, 50), 150u);
+    EXPECT_EQ(pipe.busyCycles(), 50u);
+    EXPECT_EQ(pipe.bytesMoved(), 50u);
+}
+
+TEST(BandwidthResource, SingleChannelSerializes)
+{
+    BandwidthResource pipe("p", 1.0, 1);
+    EXPECT_EQ(pipe.acquire(0, 10), 10u);
+    EXPECT_EQ(pipe.acquire(0, 10), 20u);  // queues behind the first
+}
+
+TEST(BandwidthResource, ChannelsAbsorbTimestampSkew)
+{
+    BandwidthResource pipe("p", 1.0, 4);
+    // A future-timestamped transfer must not delay a present one.
+    pipe.acquire(1000, 10);
+    EXPECT_EQ(pipe.acquire(0, 10), 10u);
+}
+
+TEST(BandwidthResource, SaturationQueuesAcrossChannels)
+{
+    BandwidthResource pipe("p", 1.0, 2);
+    EXPECT_EQ(pipe.acquire(0, 10), 10u);
+    EXPECT_EQ(pipe.acquire(0, 10), 10u);
+    EXPECT_EQ(pipe.acquire(0, 10), 20u);  // both channels busy
+}
+
+TEST(BandwidthResource, ResetClearsState)
+{
+    BandwidthResource pipe("p", 1.0, 1);
+    pipe.acquire(0, 100);
+    pipe.reset();
+    EXPECT_EQ(pipe.busyCycles(), 0u);
+    EXPECT_EQ(pipe.bytesMoved(), 0u);
+    EXPECT_EQ(pipe.acquire(0, 10), 10u);
+}
+
+// ------------------------------------------------------------------ ServerPool
+
+TEST(ServerPool, ParallelUpToServerCount)
+{
+    ServerPool pool("s", 3);
+    EXPECT_EQ(pool.acquire(0, 100), 100u);
+    EXPECT_EQ(pool.acquire(0, 100), 100u);
+    EXPECT_EQ(pool.acquire(0, 100), 100u);
+    EXPECT_EQ(pool.acquire(0, 100), 200u);  // fourth queues
+    EXPECT_EQ(pool.requests(), 4u);
+    EXPECT_EQ(pool.busyCycles(), 400u);
+    EXPECT_EQ(pool.queueDelay(), 100u);
+}
+
+TEST(ServerPool, LaterArrivalStartsImmediately)
+{
+    ServerPool pool("s", 1);
+    pool.acquire(0, 10);
+    EXPECT_EQ(pool.acquire(50, 10), 60u);
+    EXPECT_EQ(pool.queueDelay(), 0u);
+}
+
+TEST(ServerPool, ResetClearsState)
+{
+    ServerPool pool("s", 1);
+    pool.acquire(0, 1000);
+    pool.reset();
+    EXPECT_EQ(pool.acquire(0, 10), 10u);
+    EXPECT_EQ(pool.requests(), 1u);
+}
+
+/** Property sweep: a pool of N servers with per-request service S must
+ *  finish K simultaneous requests at ceil(K/N)*S. */
+class ServerPoolThroughput
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(ServerPoolThroughput, BatchCompletesAtExpectedTime)
+{
+    const auto [servers, requests] = GetParam();
+    ServerPool pool("s", servers);
+    Cycle last = 0;
+    for (unsigned i = 0; i < requests; ++i)
+        last = std::max(last, pool.acquire(0, 100));
+    const Cycle waves = (requests + servers - 1) / servers;
+    EXPECT_EQ(last, waves * 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, ServerPoolThroughput,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(1u, 3u, 8u, 17u)));
+
+}  // namespace
+}  // namespace grit::sim
