@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_page_sharing.dir/fig04_page_sharing.cc.o"
+  "CMakeFiles/fig04_page_sharing.dir/fig04_page_sharing.cc.o.d"
+  "fig04_page_sharing"
+  "fig04_page_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_page_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_sharing_over_time.dir/fig05_sharing_over_time.cc.o"
+  "CMakeFiles/fig05_sharing_over_time.dir/fig05_sharing_over_time.cc.o.d"
+  "fig05_sharing_over_time"
+  "fig05_sharing_over_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sharing_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_08_attributes_over_time.
+# This may be replaced when dependencies are built.

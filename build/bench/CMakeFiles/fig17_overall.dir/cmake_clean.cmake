@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_overall.dir/fig17_overall.cc.o"
+  "CMakeFiles/fig17_overall.dir/fig17_overall.cc.o.d"
+  "fig17_overall"
+  "fig17_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_page_faults.dir/fig18_page_faults.cc.o"
+  "CMakeFiles/fig18_page_faults.dir/fig18_page_faults.cc.o.d"
+  "fig18_page_faults"
+  "fig18_page_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_page_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_ablation.dir/fig20_ablation.cc.o"
+  "CMakeFiles/fig20_ablation.dir/fig20_ablation.cc.o.d"
+  "fig20_ablation"
+  "fig20_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

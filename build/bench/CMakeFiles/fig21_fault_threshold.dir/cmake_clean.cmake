@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_fault_threshold.dir/fig21_fault_threshold.cc.o"
+  "CMakeFiles/fig21_fault_threshold.dir/fig21_fault_threshold.cc.o.d"
+  "fig21_fault_threshold"
+  "fig21_fault_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_fault_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

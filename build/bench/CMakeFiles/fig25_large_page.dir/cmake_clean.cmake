@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_large_page.dir/fig25_large_page.cc.o"
+  "CMakeFiles/fig25_large_page.dir/fig25_large_page.cc.o.d"
+  "fig25_large_page"
+  "fig25_large_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_large_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_griffin.dir/fig26_griffin.cc.o"
+  "CMakeFiles/fig26_griffin.dir/fig26_griffin.cc.o.d"
+  "fig26_griffin"
+  "fig26_griffin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_griffin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_gps.dir/fig27_gps.cc.o"
+  "CMakeFiles/fig27_gps.dir/fig27_gps.cc.o.d"
+  "fig27_gps"
+  "fig27_gps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig28_transfw.dir/fig28_transfw.cc.o"
+  "CMakeFiles/fig28_transfw.dir/fig28_transfw.cc.o.d"
+  "fig28_transfw"
+  "fig28_transfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig28_transfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig29_first_touch.dir/fig29_first_touch.cc.o"
+  "CMakeFiles/fig29_first_touch.dir/fig29_first_touch.cc.o.d"
+  "fig29_first_touch"
+  "fig29_first_touch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig29_first_touch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig30_prefetch.dir/fig30_prefetch.cc.o"
+  "CMakeFiles/fig30_prefetch.dir/fig30_prefetch.cc.o.d"
+  "fig30_prefetch"
+  "fig30_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig30_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

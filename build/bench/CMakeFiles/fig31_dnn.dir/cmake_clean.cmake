@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig31_dnn.dir/fig31_dnn.cc.o"
+  "CMakeFiles/fig31_dnn.dir/fig31_dnn.cc.o.d"
+  "fig31_dnn"
+  "fig31_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig31_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_workloads.dir/table02_workloads.cc.o"
+  "CMakeFiles/table02_workloads.dir/table02_workloads.cc.o.d"
+  "table02_workloads"
+  "table02_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gps.cc" "src/CMakeFiles/grit.dir/baselines/gps.cc.o" "gcc" "src/CMakeFiles/grit.dir/baselines/gps.cc.o.d"
+  "/root/repo/src/baselines/griffin.cc" "src/CMakeFiles/grit.dir/baselines/griffin.cc.o" "gcc" "src/CMakeFiles/grit.dir/baselines/griffin.cc.o.d"
+  "/root/repo/src/baselines/transfw.cc" "src/CMakeFiles/grit.dir/baselines/transfw.cc.o" "gcc" "src/CMakeFiles/grit.dir/baselines/transfw.cc.o.d"
+  "/root/repo/src/baselines/tree_prefetcher.cc" "src/CMakeFiles/grit.dir/baselines/tree_prefetcher.cc.o" "gcc" "src/CMakeFiles/grit.dir/baselines/tree_prefetcher.cc.o.d"
+  "/root/repo/src/core/grit_policy.cc" "src/CMakeFiles/grit.dir/core/grit_policy.cc.o" "gcc" "src/CMakeFiles/grit.dir/core/grit_policy.cc.o.d"
+  "/root/repo/src/core/neighbor_predictor.cc" "src/CMakeFiles/grit.dir/core/neighbor_predictor.cc.o" "gcc" "src/CMakeFiles/grit.dir/core/neighbor_predictor.cc.o.d"
+  "/root/repo/src/core/pa_cache.cc" "src/CMakeFiles/grit.dir/core/pa_cache.cc.o" "gcc" "src/CMakeFiles/grit.dir/core/pa_cache.cc.o.d"
+  "/root/repo/src/core/pa_table.cc" "src/CMakeFiles/grit.dir/core/pa_table.cc.o" "gcc" "src/CMakeFiles/grit.dir/core/pa_table.cc.o.d"
+  "/root/repo/src/core/scheme_decision.cc" "src/CMakeFiles/grit.dir/core/scheme_decision.cc.o" "gcc" "src/CMakeFiles/grit.dir/core/scheme_decision.cc.o.d"
+  "/root/repo/src/gpu/gmmu.cc" "src/CMakeFiles/grit.dir/gpu/gmmu.cc.o" "gcc" "src/CMakeFiles/grit.dir/gpu/gmmu.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/grit.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/grit.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/tb_scheduler.cc" "src/CMakeFiles/grit.dir/gpu/tb_scheduler.cc.o" "gcc" "src/CMakeFiles/grit.dir/gpu/tb_scheduler.cc.o.d"
+  "/root/repo/src/harness/config.cc" "src/CMakeFiles/grit.dir/harness/config.cc.o" "gcc" "src/CMakeFiles/grit.dir/harness/config.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/grit.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/grit.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/simulator.cc" "src/CMakeFiles/grit.dir/harness/simulator.cc.o" "gcc" "src/CMakeFiles/grit.dir/harness/simulator.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/grit.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/grit.dir/harness/table.cc.o.d"
+  "/root/repo/src/interconnect/fabric.cc" "src/CMakeFiles/grit.dir/interconnect/fabric.cc.o" "gcc" "src/CMakeFiles/grit.dir/interconnect/fabric.cc.o.d"
+  "/root/repo/src/interconnect/link.cc" "src/CMakeFiles/grit.dir/interconnect/link.cc.o" "gcc" "src/CMakeFiles/grit.dir/interconnect/link.cc.o.d"
+  "/root/repo/src/mem/access_counter.cc" "src/CMakeFiles/grit.dir/mem/access_counter.cc.o" "gcc" "src/CMakeFiles/grit.dir/mem/access_counter.cc.o.d"
+  "/root/repo/src/mem/data_cache.cc" "src/CMakeFiles/grit.dir/mem/data_cache.cc.o" "gcc" "src/CMakeFiles/grit.dir/mem/data_cache.cc.o.d"
+  "/root/repo/src/mem/dram_manager.cc" "src/CMakeFiles/grit.dir/mem/dram_manager.cc.o" "gcc" "src/CMakeFiles/grit.dir/mem/dram_manager.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/grit.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/grit.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/mem/page_walk_cache.cc" "src/CMakeFiles/grit.dir/mem/page_walk_cache.cc.o" "gcc" "src/CMakeFiles/grit.dir/mem/page_walk_cache.cc.o.d"
+  "/root/repo/src/mem/pte.cc" "src/CMakeFiles/grit.dir/mem/pte.cc.o" "gcc" "src/CMakeFiles/grit.dir/mem/pte.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/grit.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/grit.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/policy/access_counter_policy.cc" "src/CMakeFiles/grit.dir/policy/access_counter_policy.cc.o" "gcc" "src/CMakeFiles/grit.dir/policy/access_counter_policy.cc.o.d"
+  "/root/repo/src/policy/duplication.cc" "src/CMakeFiles/grit.dir/policy/duplication.cc.o" "gcc" "src/CMakeFiles/grit.dir/policy/duplication.cc.o.d"
+  "/root/repo/src/policy/first_touch.cc" "src/CMakeFiles/grit.dir/policy/first_touch.cc.o" "gcc" "src/CMakeFiles/grit.dir/policy/first_touch.cc.o.d"
+  "/root/repo/src/policy/ideal.cc" "src/CMakeFiles/grit.dir/policy/ideal.cc.o" "gcc" "src/CMakeFiles/grit.dir/policy/ideal.cc.o.d"
+  "/root/repo/src/policy/on_touch.cc" "src/CMakeFiles/grit.dir/policy/on_touch.cc.o" "gcc" "src/CMakeFiles/grit.dir/policy/on_touch.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/CMakeFiles/grit.dir/policy/policy.cc.o" "gcc" "src/CMakeFiles/grit.dir/policy/policy.cc.o.d"
+  "/root/repo/src/simcore/event_queue.cc" "src/CMakeFiles/grit.dir/simcore/event_queue.cc.o" "gcc" "src/CMakeFiles/grit.dir/simcore/event_queue.cc.o.d"
+  "/root/repo/src/simcore/log.cc" "src/CMakeFiles/grit.dir/simcore/log.cc.o" "gcc" "src/CMakeFiles/grit.dir/simcore/log.cc.o.d"
+  "/root/repo/src/simcore/resource.cc" "src/CMakeFiles/grit.dir/simcore/resource.cc.o" "gcc" "src/CMakeFiles/grit.dir/simcore/resource.cc.o.d"
+  "/root/repo/src/simcore/rng.cc" "src/CMakeFiles/grit.dir/simcore/rng.cc.o" "gcc" "src/CMakeFiles/grit.dir/simcore/rng.cc.o.d"
+  "/root/repo/src/stats/counters.cc" "src/CMakeFiles/grit.dir/stats/counters.cc.o" "gcc" "src/CMakeFiles/grit.dir/stats/counters.cc.o.d"
+  "/root/repo/src/stats/interval_sampler.cc" "src/CMakeFiles/grit.dir/stats/interval_sampler.cc.o" "gcc" "src/CMakeFiles/grit.dir/stats/interval_sampler.cc.o.d"
+  "/root/repo/src/stats/latency_breakdown.cc" "src/CMakeFiles/grit.dir/stats/latency_breakdown.cc.o" "gcc" "src/CMakeFiles/grit.dir/stats/latency_breakdown.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/grit.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/grit.dir/stats/summary.cc.o.d"
+  "/root/repo/src/uvm/fault.cc" "src/CMakeFiles/grit.dir/uvm/fault.cc.o" "gcc" "src/CMakeFiles/grit.dir/uvm/fault.cc.o.d"
+  "/root/repo/src/uvm/migration.cc" "src/CMakeFiles/grit.dir/uvm/migration.cc.o" "gcc" "src/CMakeFiles/grit.dir/uvm/migration.cc.o.d"
+  "/root/repo/src/uvm/replica_directory.cc" "src/CMakeFiles/grit.dir/uvm/replica_directory.cc.o" "gcc" "src/CMakeFiles/grit.dir/uvm/replica_directory.cc.o.d"
+  "/root/repo/src/uvm/uvm_driver.cc" "src/CMakeFiles/grit.dir/uvm/uvm_driver.cc.o" "gcc" "src/CMakeFiles/grit.dir/uvm/uvm_driver.cc.o.d"
+  "/root/repo/src/workload/apps.cc" "src/CMakeFiles/grit.dir/workload/apps.cc.o" "gcc" "src/CMakeFiles/grit.dir/workload/apps.cc.o.d"
+  "/root/repo/src/workload/characterizer.cc" "src/CMakeFiles/grit.dir/workload/characterizer.cc.o" "gcc" "src/CMakeFiles/grit.dir/workload/characterizer.cc.o.d"
+  "/root/repo/src/workload/dnn.cc" "src/CMakeFiles/grit.dir/workload/dnn.cc.o" "gcc" "src/CMakeFiles/grit.dir/workload/dnn.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/grit.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/grit.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/grit.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/grit.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grit_policy.dir/test_grit_policy.cc.o"
+  "CMakeFiles/test_grit_policy.dir/test_grit_policy.cc.o.d"
+  "test_grit_policy"
+  "test_grit_policy.pdb"
+  "test_grit_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grit_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neighbor_predictor.dir/test_neighbor_predictor.cc.o"
+  "CMakeFiles/test_neighbor_predictor.dir/test_neighbor_predictor.cc.o.d"
+  "test_neighbor_predictor"
+  "test_neighbor_predictor.pdb"
+  "test_neighbor_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neighbor_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

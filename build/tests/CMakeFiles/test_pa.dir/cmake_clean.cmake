@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pa.dir/test_pa.cc.o"
+  "CMakeFiles/test_pa.dir/test_pa.cc.o.d"
+  "test_pa"
+  "test_pa.pdb"
+  "test_pa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uvm.dir/test_uvm.cc.o"
+  "CMakeFiles/test_uvm.dir/test_uvm.cc.o.d"
+  "test_uvm"
+  "test_uvm.pdb"
+  "test_uvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
