@@ -13,7 +13,7 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -32,8 +32,8 @@ main()
         configs.push_back({"grit-" + std::to_string(threshold), grit_cfg});
     }
 
-    const auto matrix = harness::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams());
+    const auto matrix = grit::bench::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
 
     std::cout << "Ablation: access-counter threshold (Table I default "
                  "256; speedup over on-touch)\n\n";

@@ -19,7 +19,7 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -39,8 +39,8 @@ main()
         {"grit-nap-no-cache", grit_config(false, true)},
     };
 
-    const auto matrix = harness::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams());
+    const auto matrix = grit::bench::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
 
     std::cout << "Ablation: Neighboring-Aware Prediction contribution "
                  "(speedup over on-touch)\n\n";

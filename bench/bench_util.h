@@ -8,12 +8,14 @@
 #define GRIT_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/config.h"
 #include "harness/experiment.h"
+#include "harness/experiment_engine.h"
 #include "harness/table.h"
 #include "workload/apps.h"
 
@@ -32,6 +34,47 @@ benchParams()
     if (const char *seed = std::getenv("GRIT_SEED"))
         params.seed = std::strtoull(seed, nullptr, 10);
     return params;
+}
+
+/**
+ * Worker count from the command line: `--jobs N`, `--jobs=N`, or `-j N`.
+ * Returns 0 (auto: GRIT_JOBS env, else all cores) when absent.
+ */
+inline unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--jobs=", 7) == 0)
+            return static_cast<unsigned>(
+                std::strtoul(arg + 7, nullptr, 10));
+        if ((std::strcmp(arg, "--jobs") == 0 ||
+             std::strcmp(arg, "-j") == 0) &&
+            i + 1 < argc)
+            return static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    return 0;
+}
+
+/** An ExperimentEngine honoring `--jobs`/`-j` (else GRIT_JOBS/auto). */
+inline harness::ExperimentEngine
+makeEngine(int argc, char **argv)
+{
+    harness::ExperimentEngine::Options options;
+    options.jobs = jobsFromArgs(argc, argv);
+    return harness::ExperimentEngine(options);
+}
+
+/** Run the app x config sweep on the parallel engine. */
+inline harness::ResultMatrix
+runMatrix(const std::vector<workload::AppId> &apps,
+          const std::vector<harness::LabeledConfig> &configs,
+          const workload::WorkloadParams &params, int argc = 0,
+          char **argv = nullptr)
+{
+    auto engine = makeEngine(argc, argv);
+    return engine.runMatrix(apps, configs, params);
 }
 
 /** The three uniform schemes the paper compares against. */

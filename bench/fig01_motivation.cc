@@ -10,7 +10,7 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
 
@@ -18,8 +18,8 @@ main()
     configs.push_back(
         {"ideal", harness::makeConfig(harness::PolicyKind::kIdeal, 4)});
 
-    const auto matrix = harness::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams());
+    const auto matrix = grit::bench::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
 
     std::cout << "Figure 1: performance of each scheme relative to "
                  "baseline on-touch migration\n\n";

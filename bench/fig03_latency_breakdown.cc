@@ -13,7 +13,7 @@
 #include "stats/latency_breakdown.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
     using stats::LatencyKind;
@@ -21,7 +21,8 @@ main()
     const auto params = grit::bench::benchParams();
     const auto configs = grit::bench::uniformConfigs();
     const auto matrix =
-        harness::runMatrix(grit::bench::allApps(), configs, params);
+        grit::bench::runMatrix(grit::bench::allApps(), configs, params,
+                               argc, argv);
 
     std::cout << "Figure 3: page-handling latency breakdown "
                  "(fraction of the app's on-touch total)\n\n";

@@ -11,13 +11,13 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
 
     const auto configs = grit::bench::mainConfigs();
-    const auto matrix = harness::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams());
+    const auto matrix = grit::bench::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
 
     std::cout << "Figure 17: GRIT vs uniform schemes (speedup over "
                  "on-touch)\n\n";

@@ -12,20 +12,28 @@
 #include "mem/pte.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
 
     const auto params = grit::bench::benchParams();
+
+    // One engine cell per app, all under the GRIT config.
+    harness::RunPlan plan;
+    const harness::LabeledConfig grit_config = {
+        "grit", harness::makeConfig(harness::PolicyKind::kGrit, 4)};
+    for (workload::AppId app : workload::kAllApps)
+        plan.add(app, grit_config, params);
+    auto engine = grit::bench::makeEngine(argc, argv);
+    const auto matrix = engine.run(plan);
 
     std::cout << "Figure 19: scheme mix of L2-TLB-missing accesses "
                  "under GRIT\n\n";
     harness::TextTable table({"app", "on-touch %", "access-counter %",
                               "duplication %"});
     for (workload::AppId app : workload::kAllApps) {
-        const auto config =
-            harness::makeConfig(harness::PolicyKind::kGrit, 4);
-        const auto result = harness::runApp(app, config, params);
+        const auto &result =
+            matrix.at(workload::appMeta(app).abbr).at("grit");
 
         // Index by mem::Scheme; kNone accesses ran under the start
         // scheme (on-touch) before any decision.

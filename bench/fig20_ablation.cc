@@ -11,7 +11,7 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -32,8 +32,8 @@ main()
         {"full-grit", grit_config(true, true)},
     };
 
-    const auto matrix = harness::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams());
+    const auto matrix = grit::bench::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
 
     std::cout << "Figure 20: GRIT component ablation (speedup over "
                  "on-touch)\n\n";

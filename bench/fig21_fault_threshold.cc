@@ -10,7 +10,7 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -25,8 +25,8 @@ main()
             {"grit-t" + std::to_string(threshold), config});
     }
 
-    const auto matrix = harness::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams());
+    const auto matrix = grit::bench::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
 
     std::cout << "Figure 21: GRIT fault-threshold sensitivity (speedup "
                  "over on-touch)\n\n";

@@ -11,14 +11,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
 
     for (unsigned gpus : {2u, 8u, 16u}) {
         const auto configs = grit::bench::mainConfigs(gpus);
-        const auto matrix = harness::runMatrix(
-            grit::bench::allApps(), configs, grit::bench::benchParams());
+        const auto matrix = grit::bench::runMatrix(
+            grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
 
         std::cout << "=== " << gpus << " GPUs (speedup over " << gpus
                   << "-GPU on-touch) ===\n\n";

@@ -15,7 +15,7 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -39,7 +39,8 @@ main()
     }
 
     const auto matrix =
-        harness::runMatrix(grit::bench::allApps(), configs, params);
+        grit::bench::runMatrix(grit::bench::allApps(), configs, params,
+                               argc, argv);
 
     std::cout << "Figure 25: large pages (32 KB model of the paper's "
                  "2 MB study; speedup over large-page on-touch)\n\n";

@@ -11,7 +11,7 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -21,8 +21,8 @@ main()
         {"grit", harness::makeConfig(PolicyKind::kGrit, 4)},
     };
 
-    const auto matrix = harness::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams());
+    const auto matrix = grit::bench::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
 
     std::cout << "Figure 29: first-touch comparison (speedup over "
                  "first-touch)\n\n";

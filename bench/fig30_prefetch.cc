@@ -11,7 +11,7 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -28,8 +28,8 @@ main()
         {"grit+prefetch", grit_pf},
     };
 
-    const auto matrix = harness::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams());
+    const auto matrix = grit::bench::runMatrix(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
 
     std::cout << "Figure 30: GRIT combined with tree-based neighborhood "
                  "prefetching (speedup over on-touch+prefetch)\n\n";

@@ -11,28 +11,39 @@
 #include "workload/dnn.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
 
     const auto params = grit::bench::benchParams();
 
+    // DNN traces are prebuilt (no AppId), so plan them as shared
+    // workload handles: one generation, two configurations each.
+    harness::RunPlan plan;
+    for (workload::DnnModel model :
+         {workload::DnnModel::kVgg16, workload::DnnModel::kResNet18}) {
+        workload::WorkloadParams p = params;
+        p.numGpus = 4;
+        const auto w = std::make_shared<const workload::Workload>(
+            workload::makeDnnWorkload(model, p));
+        const std::string row = workload::dnnModelName(model);
+        plan.addWorkload(row, "on-touch",
+                         harness::makeConfig(PolicyKind::kOnTouch, 4), w);
+        plan.addWorkload(row, "grit",
+                         harness::makeConfig(PolicyKind::kGrit, 4), w);
+    }
+    auto engine = grit::bench::makeEngine(argc, argv);
+    const auto matrix = engine.run(plan);
+
     std::cout << "Figure 31: DNN model parallelism (speedup over "
                  "on-touch; paper: VGG16 +15 %, ResNet18 +18 %)\n\n";
     harness::TextTable table({"model", "on-touch", "grit", "improvement"});
     for (workload::DnnModel model :
          {workload::DnnModel::kVgg16, workload::DnnModel::kResNet18}) {
-        workload::WorkloadParams p = params;
-        p.numGpus = 4;
-        const auto w = workload::makeDnnWorkload(model, p);
-
-        const auto base = harness::runWorkload(
-            harness::makeConfig(PolicyKind::kOnTouch, 4), w);
-        const auto grit_run = harness::runWorkload(
-            harness::makeConfig(PolicyKind::kGrit, 4), w);
-
-        const double speedup = harness::speedupOver(base, grit_run);
+        const auto &runs = matrix.at(workload::dnnModelName(model));
+        const double speedup =
+            harness::speedupOver(runs.at("on-touch"), runs.at("grit"));
         table.addRow({workload::dnnModelName(model), "1.00",
                       harness::TextTable::fmt(speedup),
                       harness::TextTable::pct(100.0 * (speedup - 1.0))});

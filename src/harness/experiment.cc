@@ -1,6 +1,8 @@
 #include "harness/experiment.h"
 
-#include <cassert>
+#include <stdexcept>
+
+#include "harness/experiment_engine.h"
 
 namespace grit::harness {
 
@@ -24,7 +26,10 @@ runApp(workload::AppId app, const SystemConfig &config,
 double
 speedupOver(const RunResult &base, const RunResult &test)
 {
-    assert(test.cycles > 0);
+    if (test.cycles == 0)
+        throw std::invalid_argument(
+            "speedupOver: test run has zero cycles (did the simulation "
+            "run?)");
     return static_cast<double>(base.cycles) /
            static_cast<double>(test.cycles);
 }
@@ -36,21 +41,12 @@ runMatrix(const std::vector<workload::AppId> &apps,
           const std::function<void(workload::AppId,
                                    workload::WorkloadParams &)> &mutate)
 {
-    ResultMatrix matrix;
-    for (workload::AppId app : apps) {
-        workload::WorkloadParams p = params;
-        if (mutate)
-            mutate(app, p);
-        const std::string row = workload::appMeta(app).abbr;
-        for (const LabeledConfig &lc : configs) {
-            workload::WorkloadParams run_params = p;
-            run_params.numGpus = lc.config.numGpus;
-            const workload::Workload w =
-                workload::makeWorkload(app, run_params);
-            matrix[row][lc.label] = runWorkload(lc.config, w);
-        }
-    }
-    return matrix;
+    // Compatibility wrapper: a single-threaded ExperimentEngine plan
+    // reproduces the historical serial behaviour exactly.
+    ExperimentEngine::Options options;
+    options.jobs = 1;
+    ExperimentEngine engine(options);
+    return engine.runMatrix(apps, configs, params, mutate);
 }
 
 std::map<std::string, double>

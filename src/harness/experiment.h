@@ -27,7 +27,10 @@ RunResult runWorkload(const SystemConfig &config,
 RunResult runApp(workload::AppId app, const SystemConfig &config,
                  const workload::WorkloadParams &params = {});
 
-/** Speedup of @p test over @p base: base.cycles / test.cycles. */
+/**
+ * Speedup of @p test over @p base: base.cycles / test.cycles.
+ * @throws std::invalid_argument when @p test ran for zero cycles.
+ */
 double speedupOver(const RunResult &base, const RunResult &test);
 
 /**
@@ -46,6 +49,12 @@ struct LabeledConfig
 
 /**
  * Run every app in @p apps under every configuration.
+ *
+ * Compatibility wrapper over ExperimentEngine (experiment_engine.h)
+ * with a single-threaded plan; new code — and anything that sweeps more
+ * than a couple of cells — should use the engine directly to run cells
+ * in parallel and share generated traces.
+ *
  * @param mutate optional per-app hook (e.g. to scale input sizes).
  */
 ResultMatrix runMatrix(

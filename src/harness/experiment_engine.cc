@@ -1,0 +1,153 @@
+#include "harness/experiment_engine.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "harness/simulator.h"
+#include "simcore/log.h"
+
+namespace grit::harness {
+
+RunPlan &
+RunPlan::add(workload::AppId app, const LabeledConfig &config,
+             const workload::WorkloadParams &params)
+{
+    workload::WorkloadParams p = params;
+    p.numGpus = config.config.numGpus;
+    return addCell(workload::appMeta(app).abbr, config.label,
+                   config.config, app, p);
+}
+
+RunPlan &
+RunPlan::addCell(std::string row, std::string label, SystemConfig config,
+                 workload::AppId app, workload::WorkloadParams params)
+{
+    cells_.push_back(RunCell{std::move(row), std::move(label),
+                             std::move(config), nullptr, app,
+                             std::move(params)});
+    return *this;
+}
+
+RunPlan &
+RunPlan::addWorkload(std::string row, std::string label,
+                     SystemConfig config, workload::WorkloadHandle workload)
+{
+    RunCell cell;
+    cell.row = std::move(row);
+    cell.label = std::move(label);
+    cell.config = std::move(config);
+    cell.workload = std::move(workload);
+    cells_.push_back(std::move(cell));
+    return *this;
+}
+
+RunPlan
+RunPlan::matrix(const std::vector<workload::AppId> &apps,
+                const std::vector<LabeledConfig> &configs,
+                const workload::WorkloadParams &params,
+                const std::function<void(workload::AppId,
+                                         workload::WorkloadParams &)>
+                    &mutate)
+{
+    RunPlan plan;
+    for (workload::AppId app : apps) {
+        workload::WorkloadParams p = params;
+        if (mutate)
+            mutate(app, p);
+        for (const LabeledConfig &lc : configs)
+            plan.add(app, lc, p);
+    }
+    return plan;
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("GRIT_JOBS")) {
+        const unsigned long jobs = std::strtoul(env, nullptr, 10);
+        if (jobs > 0)
+            return static_cast<unsigned>(jobs);
+        GRIT_LOG(sim::LogLevel::kWarn,
+                 "ignoring invalid GRIT_JOBS value \"" << env << "\"");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+unsigned
+ExperimentEngine::jobs() const
+{
+    return options_.jobs > 0 ? options_.jobs : defaultJobs();
+}
+
+ResultMatrix
+ExperimentEngine::run(const RunPlan &plan)
+{
+    const std::vector<RunCell> &cells = plan.cells();
+    std::vector<RunResult> results(cells.size());
+    std::vector<std::exception_ptr> errors(cells.size());
+
+    auto runCell = [&](std::size_t i) {
+        try {
+            const RunCell &cell = cells[i];
+            workload::WorkloadHandle w = cell.workload;
+            if (!w) {
+                w = options_.shareTraces
+                        ? cache_.get(cell.app, cell.params)
+                        : std::make_shared<const workload::Workload>(
+                              workload::makeWorkload(cell.app,
+                                                     cell.params));
+            }
+            Simulator simulator(cell.config, *w);
+            results[i] = simulator.run();
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    const std::size_t workers =
+        std::min<std::size_t>(jobs(), std::max<std::size_t>(cells.size(), 1));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            runCell(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        {
+            std::vector<std::jthread> pool;
+            pool.reserve(workers);
+            for (std::size_t t = 0; t < workers; ++t) {
+                pool.emplace_back([&] {
+                    for (std::size_t i = next.fetch_add(1);
+                         i < cells.size(); i = next.fetch_add(1))
+                        runCell(i);
+                });
+            }
+        }  // jthread joins here
+    }
+
+    // First failure in plan order wins, independent of thread timing.
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+
+    ResultMatrix matrix;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        matrix[cells[i].row][cells[i].label] = std::move(results[i]);
+    return matrix;
+}
+
+ResultMatrix
+ExperimentEngine::runMatrix(
+    const std::vector<workload::AppId> &apps,
+    const std::vector<LabeledConfig> &configs,
+    const workload::WorkloadParams &params,
+    const std::function<void(workload::AppId, workload::WorkloadParams &)>
+        &mutate)
+{
+    return run(RunPlan::matrix(apps, configs, params, mutate));
+}
+
+}  // namespace grit::harness

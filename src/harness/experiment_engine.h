@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Parallel, cache-aware experiment engine.
+ *
+ * A RunPlan is a flat list of (row, label, config, workload) cells; the
+ * ExperimentEngine executes them on a worker pool and folds the results
+ * into the same ResultMatrix the serial harness produced. Each Simulator
+ * is a self-contained deterministic island (own EventQueue, own stats),
+ * so cells parallelize perfectly: results are bit-identical to a serial
+ * run regardless of thread count. Identical traces are generated once
+ * per sweep through a workload::TraceCache and shared read-only across
+ * cells and threads.
+ *
+ * Worker count: Options::jobs if nonzero, else the GRIT_JOBS
+ * environment variable, else std::thread::hardware_concurrency().
+ */
+
+#ifndef GRIT_HARNESS_EXPERIMENT_ENGINE_H_
+#define GRIT_HARNESS_EXPERIMENT_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "workload/trace_cache.h"
+
+namespace grit::harness {
+
+/** One experiment cell: a workload run under one configuration. */
+struct RunCell
+{
+    std::string row;    //!< ResultMatrix row (app abbreviation, model, ...)
+    std::string label;  //!< ResultMatrix column (configuration label)
+    SystemConfig config;
+    /** Prebuilt trace; when null, generated from (app, params). */
+    workload::WorkloadHandle workload;
+    workload::AppId app = workload::AppId::kBfs;
+    workload::WorkloadParams params;
+};
+
+/** An ordered list of cells for the engine to execute. */
+class RunPlan
+{
+  public:
+    /**
+     * Add @p app under @p config; the row label is the app's Table II
+     * abbreviation and params.numGpus is forced to config.numGpus.
+     */
+    RunPlan &add(workload::AppId app, const LabeledConfig &config,
+                 const workload::WorkloadParams &params = {});
+
+    /** Add a fully specified generated-trace cell. */
+    RunPlan &addCell(std::string row, std::string label,
+                     SystemConfig config, workload::AppId app,
+                     workload::WorkloadParams params);
+
+    /** Add a prebuilt workload (DNN models, custom traces). */
+    RunPlan &addWorkload(std::string row, std::string label,
+                         SystemConfig config,
+                         workload::WorkloadHandle workload);
+
+    /**
+     * The full app x config cross product runMatrix historically ran.
+     * @param mutate optional per-app hook (e.g. to scale input sizes).
+     */
+    static RunPlan matrix(
+        const std::vector<workload::AppId> &apps,
+        const std::vector<LabeledConfig> &configs,
+        const workload::WorkloadParams &params = {},
+        const std::function<void(workload::AppId,
+                                 workload::WorkloadParams &)> &mutate =
+            nullptr);
+
+    const std::vector<RunCell> &cells() const { return cells_; }
+    std::size_t size() const { return cells_.size(); }
+    bool empty() const { return cells_.empty(); }
+
+  private:
+    std::vector<RunCell> cells_;
+};
+
+/** Resolved worker count: GRIT_JOBS env if set, else hardware threads. */
+unsigned defaultJobs();
+
+/** Executes RunPlans on a worker pool with a shared trace cache. */
+class ExperimentEngine
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 = auto (GRIT_JOBS env, else all cores). */
+        unsigned jobs = 0;
+        /** Share identical traces across cells via the TraceCache. */
+        bool shareTraces = true;
+    };
+
+    ExperimentEngine() = default;
+    explicit ExperimentEngine(const Options &options) : options_(options) {}
+
+    /**
+     * Execute every cell of @p plan and fold the results into a
+     * ResultMatrix. Deterministic: the matrix is identical for any
+     * worker count. A cell that throws rethrows here (first cell in
+     * plan order wins) after all workers drain.
+     */
+    ResultMatrix run(const RunPlan &plan);
+
+    /** Plan + run the classic app x config matrix in one call. */
+    ResultMatrix runMatrix(
+        const std::vector<workload::AppId> &apps,
+        const std::vector<LabeledConfig> &configs,
+        const workload::WorkloadParams &params = {},
+        const std::function<void(workload::AppId,
+                                 workload::WorkloadParams &)> &mutate =
+            nullptr);
+
+    /** Worker count run() will use. */
+    unsigned jobs() const;
+
+    /** Trace cache (hit/miss stats survive across run() calls). */
+    const workload::TraceCache &traceCache() const { return cache_; }
+
+  private:
+    Options options_;
+    workload::TraceCache cache_;
+};
+
+}  // namespace grit::harness
+
+#endif  // GRIT_HARNESS_EXPERIMENT_ENGINE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simcore/log.h"
+
 #include "policy/access_counter_policy.h"
 #include "policy/duplication.h"
 #include "policy/first_touch.h"
@@ -285,7 +287,14 @@ Simulator::run()
         limit = 16 * (workload_.totalAccesses() + 1024);
     }
     queue_.run(limit);
-    assert(queue_.empty() && "event limit hit before the workload drained");
+    if (queue_.limitHit()) {
+        GRIT_LOG(sim::LogLevel::kWarn,
+                 "workload " << workload_.name
+                             << ": event limit hit before the trace "
+                                "drained; results are truncated");
+        stats_.counter("sim.event_limit_hit").inc();
+        assert(false && "event limit hit before the workload drained");
+    }
 
     RunResult result;
     result.cycles = finish_;

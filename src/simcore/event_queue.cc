@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "simcore/log.h"
+
 namespace grit::sim {
 
 void
@@ -32,9 +34,17 @@ EventQueue::step()
 std::uint64_t
 EventQueue::run(std::uint64_t limit)
 {
+    limitHit_ = false;
     std::uint64_t executed = 0;
     while (executed < limit && step())
         ++executed;
+    if (!heap_.empty() && executed >= limit) {
+        limitHit_ = true;
+        GRIT_LOG(LogLevel::kWarn,
+                 "event limit (" << limit << ") hit at cycle " << now_
+                                 << " with " << heap_.size()
+                                 << " events still pending");
+    }
     return executed;
 }
 
@@ -44,6 +54,7 @@ EventQueue::reset()
     heap_ = {};
     now_ = 0;
     nextSeq_ = 0;
+    limitHit_ = false;
 }
 
 }  // namespace grit::sim

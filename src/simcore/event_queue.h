@@ -61,10 +61,16 @@ class EventQueue
 
     /**
      * Run events until the queue drains or @p limit events have fired.
+     * Hitting the limit with events still pending logs at kWarn and
+     * sets limitHit() so callers can tell a drained simulation from a
+     * truncated one.
      * @param limit safety valve against runaway simulations.
      * @return number of events executed.
      */
     std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+    /** True when the last run() stopped at its limit with work pending. */
+    bool limitHit() const { return limitHit_; }
 
     /** Execute at most one event. @return true if an event fired. */
     bool step();
@@ -94,6 +100,7 @@ class EventQueue
     std::priority_queue<Item, std::vector<Item>, Later> heap_;
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    bool limitHit_ = false;
 };
 
 }  // namespace grit::sim

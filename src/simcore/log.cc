@@ -1,15 +1,24 @@
 #include "simcore/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace grit::sim {
 
 namespace {
 
-LogLevel g_level = LogLevel::kOff;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+/** Guards g_sink and serializes sink invocations. */
+std::mutex g_sink_mu;
+LogSink g_sink;  // null = default stderr sink
+
+}  // namespace
 
 const char *
-levelName(LogLevel level)
+logLevelName(LogLevel level)
 {
     switch (level) {
       case LogLevel::kTrace: return "TRACE";
@@ -22,24 +31,33 @@ levelName(LogLevel level)
     return "?";
 }
 
-}  // namespace
-
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    g_sink = std::move(sink);
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    if (g_sink)
+        g_sink(level, msg);
+    else
+        std::fprintf(stderr, "[%s] %s\n", logLevelName(level), msg.c_str());
 }
 
 }  // namespace grit::sim

@@ -4,11 +4,16 @@
  *
  * Off by default so benchmark output stays clean; tests and examples can
  * raise the level to trace page-placement decisions.
+ *
+ * Thread-safe: the level is atomic and the sink is called under a lock,
+ * so parallel ExperimentEngine workers can log concurrently without
+ * tearing lines or racing a setLogSink() swap.
  */
 
 #ifndef GRIT_SIMCORE_LOG_H_
 #define GRIT_SIMCORE_LOG_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -17,11 +22,24 @@ namespace grit::sim {
 /** Severity levels, lowest to highest. */
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
+/** Printable level name ("WARN"). */
+const char *logLevelName(LogLevel level);
+
 /** Global log threshold; messages below it are dropped. */
 LogLevel logLevel();
 
 /** Set the global log threshold. */
 void setLogLevel(LogLevel level);
+
+/** Receives every emitted log line. */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Replace the output sink (default: stderr). Pass nullptr to restore
+ * the default. The sink runs under the log lock: keep it fast and never
+ * log from inside it.
+ */
+void setLogSink(LogSink sink);
 
 /** Emit one log line (used by the GRIT_LOG macro). */
 void logMessage(LogLevel level, const std::string &msg);

@@ -64,6 +64,9 @@ struct WorkloadParams
     std::uint64_t seed = 1;
     /** Multiplies iteration counts (trace length). */
     double intensity = 1.0;
+
+    /** Field-wise equality (TraceCache key). */
+    bool operator==(const WorkloadParams &) const = default;
 };
 
 /** Generate the trace for @p app. */

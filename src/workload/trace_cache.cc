@@ -1,0 +1,84 @@
+#include "workload/trace_cache.h"
+
+#include <bit>
+
+namespace grit::workload {
+
+namespace {
+
+/** splitmix64-style avalanche, for combining key fields. */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h *= 0xBF58476D1CE4E5B9ULL;
+    return h ^ (h >> 31);
+}
+
+}  // namespace
+
+std::size_t
+TraceCache::KeyHash::operator()(const Key &key) const
+{
+    std::uint64_t h = static_cast<std::uint64_t>(key.app);
+    h = mix(h, key.params.numGpus);
+    h = mix(h, key.params.footprintDivisor);
+    h = mix(h, key.params.seed);
+    h = mix(h, std::bit_cast<std::uint64_t>(key.params.intensity));
+    return static_cast<std::size_t>(h);
+}
+
+WorkloadHandle
+TraceCache::get(AppId app, const WorkloadParams &params)
+{
+    const Key key{app, params};
+    std::promise<WorkloadHandle> promise;
+    Slot slot;
+    bool generate = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            slot = promise.get_future().share();
+            map_.emplace(key, slot);
+            generate = true;
+        } else {
+            slot = it->second;
+        }
+    }
+
+    if (generate) {
+        misses_.fetch_add(1);
+        try {
+            promise.set_value(
+                std::make_shared<const Workload>(makeWorkload(app, params)));
+        } catch (...) {
+            // Don't cache the failure: drop the slot so a later call can
+            // retry, and propagate to everyone waiting on this one.
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                map_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    } else {
+        hits_.fetch_add(1);
+    }
+    return slot.get();
+}
+
+std::size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+}
+
+}  // namespace grit::workload

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared-ownership cache of generated workload traces.
+ *
+ * An experiment sweep runs the same (app, params) trace under many
+ * system configurations; generation is deterministic, so the trace can
+ * be built once and shared read-only across every cell — and across
+ * worker threads, since a Workload is immutable after generation. The
+ * cache is thread-safe: concurrent requests for the same key block on a
+ * single generation instead of racing to duplicate it.
+ */
+
+#ifndef GRIT_WORKLOAD_TRACE_CACHE_H_
+#define GRIT_WORKLOAD_TRACE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "workload/apps.h"
+#include "workload/trace.h"
+
+namespace grit::workload {
+
+/** Handle to a cached, immutable workload trace. */
+using WorkloadHandle = std::shared_ptr<const Workload>;
+
+/**
+ * Thread-safe cache of makeWorkload results keyed by (AppId, params).
+ *
+ * The first get() for a key generates the trace; concurrent get()s for
+ * the same key wait for that generation and share the result. Handles
+ * keep the trace alive after clear(), so callers never dangle.
+ */
+class TraceCache
+{
+  public:
+    TraceCache() = default;
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /** Fetch (generating on miss) the trace for @p app under @p params. */
+    WorkloadHandle get(AppId app, const WorkloadParams &params);
+
+    /** Requests served from an already-generated (or in-flight) entry. */
+    std::uint64_t hits() const { return hits_.load(); }
+
+    /** Requests that triggered a trace generation. */
+    std::uint64_t misses() const { return misses_.load(); }
+
+    /** Distinct traces currently cached. */
+    std::size_t size() const;
+
+    /** Drop all entries (outstanding handles stay valid). */
+    void clear();
+
+  private:
+    struct Key
+    {
+        AppId app;
+        WorkloadParams params;
+        bool operator==(const Key &) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &key) const;
+    };
+
+    using Slot = std::shared_future<WorkloadHandle>;
+
+    mutable std::mutex mu_;
+    std::unordered_map<Key, Slot, KeyHash> map_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace grit::workload
+
+#endif  // GRIT_WORKLOAD_TRACE_CACHE_H_

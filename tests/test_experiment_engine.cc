@@ -1,0 +1,185 @@
+/** @file Tests for the parallel ExperimentEngine and the TraceCache:
+ *  thread-count-independent determinism, plan construction, trace
+ *  sharing, and the runMatrix compatibility wrapper. */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/experiment_engine.h"
+#include "workload/trace_cache.h"
+
+namespace grit::harness {
+namespace {
+
+/** Small fast workload parameters. */
+workload::WorkloadParams
+fastParams()
+{
+    workload::WorkloadParams params;
+    params.footprintDivisor = 64;
+    params.intensity = 0.25;
+    return params;
+}
+
+/** The 2-app x 3-config plan the determinism test sweeps. */
+std::pair<std::vector<workload::AppId>, std::vector<LabeledConfig>>
+smallSweep()
+{
+    const std::vector<workload::AppId> apps = {workload::AppId::kGemm,
+                                               workload::AppId::kSt};
+    const std::vector<LabeledConfig> configs = {
+        {"on-touch", makeConfig(PolicyKind::kOnTouch, 4)},
+        {"duplication", makeConfig(PolicyKind::kDuplication, 4)},
+        {"grit", makeConfig(PolicyKind::kGrit, 4)},
+    };
+    return {apps, configs};
+}
+
+/** Full field-wise RunResult comparison. */
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.localFaults, b.localFaults);
+    EXPECT_EQ(a.protectionFaults, b.protectionFaults);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.peakReplicas, b.peakReplicas);
+    EXPECT_EQ(a.schemeAccesses, b.schemeAccesses);
+    for (unsigned k = 0; k < stats::kLatencyKinds; ++k) {
+        const auto kind = static_cast<stats::LatencyKind>(k);
+        EXPECT_EQ(a.breakdown.get(kind), b.breakdown.get(kind));
+    }
+    EXPECT_EQ(a.counters, b.counters);
+}
+
+TEST(ExperimentEngine, ThreadCountDoesNotChangeResults)
+{
+    const auto [apps, configs] = smallSweep();
+
+    ExperimentEngine::Options serial;
+    serial.jobs = 1;
+    ExperimentEngine one(serial);
+    const ResultMatrix m1 = one.runMatrix(apps, configs, fastParams());
+
+    ExperimentEngine::Options parallel;
+    parallel.jobs = 4;
+    ExperimentEngine four(parallel);
+    const ResultMatrix m4 = four.runMatrix(apps, configs, fastParams());
+
+    ASSERT_EQ(m1.size(), 2u);
+    ASSERT_EQ(m1.size(), m4.size());
+    for (const auto &[row, runs] : m1) {
+        ASSERT_TRUE(m4.count(row)) << row;
+        ASSERT_EQ(runs.size(), m4.at(row).size());
+        for (const auto &[label, result] : runs) {
+            SCOPED_TRACE(row + "/" + label);
+            ASSERT_TRUE(m4.at(row).count(label));
+            expectSameResult(result, m4.at(row).at(label));
+        }
+    }
+}
+
+TEST(ExperimentEngine, MatchesSerialRunMatrixWrapper)
+{
+    const auto [apps, configs] = smallSweep();
+    const ResultMatrix legacy = runMatrix(apps, configs, fastParams());
+
+    ExperimentEngine engine;  // auto jobs
+    const ResultMatrix engined =
+        engine.runMatrix(apps, configs, fastParams());
+
+    ASSERT_EQ(legacy.size(), engined.size());
+    for (const auto &[row, runs] : legacy)
+        for (const auto &[label, result] : runs) {
+            SCOPED_TRACE(row + "/" + label);
+            expectSameResult(result, engined.at(row).at(label));
+        }
+}
+
+TEST(ExperimentEngine, SharesTracesAcrossConfigs)
+{
+    const auto [apps, configs] = smallSweep();
+    ExperimentEngine engine;
+    engine.runMatrix(apps, configs, fastParams());
+    // One generation per app; the other config cells reuse it.
+    EXPECT_EQ(engine.traceCache().misses(), apps.size());
+    EXPECT_EQ(engine.traceCache().hits(),
+              apps.size() * (configs.size() - 1));
+}
+
+TEST(ExperimentEngine, JobsResolution)
+{
+    ExperimentEngine::Options options;
+    options.jobs = 3;
+    EXPECT_EQ(ExperimentEngine(options).jobs(), 3u);
+    EXPECT_GE(ExperimentEngine().jobs(), 1u);
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(RunPlan, MatrixCrossProductAndRowLabels)
+{
+    const auto [apps, configs] = smallSweep();
+    const RunPlan plan = RunPlan::matrix(apps, configs, fastParams());
+    ASSERT_EQ(plan.size(), apps.size() * configs.size());
+    EXPECT_EQ(plan.cells()[0].row, "GEMM");
+    EXPECT_EQ(plan.cells()[0].label, "on-touch");
+    // numGpus follows the configuration, not the input params.
+    for (const RunCell &cell : plan.cells())
+        EXPECT_EQ(cell.params.numGpus, cell.config.numGpus);
+}
+
+TEST(RunPlan, MutateHookScalesParams)
+{
+    const auto [apps, configs] = smallSweep();
+    const RunPlan plan = RunPlan::matrix(
+        apps, configs, fastParams(),
+        [](workload::AppId app, workload::WorkloadParams &p) {
+            if (app == workload::AppId::kSt)
+                p.intensity = 0.5;
+        });
+    for (const RunCell &cell : plan.cells()) {
+        const double expected =
+            cell.app == workload::AppId::kSt ? 0.5 : 0.25;
+        EXPECT_DOUBLE_EQ(cell.params.intensity, expected);
+    }
+}
+
+TEST(TraceCache, ReusesGeneratedTraces)
+{
+    workload::TraceCache cache;
+    const auto params = fastParams();
+
+    const auto a = cache.get(workload::AppId::kGemm, params);
+    const auto b = cache.get(workload::AppId::kGemm, params);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a.get(), b.get());  // same shared instance
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // A different key generates its own trace.
+    workload::WorkloadParams other = params;
+    other.seed = 99;
+    const auto c = cache.get(workload::AppId::kGemm, other);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TraceCache, ClearKeepsHandlesValid)
+{
+    workload::TraceCache cache;
+    const auto handle = cache.get(workload::AppId::kBs, fastParams());
+    const std::uint64_t accesses = handle->totalAccesses();
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(handle->totalAccesses(), accesses);  // still alive
+    // Next get regenerates (a fresh miss) and matches deterministically.
+    const auto again = cache.get(workload::AppId::kBs, fastParams());
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(again->totalAccesses(), accesses);
+}
+
+}  // namespace
+}  // namespace grit::harness

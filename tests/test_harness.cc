@@ -86,6 +86,14 @@ TEST(Experiment, SpeedupOver)
     EXPECT_DOUBLE_EQ(speedupOver(base, test), 2.0);
 }
 
+TEST(Experiment, SpeedupOverZeroCyclesThrows)
+{
+    RunResult base;
+    base.cycles = 200;
+    RunResult never_ran;  // cycles stays 0
+    EXPECT_THROW(speedupOver(base, never_ran), std::invalid_argument);
+}
+
 TEST(Experiment, MatrixHelpers)
 {
     ResultMatrix matrix;

@@ -78,6 +78,20 @@ TEST(EventQueue, RunHonorsLimit)
     EXPECT_EQ(q.pending(), 6u);
 }
 
+TEST(EventQueue, RunReportsLimitTrip)
+{
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(i, [] {});
+    q.run(4);
+    EXPECT_TRUE(q.limitHit());  // stopped with work pending
+    q.run();
+    EXPECT_FALSE(q.limitHit());  // drained cleanly
+    q.schedule(50, [] {});
+    q.reset();
+    EXPECT_FALSE(q.limitHit());
+}
+
 TEST(EventQueue, StepExecutesOneEvent)
 {
     EventQueue q;
