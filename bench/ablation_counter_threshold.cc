@@ -42,5 +42,8 @@ main(int argc, char **argv)
         {"ac-64", "ac-256", "ac-1024", "grit-64", "grit-256",
          "grit-1024"},
         "speedup, higher is better");
+    grit::bench::maybeWriteJson(argc, argv, "ablation_counter_threshold",
+                                "Ablation: access-counter threshold",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

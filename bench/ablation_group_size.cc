@@ -57,5 +57,8 @@ main(int argc, char **argv)
         table.addRow({app, harness::TextTable::pct(100.0 * (gain - 1.0))});
     }
     table.print(std::cout);
+    grit::bench::maybeWriteJson(argc, argv, "ablation_group_size",
+                                "Ablation: Neighboring-Aware Prediction contribution",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

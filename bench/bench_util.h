@@ -1,7 +1,9 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction bench binaries: standard
- * configurations, policy sets, and result formatting.
+ * configurations, policy sets, result formatting, the `--jobs` worker
+ * knob, and the `--json <path>` / `--trace <path>` structured-output
+ * flags (docs/METRICS.md documents the emitted schema).
  */
 
 #ifndef GRIT_BENCH_BENCH_UTIL_H_
@@ -9,14 +11,18 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/config.h"
 #include "harness/experiment.h"
 #include "harness/experiment_engine.h"
+#include "harness/results_io.h"
 #include "harness/table.h"
+#include "simcore/trace_recorder.h"
 #include "workload/apps.h"
 
 namespace grit::bench {
@@ -55,6 +61,119 @@ jobsFromArgs(int argc, char **argv)
                 std::strtoul(argv[i + 1], nullptr, 10));
     }
     return 0;
+}
+
+/** Value of `--flag <v>` or `--flag=<v>`; empty string when absent. */
+inline std::string
+argValue(int argc, char **argv, const char *flag)
+{
+    const std::size_t len = std::strlen(flag);
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=')
+            return std::string(arg + len + 1);
+        if (std::strcmp(arg, flag) == 0 && i + 1 < argc)
+            return std::string(argv[i + 1]);
+    }
+    return std::string();
+}
+
+/** Path of `--json <path>`; empty when structured output is off. */
+inline std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    return argValue(argc, argv, "--json");
+}
+
+/** Path of `--trace <path>`; empty when timeline tracing is off. */
+inline std::string
+tracePathFromArgs(int argc, char **argv)
+{
+    return argValue(argc, argv, "--trace");
+}
+
+/**
+ * Open @p path for deterministic text output ("-" selects stdout).
+ * Exits with a diagnostic when the file cannot be created, so a typo'd
+ * path fails loudly instead of silently dropping the results.
+ */
+inline std::unique_ptr<std::ostream>
+openOutput(const std::string &path)
+{
+    if (path == "-")
+        return nullptr;  // caller uses std::cout
+    auto os = std::make_unique<std::ofstream>(path, std::ios::binary);
+    if (!*os) {
+        std::cerr << "error: cannot open " << path << " for writing\n";
+        std::exit(1);
+    }
+    return os;
+}
+
+/** Write the "grit-results" document for @p matrix if `--json` given. */
+inline void
+maybeWriteJson(int argc, char **argv, const std::string &generator,
+               const std::string &title,
+               const workload::WorkloadParams &params,
+               const harness::ResultMatrix &matrix)
+{
+    const std::string path = jsonPathFromArgs(argc, argv);
+    if (path.empty())
+        return;
+    auto file = openOutput(path);
+    harness::writeResultMatrix(file ? *file : std::cout, generator, title,
+                               params, matrix);
+    if (file)
+        std::cerr << "results: " << path << "\n";
+}
+
+/** Tables-section variant for the characterization binaries. */
+inline void
+maybeWriteJsonTables(int argc, char **argv, const std::string &generator,
+                     const std::string &title,
+                     const workload::WorkloadParams &params,
+                     const std::vector<harness::NamedTable> &tables)
+{
+    const std::string path = jsonPathFromArgs(argc, argv);
+    if (path.empty())
+        return;
+    auto file = openOutput(path);
+    harness::writeResultTables(file ? *file : std::cout, generator, title,
+                               params, tables);
+    if (file)
+        std::cerr << "results: " << path << "\n";
+}
+
+/**
+ * A TraceRecorder when `--trace <path>` was given, else nullptr. Wire
+ * the recorder into SystemConfig::trace (single-run binaries only: the
+ * recorder must not be shared across parallel simulators).
+ */
+inline std::unique_ptr<sim::TraceRecorder>
+traceFromArgs(int argc, char **argv)
+{
+    if (tracePathFromArgs(argc, argv).empty())
+        return nullptr;
+    return std::make_unique<sim::TraceRecorder>();
+}
+
+/** Write @p trace as Chrome trace-event JSON to the `--trace` path. */
+inline void
+maybeWriteTrace(int argc, char **argv, const sim::TraceRecorder *trace)
+{
+    if (trace == nullptr)
+        return;
+    const std::string path = tracePathFromArgs(argc, argv);
+    auto file = openOutput(path);
+    trace->writeChromeTrace(file ? *file : std::cout);
+    (file ? *file : std::cout) << "\n";
+    if (file) {
+        std::cerr << "trace: " << path << " (" << trace->size()
+                  << " events";
+        if (trace->dropped() > 0)
+            std::cerr << ", " << trace->dropped() << " dropped";
+        std::cerr << ")\n";
+    }
 }
 
 /** An ExperimentEngine honoring `--jobs`/`-j` (else GRIT_JOBS/auto). */

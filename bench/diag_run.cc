@@ -1,17 +1,78 @@
+/**
+ * @file
+ * Single-run diagnostic: run one application under one policy and dump
+ * every metric the simulator produces — cycles, latency breakdown, and
+ * the full counter set.
+ *
+ * Usage: diag_run [APP] [POLICY] [--json <path>] [--trace <path>]
+ *
+ * `--json` writes a one-run "grit-results" document (docs/METRICS.md)
+ * including the per-interval event timeline; `--trace` writes a Chrome
+ * trace-event JSON timeline of page lifecycle events, loadable in
+ * Perfetto or about://tracing. A path of "-" selects stdout.
+ */
+
+#include <cstring>
 #include <iostream>
-#include "harness/experiment.h"
+#include <vector>
+
+#include "bench_util.h"
 #include "stats/latency_breakdown.h"
-int main(int argc, char** argv) {
-  using namespace grit;
-  auto app = workload::appFromName(argc > 1 ? argv[1] : "BFS");
-  auto kind = harness::policyKindFromName(argc > 2 ? argv[2] : "on-touch");
-  auto config = harness::makeConfig(*kind, 4);
-  auto r = harness::runApp(*app, config);
-  std::cout << "cycles " << r.cycles << "\naccesses " << r.accesses << "\n";
-  std::cout << "breakdown_total " << r.breakdown.total() << "\n";
-  for (unsigned k = 0; k < stats::kLatencyKinds; ++k)
-    std::cout << "  " << stats::latencyKindName(static_cast<stats::LatencyKind>(k))
-              << " " << r.breakdown.get(static_cast<stats::LatencyKind>(k)) << "\n";
-  for (auto& [k, v] : r.counters) std::cout << k << " " << v << "\n";
-  return 0;
+
+int
+main(int argc, char **argv)
+{
+    using namespace grit;
+
+    // Positional args (app, policy) may be interleaved with flags.
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (arg[0] == '-') {
+            // All supported flags take a value; skip it unless inline.
+            if (std::strchr(arg, '=') == nullptr && i + 1 < argc)
+                ++i;
+            continue;
+        }
+        positional.push_back(arg);
+    }
+
+    const auto app = workload::appFromName(
+        positional.size() > 0 ? positional[0] : "BFS");
+    const auto kind = harness::policyKindFromName(
+        positional.size() > 1 ? positional[1] : "on-touch");
+    if (!app.has_value() || !kind.has_value()) {
+        std::cerr << "usage: diag_run [APP] [POLICY] [--json <path>] "
+                     "[--trace <path>]\n";
+        return 1;
+    }
+
+    const auto params = grit::bench::benchParams();
+    harness::SystemConfig config = harness::makeConfig(*kind, 4);
+    config.timelineIntervalCycles = stats::kDefaultTimelineIntervalCycles;
+    const auto trace = grit::bench::traceFromArgs(argc, argv);
+    config.trace = trace.get();
+
+    const harness::RunResult r = harness::runApp(*app, config, params);
+
+    std::cout << "cycles " << r.cycles << "\naccesses " << r.accesses
+              << "\n";
+    std::cout << "breakdown_total " << r.breakdown.total() << "\n";
+    for (unsigned k = 0; k < stats::kLatencyKinds; ++k)
+        std::cout << "  "
+                  << stats::latencyKindName(
+                         static_cast<stats::LatencyKind>(k))
+                  << " "
+                  << r.breakdown.get(static_cast<stats::LatencyKind>(k))
+                  << "\n";
+    for (const auto &[k, v] : r.counters)
+        std::cout << k << " " << v << "\n";
+
+    harness::ResultMatrix matrix;
+    matrix[workload::appMeta(*app).abbr]
+          [harness::policyKindName(*kind)] = r;
+    grit::bench::maybeWriteJson(argc, argv, "diag_run",
+                                "Single-run diagnostic", params, matrix);
+    grit::bench::maybeWriteTrace(argc, argv, trace.get());
+    return 0;
 }

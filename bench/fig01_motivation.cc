@@ -27,5 +27,8 @@ main(int argc, char **argv)
         matrix, "on-touch",
         {"on-touch", "access-counter", "duplication", "ideal"},
         "speedup, higher is better");
+    grit::bench::maybeWriteJson(argc, argv, "fig01_motivation",
+                                "Figure 1: uniform scheme performance vs on-touch",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

@@ -84,5 +84,8 @@ main(int argc, char **argv)
         }
     }
     diag.print(std::cout);
+    grit::bench::maybeWriteJson(argc, argv, "fig03_latency_breakdown",
+                                "Figure 3: page-handling latency breakdown",
+                                params, matrix);
     return 0;
 }

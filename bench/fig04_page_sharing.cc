@@ -10,7 +10,7 @@
 #include "workload/characterizer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
 
@@ -37,5 +37,9 @@ main()
                  100.0 * c.accessesToShared / accesses, 1)});
     }
     table.print(std::cout);
+    grit::bench::maybeWriteJsonTables(
+        argc, argv, "fig04_page_sharing",
+        "Figure 4: private/shared pages and accesses", params,
+        {harness::namedTable("page_sharing", table)});
     return 0;
 }

@@ -14,7 +14,8 @@
 namespace {
 
 void
-report(const grit::workload::Workload &w, unsigned intervals)
+report(const grit::workload::Workload &w, unsigned intervals,
+       std::vector<grit::harness::NamedTable> &tables)
 {
     using namespace grit;
     const sim::PageId page = workload::mostAccessedSharedRwPage(w);
@@ -44,12 +45,14 @@ report(const grit::workload::Workload &w, unsigned intervals)
     }
     table.print(std::cout);
     std::cout << "\n";
+    tables.push_back(harness::namedTable(
+        w.name + " gpu share of page " + std::to_string(page), table));
 }
 
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
 
@@ -58,9 +61,14 @@ main()
 
     std::cout << "Figure 5: shared page access pattern over time "
                  "(percent of the interval's accesses per GPU)\n\n";
+    std::vector<harness::NamedTable> tables;
     report(workload::makeWorkload(workload::AppId::kC2d, params),
-           kIntervals);
+           kIntervals, tables);
     report(workload::makeWorkload(workload::AppId::kSt, params),
-           kIntervals);
+           kIntervals, tables);
+    grit::bench::maybeWriteJsonTables(
+        argc, argv, "fig05_sharing_over_time",
+        "Figure 5: shared page access pattern over time", params,
+        tables);
     return 0;
 }

@@ -30,11 +30,14 @@ glyph(grit::workload::PageAttr attr)
 }
 
 void
-report(const grit::workload::Workload &w)
+report(const grit::workload::Workload &w,
+       std::vector<grit::harness::NamedTable> &tables)
 {
     using namespace grit;
     constexpr unsigned kIntervals = 20;
     constexpr unsigned kColumns = 64;
+
+    harness::TextTable out({"interval", "attribute_map"});
 
     const auto map = workload::attributesOverTime(w, kIntervals);
     std::cout << w.name << ": attribute map (rows = time intervals, "
@@ -57,24 +60,34 @@ report(const grit::workload::Workload &w)
             row.push_back(glyph(static_cast<workload::PageAttr>(best)));
         }
         std::cout << "  " << row << "\n";
+        out.addRow({std::to_string(k), row});
     }
+    const double similarity = 100.0 * workload::neighborSimilarity(map);
     std::cout << "  neighbor-attribute similarity: "
-              << harness::TextTable::fmt(
-                     100.0 * workload::neighborSimilarity(map), 1)
+              << harness::TextTable::fmt(similarity, 1)
               << "% of adjacent touched page pairs agree\n\n";
+    out.addRow({"neighbor_similarity_pct",
+                harness::TextTable::fmt(similarity, 1)});
+    tables.push_back(
+        harness::namedTable(w.name + " attribute map", out));
 }
 
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
 
     const auto params = grit::bench::benchParams();
     std::cout << "Figures 6-8: page attributes over time for "
                  "consecutive pages\n\n";
-    report(workload::makeWorkload(workload::AppId::kGemm, params));
-    report(workload::makeWorkload(workload::AppId::kSt, params));
+    std::vector<harness::NamedTable> tables;
+    report(workload::makeWorkload(workload::AppId::kGemm, params),
+           tables);
+    report(workload::makeWorkload(workload::AppId::kSt, params), tables);
+    grit::bench::maybeWriteJsonTables(
+        argc, argv, "fig06_08_attributes_over_time",
+        "Figures 6-8: page attributes over time", params, tables);
     return 0;
 }

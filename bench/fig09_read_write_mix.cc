@@ -10,7 +10,7 @@
 #include "workload/characterizer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
 
@@ -35,5 +35,9 @@ main()
                  100.0 * c.accessesToReadWrite / accesses, 1)});
     }
     table.print(std::cout);
+    grit::bench::maybeWriteJsonTables(
+        argc, argv, "fig09_read_write_mix",
+        "Figure 9: accesses to read vs read-write pages", params,
+        {harness::namedTable("read_write_mix", table)});
     return 0;
 }

@@ -11,7 +11,7 @@
 #include "workload/characterizer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
 
@@ -35,5 +35,9 @@ main()
                                        100.0 * writes / total, 1)});
     }
     table.print(std::cout);
+    grit::bench::maybeWriteJsonTables(
+        argc, argv, "fig10_rw_over_time",
+        "Figure 10: read/write mix over time for one ST page", params,
+        {harness::namedTable("rw_over_time", table)});
     return 0;
 }

@@ -34,5 +34,8 @@ main(int argc, char **argv)
                          harness::meanImprovementPct(matrix, base, "grit"))
                   << "\n";
     }
+    grit::bench::maybeWriteJson(argc, argv, "fig17_overall",
+                                "Figure 17: GRIT vs uniform schemes",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

@@ -65,5 +65,8 @@ main(int argc, char **argv)
                          1)
                   << "% fewer faults\n";
     }
+    grit::bench::maybeWriteJson(argc, argv, "fig18_page_faults",
+                                "Figure 18: GPU page faults per scheme",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

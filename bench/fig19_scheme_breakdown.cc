@@ -59,5 +59,8 @@ main(int argc, char **argv)
                        : "-"});
     }
     table.print(std::cout);
+    grit::bench::maybeWriteJson(argc, argv, "fig19_scheme_breakdown",
+                                "Figure 19: scheme mix of L2-TLB-missing accesses under GRIT",
+                                params, matrix);
     return 0;
 }

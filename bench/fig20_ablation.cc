@@ -51,5 +51,8 @@ main(int argc, char **argv)
                          matrix, "on-touch", label))
                   << "\n";
     }
+    grit::bench::maybeWriteJson(argc, argv, "fig20_ablation",
+                                "Figure 20: GRIT component ablation",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

@@ -44,5 +44,8 @@ main(int argc, char **argv)
                          matrix, "on-touch", label))
                   << "\n";
     }
+    grit::bench::maybeWriteJson(argc, argv, "fig21_fault_threshold",
+                                "Figure 21: GRIT fault-threshold sensitivity",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

@@ -15,10 +15,17 @@ main(int argc, char **argv)
 {
     using namespace grit;
 
+    // JSON export: one combined document, labels suffixed "@<n>gpu".
+    harness::ResultMatrix combined;
+
     for (unsigned gpus : {2u, 8u, 16u}) {
         const auto configs = grit::bench::mainConfigs(gpus);
         const auto matrix = grit::bench::runMatrix(
             grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+        for (const auto &[row, runs] : matrix)
+            for (const auto &[label, result] : runs)
+                combined[row][label + "@" + std::to_string(gpus) +
+                              "gpu"] = result;
 
         std::cout << "=== " << gpus << " GPUs (speedup over " << gpus
                   << "-GPU on-touch) ===\n\n";
@@ -57,5 +64,8 @@ main(int argc, char **argv)
         }
         std::cout << "\n";
     }
+    grit::bench::maybeWriteJson(argc, argv, "fig22_24_gpu_scaling",
+                                "Figures 22-24: GRIT GPU scaling",
+                                grit::bench::benchParams(), combined);
     return 0;
 }

@@ -55,5 +55,8 @@ main(int argc, char **argv)
               << harness::TextTable::pct(harness::meanImprovementPct(
                      matrix, "on-touch-large", "grit-large"))
               << "\n";
+    grit::bench::maybeWriteJson(argc, argv, "fig25_large_page",
+                                "Figure 25: GRIT with large pages",
+                                params, matrix);
     return 0;
 }

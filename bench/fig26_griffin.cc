@@ -56,5 +56,8 @@ main(int argc, char **argv)
               << harness::TextTable::pct(harness::meanImprovementPct(
                      matrix, "grit", "grit+acud"))
               << "\n";
+    grit::bench::maybeWriteJson(argc, argv, "fig26_griffin",
+                                "Figure 26: Griffin comparison",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

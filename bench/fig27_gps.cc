@@ -55,5 +55,8 @@ main(int argc, char **argv)
                          100.0 * (gps_sum / grit_sum - 1.0))
                   << "\n";
     }
+    grit::bench::maybeWriteJson(argc, argv, "fig27_gps",
+                                "Figure 27: GPS comparison",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

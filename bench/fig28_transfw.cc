@@ -38,5 +38,8 @@ main(int argc, char **argv)
               << harness::TextTable::pct(harness::meanImprovementPct(
                      matrix, "dpc+transfw", "grit"))
               << "\n";
+    grit::bench::maybeWriteJson(argc, argv, "fig28_transfw",
+                                "Figure 28: Griffin-DPC + Trans-FW comparison",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

@@ -33,5 +33,8 @@ main(int argc, char **argv)
               << harness::TextTable::pct(harness::meanImprovementPct(
                      matrix, "first-touch", "grit"))
               << "\n";
+    grit::bench::maybeWriteJson(argc, argv, "fig29_first_touch",
+                                "Figure 29: first-touch comparison",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

@@ -41,5 +41,8 @@ main(int argc, char **argv)
               << harness::TextTable::pct(harness::meanImprovementPct(
                      matrix, "on-touch+prefetch", "grit+prefetch"))
               << "\n";
+    grit::bench::maybeWriteJson(argc, argv, "fig30_prefetch",
+                                "Figure 30: GRIT with tree-based prefetching",
+                                grit::bench::benchParams(), matrix);
     return 0;
 }

@@ -49,5 +49,8 @@ main(int argc, char **argv)
                       harness::TextTable::pct(100.0 * (speedup - 1.0))});
     }
     table.print(std::cout);
+    grit::bench::maybeWriteJson(argc, argv, "fig31_dnn",
+                                "Figure 31: DNN model parallelism",
+                                params, matrix);
     return 0;
 }

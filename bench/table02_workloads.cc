@@ -11,7 +11,7 @@
 #include "workload/characterizer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace grit;
 
@@ -35,5 +35,8 @@ main()
                       harness::TextTable::fmt(writes, 1)});
     }
     table.print(std::cout);
+    grit::bench::maybeWriteJsonTables(
+        argc, argv, "table02_workloads", "Table II: applications",
+        params, {harness::namedTable("workloads", table)});
     return 0;
 }

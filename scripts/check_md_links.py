@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Check that local markdown links and anchors resolve.
+
+Usage: check_md_links.py [FILE ...]
+
+With no arguments, checks every tracked *.md file under the repository
+root (the parent of this script's directory). External links (http/https
+/mailto) are not fetched — only same-repo file links, including
+`path#anchor` fragments against GitHub-style heading slugs. Exit status
+is 0 when every link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading):
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(slugify(m.group(1)))
+    return anchors
+
+
+def links_of(path):
+    """Yield (lineno, target) for markdown links outside code fences."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def check_file(path, repo_root):
+    errors = []
+    for lineno, target in links_of(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, fragment = target.partition("#")
+        if target:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+        else:
+            resolved = path  # same-file anchor
+        if not os.path.exists(resolved):
+            errors.append(f"{path}:{lineno}: broken link {target!r}")
+            continue
+        if fragment and resolved.endswith(".md"):
+            if fragment not in anchors_of(resolved):
+                errors.append(
+                    f"{path}:{lineno}: missing anchor "
+                    f"#{fragment} in {resolved}")
+    return errors
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = argv
+    if not files:
+        files = []
+        for dirpath, dirnames, filenames in os.walk(repo_root):
+            dirnames[:] = [d for d in dirnames
+                           if d not in {".git", "build", ".claude"}]
+            files.extend(os.path.join(dirpath, f) for f in filenames
+                         if f.endswith(".md"))
+        files.sort()
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, repo_root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

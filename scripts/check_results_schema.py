@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validate a "grit-results" JSON document against schema version 1.
+
+Usage: check_results_schema.py FILE [FILE ...]
+       some_binary --json - | check_results_schema.py -
+
+The schema is documented in docs/METRICS.md. This checker is
+intentionally stdlib-only so it runs anywhere CI runs. It validates the
+envelope, the per-run metric keys and types, the latency-breakdown and
+scheme-accesses sub-objects, optional timelines, and the tables section.
+Exit status is 0 when every input validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+SCHEMA_NAME = "grit-results"
+SCHEMA_VERSION = 1
+
+# Scalar run metrics: name -> allowed types.
+RUN_SCALARS = {
+    "cycles": int,
+    "accesses": int,
+    "local_faults": int,
+    "protection_faults": int,
+    "total_faults": int,
+    "evictions": int,
+    "peak_replicas": int,
+    "oversubscription_rate": (int, float),
+}
+
+BREAKDOWN_KEYS = [
+    "local",
+    "host",
+    "page_migration",
+    "remote_access",
+    "page_duplication",
+    "write_collapse",
+    "total",
+]
+
+SCHEME_KEYS = ["none", "on_touch", "access_counter", "duplication"]
+
+TIMELINE_KEYS = [
+    "fault",
+    "migration",
+    "duplication",
+    "collapse",
+    "remote_access",
+    "eviction",
+]
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond, where, message):
+    if not cond:
+        raise SchemaError(f"{where}: {message}")
+
+
+def expect_type(value, types, where):
+    # bool is an int subclass; never accept it where a number is wanted.
+    expect(
+        isinstance(value, types) and not isinstance(value, bool),
+        where,
+        f"expected {types}, got {type(value).__name__} ({value!r})",
+    )
+
+
+def check_counters(counters, where):
+    expect(isinstance(counters, dict), where, "counters must be an object")
+    for name, value in counters.items():
+        expect_type(value, int, f"{where}.{name}")
+
+
+def check_timeline(timeline, where):
+    expect(isinstance(timeline, dict), where, "timeline must be an object")
+    expect_type(timeline.get("interval_cycles"), int,
+                f"{where}.interval_cycles")
+    expect(timeline.get("keys") == TIMELINE_KEYS, where,
+           f"keys must be {TIMELINE_KEYS}, got {timeline.get('keys')}")
+    intervals = timeline.get("intervals")
+    expect(isinstance(intervals, list), where,
+           "intervals must be an array")
+    for i, row in enumerate(intervals):
+        expect(isinstance(row, list) and len(row) == len(TIMELINE_KEYS),
+               f"{where}.intervals[{i}]",
+               f"expected {len(TIMELINE_KEYS)} columns")
+        for v in row:
+            expect_type(v, int, f"{where}.intervals[{i}]")
+
+
+def check_run(run, where):
+    expect(isinstance(run, dict), where, "run must be an object")
+    expect_type(run.get("row"), str, f"{where}.row")
+    expect_type(run.get("label"), str, f"{where}.label")
+    for key, types in RUN_SCALARS.items():
+        expect(key in run, where, f"missing metric {key!r}")
+        expect_type(run[key], types, f"{where}.{key}")
+    schemes = run.get("scheme_accesses")
+    expect(isinstance(schemes, dict), where,
+           "scheme_accesses must be an object")
+    expect(list(schemes.keys()) == SCHEME_KEYS, f"{where}.scheme_accesses",
+           f"keys must be {SCHEME_KEYS}, got {list(schemes.keys())}")
+    for name, value in schemes.items():
+        expect_type(value, int, f"{where}.scheme_accesses.{name}")
+    breakdown = run.get("latency_breakdown")
+    expect(isinstance(breakdown, dict), where,
+           "latency_breakdown must be an object")
+    expect(list(breakdown.keys()) == BREAKDOWN_KEYS,
+           f"{where}.latency_breakdown",
+           f"keys must be {BREAKDOWN_KEYS}, got {list(breakdown.keys())}")
+    for name, value in breakdown.items():
+        expect_type(value, int, f"{where}.latency_breakdown.{name}")
+    if "timeline" in run:
+        check_timeline(run["timeline"], f"{where}.timeline")
+    expect("counters" in run, where, "missing counters object")
+    check_counters(run["counters"], f"{where}.counters")
+
+
+def check_table(table, where):
+    expect(isinstance(table, dict), where, "table must be an object")
+    expect_type(table.get("name"), str, f"{where}.name")
+    columns = table.get("columns")
+    expect(isinstance(columns, list) and columns, where,
+           "columns must be a non-empty array")
+    for c in columns:
+        expect_type(c, str, f"{where}.columns")
+    rows = table.get("rows")
+    expect(isinstance(rows, list), where, "rows must be an array")
+    for i, row in enumerate(rows):
+        expect(isinstance(row, list) and len(row) == len(columns),
+               f"{where}.rows[{i}]",
+               f"expected {len(columns)} cells, got "
+               f"{len(row) if isinstance(row, list) else type(row)}")
+        for cell in row:
+            expect_type(cell, str, f"{where}.rows[{i}]")
+
+
+def check_document(doc, where):
+    expect(isinstance(doc, dict), where, "document must be an object")
+    expect(doc.get("schema") == SCHEMA_NAME, where,
+           f"schema must be {SCHEMA_NAME!r}, got {doc.get('schema')!r}")
+    expect(doc.get("version") == SCHEMA_VERSION, where,
+           f"version must be {SCHEMA_VERSION}, got {doc.get('version')!r}")
+    expect_type(doc.get("generator"), str, f"{where}.generator")
+    expect_type(doc.get("title"), str, f"{where}.title")
+    params = doc.get("params")
+    expect(isinstance(params, dict), where, "params must be an object")
+    expect_type(params.get("footprint_divisor"), int,
+                f"{where}.params.footprint_divisor")
+    expect_type(params.get("intensity"), (int, float),
+                f"{where}.params.intensity")
+    expect_type(params.get("seed"), int, f"{where}.params.seed")
+    expect("runs" in doc or "tables" in doc, where,
+           "document must contain runs and/or tables")
+    for i, run in enumerate(doc.get("runs", [])):
+        check_run(run, f"{where}.runs[{i}]")
+    for i, table in enumerate(doc.get("tables", [])):
+        check_table(table, f"{where}.tables[{i}]")
+    known = {"schema", "version", "generator", "title", "params", "runs",
+             "tables"}
+    extra = set(doc) - known
+    expect(not extra, where, f"unknown top-level keys: {sorted(extra)}")
+
+
+def parse_document(text):
+    """Parse a grit-results document, tolerating leading report text.
+
+    `binary --json -` appends the JSON document to the human-readable
+    report on stdout; the document itself is a single line, so fall
+    back to the last line that parses when the whole input does not.
+    """
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        for line in reversed(text.splitlines()):
+            line = line.strip()
+            if line.startswith("{"):
+                return json.loads(line)
+        raise
+
+
+def check_file(path):
+    name = "<stdin>" if path == "-" else path
+    try:
+        if path == "-":
+            doc = parse_document(sys.stdin.read())
+        else:
+            with open(path, encoding="utf-8") as f:
+                doc = parse_document(f.read())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL {name}: {err}", file=sys.stderr)
+        return False
+    try:
+        check_document(doc, name)
+    except SchemaError as err:
+        print(f"FAIL {err}", file=sys.stderr)
+        return False
+    runs = len(doc.get("runs", []))
+    tables = len(doc.get("tables", []))
+    print(f"ok   {name}: {runs} run(s), {tables} table(s)")
+    return True
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv:
+        ok = check_file(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,5 +1,7 @@
 #include "gpu/gmmu.h"
 
+#include "simcore/trace_recorder.h"
+
 namespace grit::gpu {
 
 Gmmu::Gmmu(const GmmuConfig &config)
@@ -18,6 +20,9 @@ Gmmu::walk(sim::PageId page, sim::Cycle now)
     const sim::Cycle completion = walkers_.acquire(now, service);
     pwc_.recordWalk(accesses);
     pwc_.fill(page);
+    if (trace_)
+        trace_->record("walk", "gmmu", now, completion - now, gpuId_,
+                       page);
     return WalkResult{completion, accesses};
 }
 

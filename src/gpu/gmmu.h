@@ -14,6 +14,10 @@
 #include "simcore/resource.h"
 #include "simcore/types.h"
 
+namespace grit::sim {
+class TraceRecorder;
+}  // namespace grit::sim
+
 namespace grit::gpu {
 
 /** GMMU configuration. */
@@ -52,10 +56,19 @@ class Gmmu
     std::uint64_t walks() const { return walkers_.requests(); }
     sim::Cycle walkQueueDelay() const { return walkers_.queueDelay(); }
 
+    /** Record walks as @p gpu-track trace events; nullptr disables. */
+    void setTrace(sim::TraceRecorder *trace, sim::GpuId gpu)
+    {
+        trace_ = trace;
+        gpuId_ = gpu;
+    }
+
   private:
     GmmuConfig config_;
     sim::ServerPool walkers_;
     mem::PageWalkCache pwc_;
+    sim::TraceRecorder *trace_ = nullptr;
+    sim::GpuId gpuId_ = sim::kHostId;
 };
 
 }  // namespace grit::gpu

@@ -151,6 +151,12 @@ class Gpu
     mem::DataCache &l2Cache() { return l2Cache_; }
     Gmmu &gmmu() { return gmmu_; }
 
+    /** Route page-walk trace events to @p trace; nullptr disables. */
+    void setTrace(sim::TraceRecorder *trace)
+    {
+        gmmu_.setTrace(trace, id_);
+    }
+
     std::uint64_t flushes() const { return flushes_; }
 
   private:

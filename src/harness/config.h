@@ -20,6 +20,10 @@
 #include "simcore/types.h"
 #include "uvm/uvm_driver.h"
 
+namespace grit::sim {
+class TraceRecorder;
+}  // namespace grit::sim
+
 namespace grit::harness {
 
 /** Selectable placement policies / systems. */
@@ -68,6 +72,19 @@ struct SystemConfig
 
     /** Safety valve on total simulation events (0 = derived). */
     std::uint64_t maxEvents = 0;
+
+    /**
+     * Page-event timeline recorder (Chrome trace export); nullptr
+     * disables tracing. Non-owning; the recorder is not thread-safe, so
+     * never share one across concurrently running simulators.
+     */
+    sim::TraceRecorder *trace = nullptr;
+
+    /**
+     * Window width of the per-run event timeline ("timeline" in the
+     * results JSON); 0 disables sampling.
+     */
+    sim::Cycle timelineIntervalCycles = 0;
 };
 
 /** Table I defaults for @p policy and @p num_gpus. */

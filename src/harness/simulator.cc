@@ -113,6 +113,18 @@ Simulator::Simulator(const SystemConfig &config,
     policy_ = makePolicy(config_);
     driver_->setPolicy(policy_.get());
 
+    if (config_.timelineIntervalCycles > 0) {
+        timeline_.emplace(config_.timelineIntervalCycles,
+                          stats::kTimelineKinds);
+        driver_->setTimeline(&*timeline_);
+    }
+    if (config_.trace != nullptr) {
+        driver_->setTrace(config_.trace);
+        fabric_->setTrace(config_.trace);
+        for (auto &g : gpus_)
+            g->setTrace(config_.trace);
+    }
+
     if (config_.prefetch) {
         baselines::PrefetcherConfig pf = config_.prefetcher;
         // Keep the 64 KB-block / 2 MB-root geometry under any page size.
@@ -255,6 +267,11 @@ Simulator::finishAccess(unsigned g, sim::Cycle ready, sim::GpuId loc,
                                /*to_host=*/loc == sim::kHostId);
             breakdown_.add(stats::LatencyKind::kRemoteAccess, t - before);
             stats_.counter("sim.remote_accesses").inc();
+            if (timeline_)
+                timeline_->record(
+                    before,
+                    static_cast<unsigned>(
+                        stats::TimelineKind::kRemoteAccess));
 
             // Hardware access counters (64 KB groups, threshold 256).
             if (policy_->countsRemote(a.page) &&
@@ -314,6 +331,7 @@ Simulator::run()
         stats_.counter("gpu.flushes").inc(g->flushes());
     }
     result.counters = stats_.items();
+    result.timeline = timeline_;
     return result;
 }
 

@@ -17,13 +17,16 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/config.h"
 #include "simcore/event_queue.h"
 #include "stats/counters.h"
+#include "stats/interval_sampler.h"
 #include "stats/latency_breakdown.h"
+#include "stats/timeline.h"
 #include "workload/trace.h"
 
 namespace grit::harness {
@@ -51,6 +54,12 @@ struct RunResult
     std::uint64_t peakReplicas = 0;
     /** Full counter snapshot for detailed reporting. */
     std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    /**
+     * Per-interval event timeline (TimelineKind keys); present only
+     * when SystemConfig::timelineIntervalCycles was non-zero.
+     */
+    std::optional<stats::IntervalSampler> timeline;
 
     /** Eviction pressure per thousand accesses (GPS comparison). */
     double oversubscriptionRate() const;
@@ -115,6 +124,9 @@ class Simulator
     std::unique_ptr<uvm::UvmDriver> driver_;
     std::unique_ptr<policy::PlacementPolicy> policy_;
     std::unique_ptr<baselines::TreePrefetcher> prefetcher_;
+
+    /** Per-run event timeline, engaged when the config samples one. */
+    std::optional<stats::IntervalSampler> timeline_;
 
     /** Pre-decoded per-GPU access streams. */
     std::vector<std::vector<LaneAccess>> decoded_;

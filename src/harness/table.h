@@ -34,6 +34,15 @@ class TextTable
     /** Format a percentage ("+12.3%"). */
     static std::string pct(double percent);
 
+    /** Column headers, for structured export (results_io). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Rows as added (unpadded), for structured export. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

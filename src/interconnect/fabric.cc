@@ -4,6 +4,8 @@
 #include <cassert>
 #include <string>
 
+#include "simcore/trace_recorder.h"
+
 namespace grit::ic {
 
 Fabric::Fabric(const FabricConfig &config)
@@ -42,15 +44,22 @@ Fabric::transfer(sim::Cycle now, sim::GpuId src, sim::GpuId dst,
                  std::uint64_t bytes)
 {
     assert(src != dst && "transfer to self");
-    if (src == sim::kHostId)
-        return pcieDown_.transfer(now, bytes);
-    if (dst == sim::kHostId)
-        return pcieUp_.transfer(now, bytes);
-    // GPU-to-GPU: both the source egress port and the destination
-    // ingress port carry the payload; the slower one bounds delivery.
-    const sim::Cycle out = egressOf(src).transfer(now, bytes);
-    const sim::Cycle in = ingressOf(dst).transfer(now, bytes);
-    return std::max(out, in);
+    sim::Cycle done;
+    if (src == sim::kHostId) {
+        done = pcieDown_.transfer(now, bytes);
+    } else if (dst == sim::kHostId) {
+        done = pcieUp_.transfer(now, bytes);
+    } else {
+        // GPU-to-GPU: both the source egress port and the destination
+        // ingress port carry the payload; the slower one bounds delivery.
+        const sim::Cycle out = egressOf(src).transfer(now, bytes);
+        const sim::Cycle in = ingressOf(dst).transfer(now, bytes);
+        done = std::max(out, in);
+    }
+    if (trace_)
+        trace_->record("transfer", "fabric", now, done - now, src, bytes,
+                       dst);
+    return done;
 }
 
 sim::Cycle

@@ -19,6 +19,10 @@
 #include "interconnect/link.h"
 #include "simcore/types.h"
 
+namespace grit::sim {
+class TraceRecorder;
+}  // namespace grit::sim
+
 namespace grit::ic {
 
 /** Fabric configuration. */
@@ -66,6 +70,9 @@ class Fabric
     /** Total bytes moved over PCIe. */
     std::uint64_t pcieBytes() const;
 
+    /** Record bulk transfers as trace events; nullptr disables. */
+    void setTrace(sim::TraceRecorder *trace) { trace_ = trace; }
+
     void reset();
 
   private:
@@ -78,6 +85,7 @@ class Fabric
     Link pcieUp_;    //!< GPU -> host
     Link pcieDown_;  //!< host -> GPU
     std::uint64_t messages_ = 0;
+    sim::TraceRecorder *trace_ = nullptr;
 };
 
 }  // namespace grit::ic

@@ -1,0 +1,128 @@
+#include "simcore/trace_recorder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <set>
+
+namespace grit::sim {
+
+namespace {
+
+/** Trace "pid" for a track: GPUs keep their id, the host driver gets a
+ *  dedicated track after the largest GPU id seen. */
+constexpr int kHostTrackOffset = 1000;
+
+int
+trackPid(GpuId track)
+{
+    return track == kHostId ? kHostTrackOffset : static_cast<int>(track);
+}
+
+/** Cycles (1 GHz → ns) to trace microseconds, exact to 3 decimals. */
+void
+writeMicros(std::ostream &os, Cycle cycles)
+{
+    os << (cycles / 1000) << '.';
+    const Cycle frac = cycles % 1000;
+    os << static_cast<char>('0' + frac / 100)
+       << static_cast<char>('0' + frac / 10 % 10)
+       << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity)
+{
+    assert(capacity_ > 0);
+    ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void
+TraceRecorder::record(const char *name, const char *cat, Cycle ts,
+                      Cycle dur, GpuId track, std::uint64_t arg,
+                      GpuId peer)
+{
+    const TraceEvent event{name, cat, ts, dur, track, arg, peer};
+    if (ring_.size() < capacity_) {
+        ring_.push_back(event);
+    } else {
+        ring_[head_] = event;
+        head_ = (head_ + 1) % capacity_;
+    }
+    ++recorded_;
+}
+
+std::size_t
+TraceRecorder::size() const
+{
+    return ring_.size();
+}
+
+std::uint64_t
+TraceRecorder::dropped() const
+{
+    return recorded_ - ring_.size();
+}
+
+const TraceEvent &
+TraceRecorder::at(std::size_t i) const
+{
+    assert(i < ring_.size());
+    return ring_[(head_ + i) % ring_.size()];
+}
+
+void
+TraceRecorder::clear()
+{
+    ring_.clear();
+    head_ = 0;
+}
+
+void
+TraceRecorder::writeChromeTrace(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+
+    // Process-name metadata so Perfetto labels the tracks.
+    std::set<int> pids;
+    for (std::size_t i = 0; i < size(); ++i)
+        pids.insert(trackPid(at(i).track));
+    bool first = true;
+    for (const int pid : pids) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\"";
+        if (pid == kHostTrackOffset)
+            os << "uvm-driver";
+        else
+            os << "GPU" << pid;
+        os << "\"}}";
+    }
+
+    for (std::size_t i = 0; i < size(); ++i) {
+        const TraceEvent &e = at(i);
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
+           << "\",\"ph\":\"" << (e.dur > 0 ? 'X' : 'i') << "\",\"ts\":";
+        writeMicros(os, e.ts);
+        if (e.dur > 0) {
+            os << ",\"dur\":";
+            writeMicros(os, e.dur);
+        } else {
+            os << ",\"s\":\"p\"";  // instant event scoped to its process
+        }
+        os << ",\"pid\":" << trackPid(e.track)
+           << ",\"tid\":0,\"args\":{\"page\":" << e.arg;
+        if (e.peer != kNoGpu)
+            os << ",\"peer\":" << e.peer;
+        os << "}}";
+    }
+    os << "]}";
+}
+
+}  // namespace grit::sim

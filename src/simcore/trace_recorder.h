@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Low-overhead ring buffer of per-page lifecycle events, exported as a
+ * Chrome trace-event JSON timeline (loadable in about://tracing and
+ * Perfetto).
+ *
+ * A run that wants a timeline allocates one TraceRecorder and hands a
+ * pointer to the simulator (SystemConfig::trace); components record
+ * events behind a single null-pointer check, so a run without tracing
+ * pays one predictable branch per hook and no allocation. The buffer is
+ * a fixed-capacity ring: once full, the oldest events are overwritten
+ * and counted as dropped, bounding memory for arbitrarily long runs.
+ *
+ * Not thread-safe: one recorder belongs to exactly one Simulator (one
+ * cell), matching the engine's one-island-per-cell concurrency model.
+ */
+
+#ifndef GRIT_SIMCORE_TRACE_RECORDER_H_
+#define GRIT_SIMCORE_TRACE_RECORDER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "simcore/types.h"
+
+namespace grit::sim {
+
+/** One recorded page-lifecycle event. */
+struct TraceEvent
+{
+    /** Static event name ("fault", "migrate", ...). Never owned. */
+    const char *name = "";
+    /** Static category ("uvm", "gmmu", "fabric", "dir"). Never owned. */
+    const char *cat = "";
+    Cycle ts = 0;   //!< start time (cycles)
+    Cycle dur = 0;  //!< duration; 0 renders as an instant event
+    /** Track the event belongs to: a GPU id, or kHostId for the driver. */
+    GpuId track = kHostId;
+    /** Primary argument (page id; bytes for fabric transfers). */
+    std::uint64_t arg = 0;
+    /** Peer processor (source/destination GPU), kNoGpu when n/a. */
+    GpuId peer = kNoGpu;
+};
+
+/** Fixed-capacity event ring with Chrome trace-event JSON export. */
+class TraceRecorder
+{
+  public:
+    /** @param capacity maximum retained events. @pre > 0 */
+    explicit TraceRecorder(std::size_t capacity = 1 << 20);
+
+    /** Append one event; overwrites the oldest once full. */
+    void record(const char *name, const char *cat, Cycle ts, Cycle dur,
+                GpuId track, std::uint64_t arg = 0, GpuId peer = kNoGpu);
+
+    /** Events currently retained (≤ capacity). */
+    std::size_t size() const;
+
+    /** Events recorded over the recorder's lifetime. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events lost to ring overwrite. */
+    std::uint64_t dropped() const;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Retained event @p i, oldest retained first. @pre i < size() */
+    const TraceEvent &at(std::size_t i) const;
+
+    /**
+     * Write the retained events as a Chrome trace-event JSON document:
+     * a "traceEvents" array of complete ("X") and instant ("i") events
+     * plus process-name metadata (GPU tracks, the UVM driver track).
+     * Cycles map to trace microseconds at 1 GHz (1 cycle = 1 ns).
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Forget every event (capacity unchanged). */
+    void clear();
+
+  private:
+    std::size_t capacity_;
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;       //!< next write slot once the ring wrapped
+    std::uint64_t recorded_ = 0;
+};
+
+}  // namespace grit::sim
+
+#endif  // GRIT_SIMCORE_TRACE_RECORDER_H_

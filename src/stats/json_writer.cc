@@ -1,0 +1,154 @@
+#include "stats/json_writer.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+namespace grit::stats {
+
+JsonWriter::JsonWriter(std::ostream &os) : os_(os) {}
+
+void
+JsonWriter::separate()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;  // the key already emitted its ':'
+    }
+    if (stack_.empty())
+        return;
+    Frame &top = stack_.back();
+    if (!top.first)
+        os_ << ',';
+    top.first = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    stack_.push_back(Frame{/*array=*/false});
+    os_ << '{';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    assert(!stack_.empty() && !stack_.back().array);
+    stack_.pop_back();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    stack_.push_back(Frame{/*array=*/true});
+    os_ << '[';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    assert(!stack_.empty() && stack_.back().array);
+    stack_.pop_back();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    assert(!stack_.empty() && !stack_.back().array && !afterKey_);
+    separate();
+    os_ << '"' << escaped(name) << "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    separate();
+    os_ << '"' << escaped(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    separate();
+    os_ << (b ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    separate();
+    os_ << number(d);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t n)
+{
+    separate();
+    os_ << n;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t n)
+{
+    separate();
+    os_ << n;
+    return *this;
+}
+
+std::string
+JsonWriter::escaped(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                constexpr char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xF];
+                out += hex[c & 0xF];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::number(double d)
+{
+    // JSON has no NaN/Inf; results should never produce them, but a
+    // crash-proof fallback beats emitting an unparseable document.
+    if (!std::isfinite(d))
+        return "null";
+    char buf[64];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    assert(ec == std::errc());
+    return std::string(buf, ptr);
+}
+
+}  // namespace grit::stats

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal streaming JSON writer backing the structured results export.
+ *
+ * Emits deterministic, locale-independent JSON: keys in caller order,
+ * doubles via std::to_chars shortest round-trip, no whitespace except a
+ * newline between top-level siblings when pretty() is enabled. Output is
+ * byte-identical for identical inputs on every platform, which is what
+ * lets the golden tests diff results across worker counts.
+ */
+
+#ifndef GRIT_STATS_JSON_WRITER_H_
+#define GRIT_STATS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grit::stats {
+
+/**
+ * Streaming JSON emitter with nesting-aware comma placement.
+ *
+ * Usage: beginObject()/key()/value()/endObject() etc. The writer keeps a
+ * container stack so callers never emit separators themselves; mismatched
+ * begin/end pairs trip an assert in debug builds.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+    JsonWriter &value(bool b);
+    JsonWriter &value(double d);
+    JsonWriter &value(std::uint64_t n);
+    JsonWriter &value(std::int64_t n);
+    JsonWriter &value(unsigned n) { return value(std::uint64_t{n}); }
+    JsonWriter &value(int n) { return value(std::int64_t{n}); }
+
+    /** Nesting depth (0 at the top level, once the root is closed). */
+    std::size_t depth() const { return stack_.size(); }
+
+    /** JSON-escape @p s (quotes, backslash, control chars as \\uXXXX). */
+    static std::string escaped(std::string_view s);
+
+    /** Shortest round-trip decimal form of @p d ("1.5", "0.1", "1e30"). */
+    static std::string number(double d);
+
+  private:
+    /** Emit the separator owed before the next value in this container. */
+    void separate();
+
+    struct Frame
+    {
+        bool array;        //!< false: object
+        bool first = true; //!< no separator before the first element
+    };
+
+    std::ostream &os_;
+    std::vector<Frame> stack_;
+    bool afterKey_ = false;
+};
+
+}  // namespace grit::stats
+
+#endif  // GRIT_STATS_JSON_WRITER_H_

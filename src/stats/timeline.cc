@@ -1,0 +1,19 @@
+#include "stats/timeline.h"
+
+namespace grit::stats {
+
+const char *
+timelineKindName(TimelineKind kind)
+{
+    switch (kind) {
+      case TimelineKind::kFault:        return "fault";
+      case TimelineKind::kMigration:    return "migration";
+      case TimelineKind::kDuplication:  return "duplication";
+      case TimelineKind::kCollapse:     return "collapse";
+      case TimelineKind::kRemoteAccess: return "remote_access";
+      case TimelineKind::kEviction:     return "eviction";
+    }
+    return "unknown";
+}
+
+}  // namespace grit::stats

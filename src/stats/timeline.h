@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Keys of the per-run page-event time series ("timeline") recorded by
+ * the simulator into an IntervalSampler and exported through the JSON
+ * results schema (docs/METRICS.md, "timeline" block).
+ *
+ * One key per page-handling event family; the sampler buckets event
+ * counts into fixed-width windows of simulated time so a run's JSON
+ * carries the same over-time data the paper's temporal figures plot.
+ */
+
+#ifndef GRIT_STATS_TIMELINE_H_
+#define GRIT_STATS_TIMELINE_H_
+
+#include "simcore/types.h"
+
+namespace grit::stats {
+
+/** Page-event families tracked per interval. */
+enum class TimelineKind : unsigned {
+    /** Local + protection faults serviced (non-coalesced). */
+    kFault = 0,
+    /** Page migrations (cold, on-touch, and counter-triggered). */
+    kMigration,
+    /** Duplication replicas created. */
+    kDuplication,
+    /** Write collapses of replicated pages. */
+    kCollapse,
+    /** Line accesses served over the inter-GPU fabric. */
+    kRemoteAccess,
+    /** Capacity evictions (replica drops + owner spills). */
+    kEviction,
+};
+
+/** Number of TimelineKind keys. */
+inline constexpr unsigned kTimelineKinds = 6;
+
+/** Stable schema name of a timeline key ("fault", "migration", ...). */
+const char *timelineKindName(TimelineKind kind);
+
+/** Default timeline window width (the paper's one-million-cycle bins). */
+inline constexpr sim::Cycle kDefaultTimelineIntervalCycles = 1'000'000;
+
+}  // namespace grit::stats
+
+#endif  // GRIT_STATS_TIMELINE_H_

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simcore/trace_recorder.h"
 #include "uvm/uvm_driver.h"
 
 namespace grit::uvm {
@@ -52,7 +53,7 @@ UvmDriver::dropReplicas(sim::PageId page, sim::Cycle now,
         done = std::max(done, t);
         stats_.counter("uvm.replica_invalidations").inc();
     }
-    info.replicas.clear();
+    directory_.clearReplicas(page, now);
 
     // With no replicas left the owner's copy is exclusive again.
     if (info.owner >= 0) {
@@ -76,10 +77,13 @@ UvmDriver::handleEviction(sim::GpuId gpu, const mem::Eviction &victim,
     gpu::Gpu &g = gpuAt(gpu);
     g.pageTable().invalidate(victim.page);
     g.invalidatePage(victim.page);
+    timelineRecord(stats::TimelineKind::kEviction, now);
+    if (trace_)
+        trace_->record("evict", "uvm", now, 0, gpu, victim.page);
 
     if (victim.kind == mem::FrameKind::kReplica) {
         // A dropped replica loses nothing: the owner still has the data.
-        info.removeReplica(gpu);
+        directory_.removeReplica(victim.page, gpu, now);
         stats_.counter("uvm.replica_evictions").inc();
         if (info.replicas.empty() && info.owner >= 0 &&
             info.owner != gpu) {
@@ -101,7 +105,7 @@ UvmDriver::handleEviction(sim::GpuId gpu, const mem::Eviction &victim,
         // Promote a replica to be the new authoritative copy, dropping
         // any stale directory entries whose frames are already gone.
         const sim::GpuId heir = info.replicas.front();
-        info.removeReplica(heir);
+        directory_.removeReplica(victim.page, heir, now);
         if (heir == gpu || !gpuAt(heir).dram().resident(victim.page)) {
             stats_.counter("uvm.stale_replica_entries").inc();
             continue;
@@ -128,6 +132,8 @@ UvmDriver::handleEviction(sim::GpuId gpu, const mem::Eviction &victim,
         stats_.counter("uvm.spill_writebacks").inc();
     }
     info.owner = sim::kHostId;
+    if (trace_)
+        trace_->record("spill", "uvm", now, t - now, gpu, victim.page);
     return t;
 }
 
@@ -193,6 +199,9 @@ UvmDriver::migratePage(sim::PageId page, sim::GpuId to, sim::Cycle now,
     breakdown_.add(kind, t - start);
     stats_.counter(from >= 0 ? "uvm.migrations" : "uvm.host_migrations")
         .inc();
+    timelineRecord(stats::TimelineKind::kMigration, start);
+    if (trace_)
+        trace_->record("migrate", "uvm", start, t - start, to, page, from);
     notifyPlaced(to, page, t);
     return t;
 }
@@ -236,12 +245,16 @@ UvmDriver::duplicatePage(sim::PageId page, sim::GpuId to, sim::Cycle now,
         t = std::max(t, p);
     }
 
-    info.addReplica(to);
+    directory_.addReplica(page, to, t);
     info.touched = true;
     t += config_.remapCycles;
 
     breakdown_.add(stats::LatencyKind::kPageDuplication, t - start);
     stats_.counter("uvm.duplications").inc();
+    timelineRecord(stats::TimelineKind::kDuplication, start);
+    if (trace_)
+        trace_->record("duplicate", "uvm", start, t - start, to, page,
+                       from);
     notifyPlaced(to, page, t);
     return t;
 }
@@ -260,7 +273,7 @@ UvmDriver::prefetchPage(sim::PageId page, sim::GpuId gpu, sim::Cycle now)
                                        t0, stats::LatencyKind::kHost);
     // If the requester held a replica, that frame just became the
     // authoritative copy; it must leave the replica list.
-    info.removeReplica(gpu);
+    directory_.removeReplica(page, gpu, t);
     info.owner = gpu;
     info.touched = true;
     // Surviving replicas keep the page write-protected.
@@ -269,6 +282,8 @@ UvmDriver::prefetchPage(sim::PageId page, sim::GpuId gpu, sim::Cycle now)
                                    /*writable=*/!write_protected,
                                    /*read_only_replica=*/write_protected);
     stats_.counter("uvm.prefetches").inc();
+    if (trace_)
+        trace_->record("prefetch", "uvm", now, t - now, gpu, page);
     // Background transfer: occupies bandwidth, charges no fault latency.
     return t;
 }
@@ -303,7 +318,7 @@ UvmDriver::collapsePage(sim::PageId page, sim::GpuId writer, sim::Cycle now)
     t = std::max(t, invalidateRemoteMappings(page, t));
 
     const bool writer_had_replica = info.hasReplica(writer);
-    info.replicas.clear();
+    directory_.clearReplicas(page, t);
 
     if (writer_had_replica) {
         gpuAt(writer).dram().setKind(page, mem::FrameKind::kOwned);
@@ -325,6 +340,10 @@ UvmDriver::collapsePage(sim::PageId page, sim::GpuId writer, sim::Cycle now)
 
     breakdown_.add(stats::LatencyKind::kWriteCollapse, t - start);
     stats_.counter("uvm.collapses").inc();
+    timelineRecord(stats::TimelineKind::kCollapse, start);
+    if (trace_)
+        trace_->record("collapse", "uvm", start, t - start, writer, page,
+                       old_owner);
     notifyPlaced(writer, page, t);
     return t;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simcore/trace_recorder.h"
+
 namespace grit::uvm {
 
 namespace {
@@ -79,13 +81,42 @@ ReplicaDirectory::touched(sim::PageId page) const
     return info != nullptr && info->touched;
 }
 
-std::uint64_t
-ReplicaDirectory::totalReplicas() const
+void
+ReplicaDirectory::addReplica(sim::PageId page, sim::GpuId gpu,
+                             sim::Cycle now)
 {
-    std::uint64_t total = 0;
-    for (const auto &[page, info] : pages_)
-        total += info.replicas.size();
-    return total;
+    PageInfo &record = info(page);
+    if (record.hasReplica(gpu))
+        return;
+    record.addReplica(gpu);
+    ++totalReplicas_;
+    if (trace_)
+        trace_->record("replica_add", "dir", now, 0, gpu, page);
+}
+
+void
+ReplicaDirectory::removeReplica(sim::PageId page, sim::GpuId gpu,
+                                sim::Cycle now)
+{
+    PageInfo &record = info(page);
+    if (!record.hasReplica(gpu))
+        return;
+    record.removeReplica(gpu);
+    --totalReplicas_;
+    if (trace_)
+        trace_->record("replica_drop", "dir", now, 0, gpu, page);
+}
+
+void
+ReplicaDirectory::clearReplicas(sim::PageId page, sim::Cycle now)
+{
+    PageInfo &record = info(page);
+    totalReplicas_ -= record.replicas.size();
+    if (trace_) {
+        for (const sim::GpuId gpu : record.replicas)
+            trace_->record("replica_drop", "dir", now, 0, gpu, page);
+    }
+    record.replicas.clear();
 }
 
 }  // namespace grit::uvm

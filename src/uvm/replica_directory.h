@@ -18,6 +18,10 @@
 
 #include "simcore/types.h"
 
+namespace grit::sim {
+class TraceRecorder;
+}  // namespace grit::sim
+
 namespace grit::uvm {
 
 /** Residency record of one virtual page. */
@@ -45,7 +49,14 @@ struct PageInfo
     void removeRemoteMapper(sim::GpuId gpu);
 };
 
-/** Directory over all pages; absent pages are untouched host pages. */
+/**
+ * Directory over all pages; absent pages are untouched host pages.
+ *
+ * Replica membership is mutated through the directory-level
+ * addReplica()/removeReplica()/clearReplicas() wrappers, which keep an
+ * incremental total (totalReplicas() is O(1) and sampled per fault) and
+ * double as the trace hooks for "replica_add"/"replica_drop" events.
+ */
 class ReplicaDirectory
 {
   public:
@@ -61,15 +72,33 @@ class ReplicaDirectory
     /** True when some GPU has touched @p page. */
     bool touched(sim::PageId page) const;
 
+    /** Grant @p gpu a read-only replica of @p page (idempotent). */
+    void addReplica(sim::PageId page, sim::GpuId gpu, sim::Cycle now);
+
+    /** Revoke @p gpu's replica of @p page, if any. */
+    void removeReplica(sim::PageId page, sim::GpuId gpu, sim::Cycle now);
+
+    /** Revoke every replica of @p page (write collapse, migration). */
+    void clearReplicas(sim::PageId page, sim::Cycle now);
+
     /** Total replicas alive across all pages (oversubscription metric). */
-    std::uint64_t totalReplicas() const;
+    std::uint64_t totalReplicas() const { return totalReplicas_; }
+
+    /** Timeline sink for replica grant/revoke events; nullptr disables. */
+    void setTrace(sim::TraceRecorder *trace) { trace_ = trace; }
 
     std::size_t size() const { return pages_.size(); }
 
-    void clear() { pages_.clear(); }
+    void clear()
+    {
+        pages_.clear();
+        totalReplicas_ = 0;
+    }
 
   private:
     std::unordered_map<sim::PageId, PageInfo> pages_;
+    std::uint64_t totalReplicas_ = 0;
+    sim::TraceRecorder *trace_ = nullptr;
 };
 
 }  // namespace grit::uvm

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simcore/trace_recorder.h"
+#include "stats/interval_sampler.h"
+
 namespace grit::uvm {
 
 namespace {
@@ -38,6 +41,20 @@ UvmDriver::UvmDriver(const UvmConfig &config, ic::Fabric &fabric,
       hostMem_("uvm.hostmem", config.hostMemGBs)
 {
     assert(!gpus_.empty());
+}
+
+void
+UvmDriver::setTrace(sim::TraceRecorder *trace)
+{
+    trace_ = trace;
+    directory_.setTrace(trace);
+}
+
+void
+UvmDriver::timelineRecord(stats::TimelineKind kind, sim::Cycle now)
+{
+    if (timeline_ != nullptr)
+        timeline_->record(now, static_cast<unsigned>(kind));
 }
 
 void
@@ -86,6 +103,7 @@ UvmDriver::handleFault(sim::GpuId gpu, sim::PageId page, bool write,
         .counter(protection_fault ? "uvm.protection_faults"
                                   : "uvm.local_faults")
         .inc();
+    timelineRecord(stats::TimelineKind::kFault, now);
 
     PageInfo &info = directory_.info(page);
     const bool cold = !info.touched;
@@ -115,6 +133,8 @@ UvmDriver::handleFault(sim::GpuId gpu, sim::PageId page, bool write,
         const sim::Cycle done = mapRemote(page, gpu, at);
         breakdown_.add(stats::LatencyKind::kHost, done - now);
         stats_.counter("uvm.transfw_forwards").inc();
+        if (trace_)
+            trace_->record("fault", "uvm", now, done - now, gpu, page);
         coalescer_.record(gpu, page, done);
         return FaultOutcome{done, false};
     }
@@ -195,6 +215,8 @@ UvmDriver::handleFault(sim::GpuId gpu, sim::PageId page, bool write,
 
     // Fault replay notification back to the GPU.
     done = fabric_.message(done, sim::kHostId, gpu, config_.messageBytes);
+    if (trace_)
+        trace_->record("fault", "uvm", now, done - now, gpu, page);
     coalescer_.record(gpu, page, done);
     return FaultOutcome{done, false};
 }

@@ -25,8 +25,17 @@
 #include "simcore/types.h"
 #include "stats/counters.h"
 #include "stats/latency_breakdown.h"
+#include "stats/timeline.h"
 #include "uvm/fault.h"
 #include "uvm/replica_directory.h"
+
+namespace grit::sim {
+class TraceRecorder;
+}  // namespace grit::sim
+
+namespace grit::stats {
+class IntervalSampler;
+}  // namespace grit::stats
 
 namespace grit::uvm {
 
@@ -193,6 +202,18 @@ class UvmDriver
     /** Local + protection faults serviced (Fig. 18 metric). */
     std::uint64_t totalFaults() const;
 
+    /**
+     * Attach a page-event trace sink (also wired into the directory);
+     * nullptr disables. Events cost one branch each when detached.
+     */
+    void setTrace(sim::TraceRecorder *trace);
+
+    /** Attach the per-run timeline sampler; nullptr disables. */
+    void setTimeline(stats::IntervalSampler *timeline)
+    {
+        timeline_ = timeline;
+    }
+
     /** Aggregate queueing delay behind the fault-servicing contexts. */
     sim::Cycle serverQueueDelay() const { return servers_.queueDelay(); }
 
@@ -233,6 +254,9 @@ class UvmDriver
     sim::Cycle refillMapping(sim::PageId page, sim::GpuId gpu,
                              sim::Cycle now);
 
+    /** Count one @p kind occurrence on the run timeline, if sampling. */
+    void timelineRecord(stats::TimelineKind kind, sim::Cycle now);
+
     UvmConfig config_;
     ic::Fabric &fabric_;
     std::vector<gpu::Gpu *> gpus_;
@@ -249,6 +273,8 @@ class UvmDriver
 
     policy::PlacementPolicy *policy_ = nullptr;
     PlacementListener *listener_ = nullptr;
+    sim::TraceRecorder *trace_ = nullptr;
+    stats::IntervalSampler *timeline_ = nullptr;
     mem::PageTable centralTable_;
     ReplicaDirectory directory_;
     FaultCoalescer coalescer_;

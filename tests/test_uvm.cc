@@ -74,10 +74,19 @@ TEST(ReplicaDirectory, TracksReplicasAndMappersUniquely)
 TEST(ReplicaDirectory, TotalReplicas)
 {
     ReplicaDirectory dir;
-    dir.info(1).addReplica(0);
-    dir.info(1).addReplica(2);
-    dir.info(9).addReplica(1);
+    dir.addReplica(1, 0, 0);
+    dir.addReplica(1, 2, 0);
+    dir.addReplica(1, 2, 0);  // idempotent
+    dir.addReplica(9, 1, 0);
     EXPECT_EQ(dir.totalReplicas(), 3u);
+    dir.removeReplica(9, 1, 0);
+    dir.removeReplica(9, 1, 0);  // absent: no underflow
+    EXPECT_EQ(dir.totalReplicas(), 2u);
+    dir.clearReplicas(1, 0);
+    EXPECT_EQ(dir.totalReplicas(), 0u);
+    dir.addReplica(3, 0, 0);
+    dir.clear();
+    EXPECT_EQ(dir.totalReplicas(), 0u);
 }
 
 // ------------------------------------------------------------------ Cold fault
