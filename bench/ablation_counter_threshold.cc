@@ -12,8 +12,8 @@
 
 #include "bench_util.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -46,4 +46,10 @@ main(int argc, char **argv)
                                 "Ablation: access-counter threshold",
                                 grit::bench::benchParams(), matrix);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

@@ -78,6 +78,53 @@ argValue(int argc, char **argv, const char *flag)
     return std::string();
 }
 
+/** True when the boolean @p flag appears anywhere on the line. */
+inline bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Apply `--chaos <spec>` and `--audit` to @p config. A malformed spec
+ * throws sim::SimException (kChaosSpec) — call from inside guardedMain
+ * so the user sees the structured diagnostic, not a crash.
+ */
+inline void
+applyChaosArgs(int argc, char **argv, harness::SystemConfig &config)
+{
+    const std::string spec = argValue(argc, argv, "--chaos");
+    if (!spec.empty())
+        config.chaos = sim::ChaosSpec::parse(spec);
+    if (hasFlag(argc, argv, "--audit"))
+        config.audit = true;
+}
+
+/**
+ * Run @p body, converting structured simulator errors (bad config,
+ * malformed chaos spec, tripped watchdog) into an actionable stderr
+ * message and exit code 2 instead of an abort. Every bench binary's
+ * main() delegates here.
+ */
+template <typename Body>
+int
+guardedMain(Body &&body)
+{
+    try {
+        return body();
+    } catch (const sim::SimException &e) {
+        std::cerr << e.error().str() << "\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "error [internal]: " << e.what() << "\n";
+        return 2;
+    }
+}
+
 /** Path of `--json <path>`; empty when structured output is off. */
 inline std::string
 jsonPathFromArgs(int argc, char **argv)

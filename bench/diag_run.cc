@@ -5,11 +5,16 @@
  * the full counter set.
  *
  * Usage: diag_run [APP] [POLICY] [--json <path>] [--trace <path>]
+ *                 [--chaos <spec>] [--audit]
  *
  * `--json` writes a one-run "grit-results" document (docs/METRICS.md)
  * including the per-interval event timeline; `--trace` writes a Chrome
  * trace-event JSON timeline of page lifecycle events, loadable in
  * Perfetto or about://tracing. A path of "-" selects stdout.
+ *
+ * `--chaos <spec>` enables deterministic fault injection and `--audit`
+ * cross-layer invariant audits (docs/ROBUSTNESS.md documents both);
+ * chaos/audit counters land in the text dump and the JSON document.
  */
 
 #include <cstring>
@@ -19,8 +24,8 @@
 #include "bench_util.h"
 #include "stats/latency_breakdown.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -29,8 +34,10 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (arg[0] == '-') {
-            // All supported flags take a value; skip it unless inline.
-            if (std::strchr(arg, '=') == nullptr && i + 1 < argc)
+            // Value-taking flags consume the next arg unless inline;
+            // boolean flags (--audit) stand alone.
+            if (std::strcmp(arg, "--audit") != 0 &&
+                std::strchr(arg, '=') == nullptr && i + 1 < argc)
                 ++i;
             continue;
         }
@@ -43,17 +50,27 @@ main(int argc, char **argv)
         positional.size() > 1 ? positional[1] : "on-touch");
     if (!app.has_value() || !kind.has_value()) {
         std::cerr << "usage: diag_run [APP] [POLICY] [--json <path>] "
-                     "[--trace <path>]\n";
+                     "[--trace <path>] [--chaos <spec>] [--audit]\n";
         return 1;
     }
 
     const auto params = grit::bench::benchParams();
     harness::SystemConfig config = harness::makeConfig(*kind, 4);
+    config.timeline = true;
     config.timelineIntervalCycles = stats::kDefaultTimelineIntervalCycles;
+    grit::bench::applyChaosArgs(argc, argv, config);
     const auto trace = grit::bench::traceFromArgs(argc, argv);
     config.trace = trace.get();
 
     const harness::RunResult r = harness::runApp(*app, config, params);
+
+    if (config.chaos.any())
+        std::cout << "chaos " << config.chaos.summary() << "\n";
+    if (config.audit) {
+        std::cout << "audit_findings " << r.auditFindings.size() << "\n";
+        for (const std::string &finding : r.auditFindings)
+            std::cout << "  " << finding << "\n";
+    }
 
     std::cout << "cycles " << r.cycles << "\naccesses " << r.accesses
               << "\n";
@@ -75,4 +92,10 @@ main(int argc, char **argv)
                                 "Single-run diagnostic", params, matrix);
     grit::bench::maybeWriteTrace(argc, argv, trace.get());
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

@@ -9,8 +9,8 @@
 
 #include "bench_util.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -31,4 +31,10 @@ main(int argc, char **argv)
                                 "Figure 1: uniform scheme performance vs on-touch",
                                 grit::bench::benchParams(), matrix);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

@@ -12,8 +12,8 @@
 #include "bench_util.h"
 #include "stats/latency_breakdown.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
     using stats::LatencyKind;
@@ -88,4 +88,10 @@ main(int argc, char **argv)
                                 "Figure 3: page-handling latency breakdown",
                                 params, matrix);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

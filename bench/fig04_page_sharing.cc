@@ -9,8 +9,8 @@
 #include "bench_util.h"
 #include "workload/characterizer.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -42,4 +42,10 @@ main(int argc, char **argv)
         "Figure 4: private/shared pages and accesses", params,
         {harness::namedTable("page_sharing", table)});
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

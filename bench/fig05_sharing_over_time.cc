@@ -51,8 +51,8 @@ report(const grit::workload::Workload &w, unsigned intervals,
 
 }  // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -71,4 +71,10 @@ main(int argc, char **argv)
         "Figure 5: shared page access pattern over time", params,
         tables);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

@@ -74,8 +74,8 @@ report(const grit::workload::Workload &w,
 
 }  // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -90,4 +90,10 @@ main(int argc, char **argv)
         argc, argv, "fig06_08_attributes_over_time",
         "Figures 6-8: page attributes over time", params, tables);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

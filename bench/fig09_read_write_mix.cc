@@ -9,8 +9,8 @@
 #include "bench_util.h"
 #include "workload/characterizer.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -40,4 +40,10 @@ main(int argc, char **argv)
         "Figure 9: accesses to read vs read-write pages", params,
         {harness::namedTable("read_write_mix", table)});
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

@@ -10,8 +10,8 @@
 #include "bench_util.h"
 #include "workload/characterizer.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -40,4 +40,10 @@ main(int argc, char **argv)
         "Figure 10: read/write mix over time for one ST page", params,
         {harness::namedTable("rw_over_time", table)});
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

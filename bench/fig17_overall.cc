@@ -10,12 +10,15 @@
 
 #include "bench_util.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
-    const auto configs = grit::bench::mainConfigs();
+    auto configs = grit::bench::mainConfigs();
+    // `--chaos` / `--audit` apply to every policy in the lineup.
+    for (auto &labeled : configs)
+        grit::bench::applyChaosArgs(argc, argv, labeled.config);
     const auto matrix = grit::bench::runMatrix(
         grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
 
@@ -38,4 +41,10 @@ main(int argc, char **argv)
                                 "Figure 17: GRIT vs uniform schemes",
                                 grit::bench::benchParams(), matrix);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

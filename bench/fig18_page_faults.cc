@@ -10,8 +10,8 @@
 
 #include "bench_util.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -69,4 +69,10 @@ main(int argc, char **argv)
                                 "Figure 18: GPU page faults per scheme",
                                 grit::bench::benchParams(), matrix);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

@@ -11,8 +11,8 @@
 #include "bench_util.h"
 #include "mem/pte.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -63,4 +63,10 @@ main(int argc, char **argv)
                                 "Figure 19: scheme mix of L2-TLB-missing accesses under GRIT",
                                 params, matrix);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

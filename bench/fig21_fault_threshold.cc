@@ -9,8 +9,8 @@
 
 #include "bench_util.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -48,4 +48,10 @@ main(int argc, char **argv)
                                 "Figure 21: GRIT fault-threshold sensitivity",
                                 grit::bench::benchParams(), matrix);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

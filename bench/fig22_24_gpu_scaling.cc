@@ -10,8 +10,8 @@
 
 #include "bench_util.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -68,4 +68,10 @@ main(int argc, char **argv)
                                 "Figures 22-24: GRIT GPU scaling",
                                 grit::bench::benchParams(), combined);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

@@ -11,8 +11,8 @@
 #include "baselines/transfw.h"
 #include "bench_util.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -42,4 +42,10 @@ main(int argc, char **argv)
                                 "Figure 28: Griffin-DPC + Trans-FW comparison",
                                 grit::bench::benchParams(), matrix);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

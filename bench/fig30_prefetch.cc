@@ -10,8 +10,8 @@
 
 #include "bench_util.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -45,4 +45,10 @@ main(int argc, char **argv)
                                 "Figure 30: GRIT with tree-based prefetching",
                                 grit::bench::benchParams(), matrix);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

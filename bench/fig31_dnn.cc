@@ -10,8 +10,8 @@
 #include "bench_util.h"
 #include "workload/dnn.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -53,4 +53,10 @@ main(int argc, char **argv)
                                 "Figure 31: DNN model parallelism",
                                 params, matrix);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

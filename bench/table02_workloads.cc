@@ -10,8 +10,8 @@
 #include "bench_util.h"
 #include "workload/characterizer.h"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace grit;
 
@@ -39,4 +39,10 @@ main(int argc, char **argv)
         argc, argv, "table02_workloads", "Table II: applications",
         params, {harness::namedTable("workloads", table)});
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return grit::bench::guardedMain([&] { return run(argc, argv); });
 }

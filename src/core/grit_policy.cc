@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/scheme_decision.h"
+#include "simcore/fault_injector.h"
 #include "uvm/uvm_driver.h"
 
 namespace grit::core {
@@ -110,14 +111,32 @@ GritPolicy::onFault(const policy::FaultInfo &info, sim::Cycle now)
                                   info.owner == sim::kHostId &&
                                   info.replicaCount == 0;
 
+    // Chaos perturbations against the PA-Cache: a "paflush" drops all
+    // cached fault counts on a period boundary (state loss; the policy
+    // repopulates); a "padisable" window writes the cache back once and
+    // then degrades gracefully to the in-memory PA-Table.
+    sim::FaultInjector *chaos = driver_->injector();
+    if (chaos != nullptr && paCache_ != nullptr) {
+        if (chaos->paFlushDue(now)) {
+            paCache_->invalidateAll();
+            chaos->notePaFlush();
+        }
+        const bool down = chaos->paCacheDown(now);
+        if (down && !paCacheChaosDown_)
+            paCache_->writeBackAll();
+        paCacheChaosDown_ = down;
+    }
+
     // --- Fault-Aware Initiator: record this fault in the PA machinery.
+    const bool use_cache = config_.paCacheEnabled && !paCacheChaosDown_;
     PaAccessResult pa;
     if (!capacity_refault) {
         const bool write_fault = info.write || info.protectionFault;
-        pa = config_.paCacheEnabled
-                 ? paCache_->recordFault(info.page, write_fault,
-                                         config_.faultThreshold)
-                 : recordFaultTableOnly(info.page, write_fault);
+        pa = use_cache ? paCache_->recordFault(info.page, write_fault,
+                                               config_.faultThreshold)
+                       : recordFaultTableOnly(info.page, write_fault);
+        if (config_.paCacheEnabled && !use_cache)
+            chaos->notePaTableFallback();
         pendingOverhead_ = paLatency(pa, now);
     } else {
         pendingOverhead_ = 0;
@@ -183,6 +202,7 @@ GritPolicy::reset()
     paTable_.clear();
     if (paCache_)
         paCache_->clear();
+    paCacheChaosDown_ = false;
     pendingOverhead_ = 0;
     schemeChanges_ = 0;
     napAdoptions_ = 0;

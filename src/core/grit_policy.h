@@ -100,6 +100,8 @@ class GritPolicy : public policy::PlacementPolicy
     PaTable paTable_;
     std::unique_ptr<PaCache> paCache_;
     std::unique_ptr<NeighborPredictor> nap_;
+    /** Chaos "padisable" window is open; faults go table-only. */
+    bool paCacheChaosDown_ = false;
     sim::Cycle pendingOverhead_ = 0;
     std::uint64_t schemeChanges_ = 0;
     std::uint64_t napAdoptions_ = 0;

@@ -109,6 +109,25 @@ PaCache::occupancy() const
 }
 
 void
+PaCache::invalidateAll()
+{
+    for (Line &l : lines_)
+        l.valid = false;
+}
+
+void
+PaCache::writeBackAll()
+{
+    for (Line &l : lines_) {
+        if (!l.valid)
+            continue;
+        table_.put(l.vpn, l.entry);
+        ++writebacks_;
+        l.valid = false;
+    }
+}
+
+void
 PaCache::clear()
 {
     for (Line &l : lines_)

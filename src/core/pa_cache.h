@@ -71,6 +71,20 @@ class PaCache
     /** Number of valid entries (test use). */
     std::size_t occupancy() const;
 
+    /**
+     * Drop every line WITHOUT writing back (chaos "paflush": in-flight
+     * fault counts are lost; the policy repopulates from scratch).
+     * Hit/miss statistics survive.
+     */
+    void invalidateAll();
+
+    /**
+     * Flush every valid line to the PA-Table, then invalidate (graceful
+     * hand-off before a chaos "padisable" window: no counts are lost,
+     * the policy continues table-only).
+     */
+    void writeBackAll();
+
     void clear();
 
   private:

@@ -148,6 +148,9 @@ class Gpu
     const mem::DramManager &dram() const { return dram_; }
     mem::AccessCounterTable &counters() { return counters_; }
     mem::Tlb &l2Tlb() { return l2Tlb_; }
+    const mem::Tlb &l2Tlb() const { return l2Tlb_; }
+    /** Per-lane L1 TLBs (audit use). */
+    const std::vector<mem::Tlb> &l1Tlbs() const { return l1Tlbs_; }
     mem::DataCache &l2Cache() { return l2Cache_; }
     Gmmu &gmmu() { return gmmu_; }
 

@@ -40,6 +40,89 @@ policyKindFromName(const std::string &name)
     return std::nullopt;
 }
 
+std::vector<sim::SimError>
+SystemConfig::validate() const
+{
+    std::vector<sim::SimError> out;
+    auto bad = [&out](const std::string &message,
+                      const std::string &where) {
+        out.emplace_back(sim::ErrorCode::kConfigInvalid, message, where);
+    };
+
+    if (numGpus == 0)
+        bad("at least one GPU is required", "numGpus");
+    if (fabric.numGpus != numGpus)
+        bad("fabric.numGpus (" + std::to_string(fabric.numGpus) +
+                ") disagrees with numGpus (" + std::to_string(numGpus) +
+                ")",
+            "fabric.numGpus");
+    if (pageSize == 0)
+        bad("page size must be non-zero", "pageSize");
+    else if (pageSize % sim::kLineSize != 0)
+        bad("page size must be a multiple of the " +
+                std::to_string(sim::kLineSize) + "-byte line",
+            "pageSize");
+    if (memoryFraction < 0.0)
+        bad("memory fraction cannot be negative", "memoryFraction");
+
+    if (gpu.lanes == 0)
+        bad("a GPU needs at least one access lane", "gpu.lanes");
+    if (gpu.dramGBs <= 0.0)
+        bad("local DRAM bandwidth must be positive", "gpu.dramGBs");
+    if (gpu.l1TlbWays == 0 || gpu.l1TlbEntries == 0 ||
+        gpu.l1TlbEntries % gpu.l1TlbWays != 0)
+        bad("L1 TLB entries must be a non-zero multiple of its ways",
+            "gpu.l1Tlb");
+    if (gpu.l2TlbWays == 0 || gpu.l2TlbEntries == 0 ||
+        gpu.l2TlbEntries % gpu.l2TlbWays != 0)
+        bad("L2 TLB entries must be a non-zero multiple of its ways",
+            "gpu.l2Tlb");
+    if (gpu.gmmu.walkers == 0)
+        bad("the GMMU needs at least one page-table walker",
+            "gpu.gmmu.walkers");
+    if (gpu.counterThreshold == 0)
+        bad("the access-counter threshold must be non-zero",
+            "gpu.counterThreshold");
+    if (gpu.nvlinkSlots == 0 || gpu.pcieSlots == 0 || gpu.faultSlots == 0)
+        bad("remote-transaction and fault slots must be non-zero",
+            "gpu.slots");
+
+    if (uvm.servers == 0)
+        bad("the UVM driver needs at least one fault-servicing context",
+            "uvm.servers");
+    if (uvm.hostMemGBs <= 0.0)
+        bad("host memory bandwidth must be positive", "uvm.hostMemGBs");
+
+    if (fabric.nvlinkGBs <= 0.0)
+        bad("NVLink bandwidth must be positive", "fabric.nvlinkGBs");
+    if (fabric.pcieGBs <= 0.0)
+        bad("PCIe bandwidth must be positive", "fabric.pcieGBs");
+    if (fabric.nvlinkLatency == 0)
+        bad("NVLink latency must be positive", "fabric.nvlinkLatency");
+    if (fabric.pcieLatency == 0)
+        bad("PCIe latency must be positive", "fabric.pcieLatency");
+
+    if (policy == PolicyKind::kGrit) {
+        if (grit.faultThreshold == 0)
+            bad("the GRIT fault threshold must be non-zero",
+                "grit.faultThreshold");
+        if (grit.paCacheEnabled &&
+            (grit.paCacheWays == 0 || grit.paCacheEntries == 0 ||
+             grit.paCacheEntries % grit.paCacheWays != 0))
+            bad("PA-Cache entries must be a non-zero multiple of its "
+                "ways",
+                "grit.paCache");
+    }
+
+    if (timeline && timelineIntervalCycles == 0)
+        bad("the timeline is enabled but its interval is 0",
+            "timelineIntervalCycles");
+    if (!audit && auditIntervalCycles != 0)
+        bad("auditIntervalCycles is set but audit is disabled", "audit");
+
+    return out;
+}
+
 SystemConfig
 makeConfig(PolicyKind policy, unsigned num_gpus)
 {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "baselines/gps.h"
 #include "baselines/griffin.h"
@@ -17,6 +18,8 @@
 #include "core/grit_policy.h"
 #include "gpu/gpu.h"
 #include "interconnect/fabric.h"
+#include "simcore/fault_injector.h"
+#include "simcore/sim_error.h"
 #include "simcore/types.h"
 #include "uvm/uvm_driver.h"
 
@@ -80,11 +83,45 @@ struct SystemConfig
      */
     sim::TraceRecorder *trace = nullptr;
 
+    /** Sample the per-run event timeline ("timeline" in the JSON). */
+    bool timeline = false;
+
     /**
-     * Window width of the per-run event timeline ("timeline" in the
-     * results JSON); 0 disables sampling.
+     * Window width of the event timeline. Must be non-zero when
+     * timeline is enabled (validate() rejects the combination).
      */
     sim::Cycle timelineIntervalCycles = 0;
+
+    /**
+     * Chaos fault-injection spec (see sim::ChaosSpec::parse and
+     * docs/ROBUSTNESS.md). Held by value so every Simulator builds its
+     * own injector — chaos runs stay deterministic under any
+     * experiment-engine thread count. Default-constructed = inert.
+     */
+    sim::ChaosSpec chaos{};
+
+    /** Run cross-layer invariant audits (sim::InvariantAuditor). */
+    bool audit = false;
+
+    /**
+     * Period of in-run audits; 0 audits only at end of run. Only
+     * meaningful with audit = true.
+     */
+    sim::Cycle auditIntervalCycles = 0;
+
+    /**
+     * Liveness watchdog: abort the run with a structured kNoProgress
+     * diagnostic after this many events execute without simulated time
+     * advancing. 0 disables.
+     */
+    std::uint64_t watchdogSameCycleEvents = 2'000'000;
+
+    /**
+     * Check every knob combination this config can express.
+     * @return all violations (empty when the config is usable);
+     *         Simulator construction throws on a non-empty result.
+     */
+    std::vector<sim::SimError> validate() const;
 };
 
 /** Table I defaults for @p policy and @p num_gpus. */

@@ -1,0 +1,277 @@
+#include "harness/invariant_auditor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "gpu/gpu.h"
+#include "mem/dram_manager.h"
+#include "mem/page_table.h"
+#include "mem/tlb.h"
+#include "uvm/replica_directory.h"
+#include "uvm/uvm_driver.h"
+
+namespace grit::sim {
+
+namespace {
+
+SimError
+violation(const std::string &what, const std::string &where)
+{
+    return SimError(ErrorCode::kInvariant, what, where);
+}
+
+std::string
+pageStr(PageId page)
+{
+    std::ostringstream out;
+    out << "page " << page;
+    return out.str();
+}
+
+/** The "ideal" baseline installs local PTEs without moving data; its
+ *  page tables intentionally disagree with residency state. */
+bool
+idealPolicy(uvm::UvmDriver &driver)
+{
+    policy::PlacementPolicy *p = driver.policy();
+    return p != nullptr && std::string(p->name()) == "ideal";
+}
+
+}  // namespace
+
+std::vector<SimError>
+InvariantAuditor::audit()
+{
+    std::vector<SimError> out;
+    auditDirectory(out);
+    auditPageTables(out);
+    auditDramAccounting(out);
+    auditTlbCoherence(out);
+    ++audits_;
+    violations_ += out.size();
+    return out;
+}
+
+void
+InvariantAuditor::auditDirectory(std::vector<SimError> &out) const
+{
+    const uvm::ReplicaDirectory &dir = driver_.directory();
+    std::uint64_t replica_sum = 0;
+
+    for (const auto &[page, info] : dir.pages()) {
+        const std::string where = pageStr(page);
+        replica_sum += info.replicas.size();
+
+        // The authoritative owner's copy must occupy an owned frame.
+        if (info.owner >= 0) {
+            const mem::DramManager &dram = driver_.gpuAt(info.owner).dram();
+            if (!dram.resident(page)) {
+                out.push_back(violation(
+                    "directory owner gpu" + std::to_string(info.owner) +
+                        " has no resident frame",
+                    where));
+            } else if (dram.kindOf(page) != mem::FrameKind::kOwned) {
+                out.push_back(violation(
+                    "owner frame at gpu" + std::to_string(info.owner) +
+                        " is marked replica",
+                    where));
+            }
+        }
+
+        // Every replica holder must back the replica with a frame.
+        for (sim::GpuId r : info.replicas) {
+            if (r == info.owner) {
+                out.push_back(violation("owner gpu" + std::to_string(r) +
+                                            " appears in its own replica "
+                                            "list",
+                                        where));
+                continue;
+            }
+            if (std::count(info.replicas.begin(), info.replicas.end(),
+                           r) > 1) {
+                out.push_back(violation(
+                    "gpu" + std::to_string(r) + " listed twice as replica",
+                    where));
+            }
+            const mem::DramManager &dram = driver_.gpuAt(r).dram();
+            if (!dram.resident(page)) {
+                out.push_back(violation(
+                    "replica holder gpu" + std::to_string(r) +
+                        " has no resident frame",
+                    where));
+            } else if (dram.kindOf(page) != mem::FrameKind::kReplica) {
+                out.push_back(violation(
+                    "replica frame at gpu" + std::to_string(r) +
+                        " is marked owned",
+                    where));
+            }
+        }
+
+        // Remote mappers must hold a live remote PTE at the owner.
+        for (sim::GpuId m : info.remoteMappers) {
+            const mem::PteRecord *rec =
+                driver_.gpuAt(m).pageTable().find(page);
+            if (rec == nullptr || !rec->pte.valid() ||
+                rec->kind != mem::MappingKind::kRemote) {
+                out.push_back(violation(
+                    "remote mapper gpu" + std::to_string(m) +
+                        " holds no valid remote PTE",
+                    where));
+            } else if (rec->location != info.owner) {
+                out.push_back(violation(
+                    "remote PTE at gpu" + std::to_string(m) +
+                        " points at " + std::to_string(rec->location) +
+                        " but the owner is " +
+                        std::to_string(info.owner),
+                    where));
+            }
+        }
+    }
+
+    if (replica_sum != dir.totalReplicas()) {
+        out.push_back(violation(
+            "directory totalReplicas() is " +
+                std::to_string(dir.totalReplicas()) +
+                " but per-page lists sum to " +
+                std::to_string(replica_sum),
+            "replica-directory"));
+    }
+}
+
+void
+InvariantAuditor::auditPageTables(std::vector<SimError> &out) const
+{
+    const uvm::ReplicaDirectory &dir = driver_.directory();
+    const bool ideal = idealPolicy(driver_);
+
+    for (unsigned g = 0; g < driver_.numGpus(); ++g) {
+        const gpu::Gpu &gpu = driver_.gpuAt(static_cast<GpuId>(g));
+        const std::string who = "gpu" + std::to_string(g);
+        for (const auto &[page, rec] : gpu.pageTable().entries()) {
+            if (!rec.pte.valid())
+                continue;  // annotation-only entry (scheme/group bits)
+            const std::string where = who + " " + pageStr(page);
+            const uvm::PageInfo *info = dir.find(page);
+
+            if (rec.kind == mem::MappingKind::kLocal) {
+                if (ideal)
+                    continue;
+                if (!gpu.dram().resident(page)) {
+                    out.push_back(violation(
+                        "valid local PTE but the page is not resident",
+                        where));
+                } else if (info == nullptr ||
+                           (info->owner != static_cast<GpuId>(g) &&
+                            !info->hasReplica(static_cast<GpuId>(g)))) {
+                    out.push_back(violation(
+                        "valid local PTE but the directory lists this "
+                        "GPU as neither owner nor replica holder",
+                        where));
+                }
+            } else {  // kRemote
+                if (rec.location == static_cast<GpuId>(g)) {
+                    out.push_back(violation(
+                        "remote PTE points at its own GPU", where));
+                    continue;
+                }
+                if (info == nullptr ||
+                    !info->hasRemoteMapper(static_cast<GpuId>(g))) {
+                    out.push_back(violation(
+                        "valid remote PTE but the directory does not "
+                        "list this GPU as a remote mapper",
+                        where));
+                } else if (rec.location != info->owner) {
+                    out.push_back(violation(
+                        "remote PTE location " +
+                            std::to_string(rec.location) +
+                            " disagrees with directory owner " +
+                            std::to_string(info->owner),
+                        where));
+                }
+            }
+        }
+    }
+}
+
+void
+InvariantAuditor::auditDramAccounting(std::vector<SimError> &out) const
+{
+    const uvm::ReplicaDirectory &dir = driver_.directory();
+
+    for (unsigned g = 0; g < driver_.numGpus(); ++g) {
+        const GpuId id = static_cast<GpuId>(g);
+        const mem::DramManager &dram = driver_.gpuAt(id).dram();
+        const std::string who = "gpu" + std::to_string(g);
+
+        if (dram.capacity() != 0 && dram.size() > dram.capacity()) {
+            out.push_back(violation(
+                "DRAM holds " + std::to_string(dram.size()) +
+                    " pages but capacity is " +
+                    std::to_string(dram.capacity()),
+                who));
+        }
+
+        std::uint64_t replica_frames = 0;
+        for (const mem::Eviction &frame : dram.frames()) {
+            const std::string where = who + " " + pageStr(frame.page);
+            const uvm::PageInfo *info = dir.find(frame.page);
+            if (info == nullptr) {
+                out.push_back(violation(
+                    "resident frame for a page the directory never "
+                    "recorded",
+                    where));
+                continue;
+            }
+            if (frame.kind == mem::FrameKind::kOwned) {
+                if (info->owner != id) {
+                    out.push_back(violation(
+                        "owned frame but the directory owner is " +
+                            std::to_string(info->owner),
+                        where));
+                }
+            } else {
+                ++replica_frames;
+                if (!info->hasReplica(id)) {
+                    out.push_back(violation(
+                        "replica frame but the directory lists no "
+                        "replica here",
+                        where));
+                }
+            }
+        }
+
+        if (replica_frames != dram.replicaCount()) {
+            out.push_back(violation(
+                "DRAM replicaCount() is " +
+                    std::to_string(dram.replicaCount()) + " but " +
+                    std::to_string(replica_frames) +
+                    " replica frames are resident",
+                who));
+        }
+    }
+}
+
+void
+InvariantAuditor::auditTlbCoherence(std::vector<SimError> &out) const
+{
+    for (unsigned g = 0; g < driver_.numGpus(); ++g) {
+        const gpu::Gpu &gpu = driver_.gpuAt(static_cast<GpuId>(g));
+        const std::string who = "gpu" + std::to_string(g);
+        auto check = [&](const mem::Tlb &tlb) {
+            for (PageId page : tlb.livePages()) {
+                if (!gpu.pageTable().translates(page)) {
+                    out.push_back(violation(
+                        "live " + tlb.name() +
+                            " entry survived the PTE shootdown",
+                        who + " " + pageStr(page)));
+                }
+            }
+        };
+        check(gpu.l2Tlb());
+        for (const mem::Tlb &l1 : gpu.l1Tlbs())
+            check(l1);
+    }
+}
+
+}  // namespace grit::sim

@@ -1,7 +1,7 @@
 #include "harness/simulator.h"
 
 #include <algorithm>
-#include <cassert>
+#include <string>
 
 #include "simcore/log.h"
 
@@ -55,8 +55,16 @@ Simulator::Simulator(const SystemConfig &config,
                      const workload::Workload &workload)
     : config_(config), workload_(workload)
 {
-    assert(workload.numGpus() == config.numGpus &&
-           "workload was generated for a different GPU count");
+    sim::throwIfInvalid(config.validate(), "SystemConfig");
+    if (workload.numGpus() != config.numGpus) {
+        throw sim::SimException(sim::SimError(
+            sim::ErrorCode::kConfigInvalid,
+            "workload was generated for " +
+                std::to_string(workload.numGpus()) +
+                " GPUs but the config expects " +
+                std::to_string(config.numGpus),
+            "workload " + workload.name));
+    }
 
     // Decode byte addresses into (page, line) at the configured page
     // size; the 2 MB study reuses 4 KB-generated traces unchanged.
@@ -113,6 +121,16 @@ Simulator::Simulator(const SystemConfig &config,
     policy_ = makePolicy(config_);
     driver_->setPolicy(policy_.get());
 
+    if (config_.chaos.any()) {
+        injector_ = std::make_unique<sim::FaultInjector>(config_.chaos);
+        fabric_->setInjector(injector_.get());
+        driver_->setInjector(injector_.get());
+        GRIT_LOG(sim::LogLevel::kInfo,
+                 "chaos enabled: " << config_.chaos.summary());
+    }
+    if (config_.audit)
+        auditor_ = std::make_unique<sim::InvariantAuditor>(*driver_);
+
     if (config_.timelineIntervalCycles > 0) {
         timeline_.emplace(config_.timelineIntervalCycles,
                           stats::kTimelineKinds);
@@ -136,6 +154,49 @@ Simulator::Simulator(const SystemConfig &config,
 }
 
 Simulator::~Simulator() = default;
+
+bool
+Simulator::drained() const
+{
+    for (unsigned g = 0; g < config_.numGpus; ++g) {
+        if (cursor_[g] < decoded_[g].size())
+            return false;
+    }
+    return true;
+}
+
+void
+Simulator::pressureStorm()
+{
+    const sim::Cycle now = queue_.now();
+    for (unsigned g = 0; g < config_.numGpus; ++g) {
+        // The driver notes the evictions with the injector itself.
+        driver_->injectCapacityPressure(static_cast<sim::GpuId>(g),
+                                        config_.chaos.pressure.pages,
+                                        now);
+    }
+    if (!drained()) {
+        queue_.schedule(now + config_.chaos.pressure.period,
+                        [this] { pressureStorm(); }, "chaos-pressure");
+    }
+}
+
+void
+Simulator::runAudit()
+{
+    static constexpr std::size_t kMaxFindings = 32;
+    const std::vector<sim::SimError> found = auditor_->audit();
+    for (const sim::SimError &err : found) {
+        GRIT_LOG(sim::LogLevel::kError,
+                 "workload " << workload_.name << ": " << err.str());
+        if (auditFindings_.size() < kMaxFindings)
+            auditFindings_.push_back(err.str());
+    }
+    if (config_.auditIntervalCycles > 0 && !drained()) {
+        queue_.schedule(queue_.now() + config_.auditIntervalCycles,
+                        [this] { runAudit(); }, "audit");
+    }
+}
 
 void
 Simulator::laneStep(unsigned g, unsigned lane)
@@ -173,7 +234,8 @@ Simulator::beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
         const sim::Cycle done = finishAccess(g, now, loc, a);
         finish_ = std::max(finish_, done);
         queue_.schedule(done + config_.gpu.laneIssueInterval,
-                        [this, g, lane] { laneStep(g, lane); });
+                        [this, g, lane] { laneStep(g, lane); },
+                        "lane-step");
         return;
     }
 
@@ -205,9 +267,10 @@ Simulator::beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
         // The replay is a fresh event so every resource it touches
         // sees monotonic timestamps.
         const LaneAccess access = a;
-        queue_.schedule(replay_at, [this, g, lane, access] {
-            beginAccess(g, lane, access, 1);
-        });
+        queue_.schedule(
+            replay_at,
+            [this, g, lane, access] { beginAccess(g, lane, access, 1); },
+            "fault-replay");
         return;
     }
 
@@ -217,7 +280,7 @@ Simulator::beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
     const sim::Cycle done = finishAccess(g, out.readyAt, loc, a);
     finish_ = std::max(finish_, done);
     queue_.schedule(done + config_.gpu.laneIssueInterval,
-                    [this, g, lane] { laneStep(g, lane); });
+                    [this, g, lane] { laneStep(g, lane); }, "lane-step");
 }
 
 sim::Cycle
@@ -296,22 +359,34 @@ Simulator::run()
         const unsigned lanes = std::min<std::uint64_t>(
             config_.gpu.lanes, decoded_[g].size());
         for (unsigned lane = 0; lane < lanes; ++lane)
-            queue_.schedule(0, [this, g, lane] { laneStep(g, lane); });
+            queue_.schedule(
+                0, [this, g, lane] { laneStep(g, lane); }, "lane-seed");
+    }
+
+    if (injector_ && injector_->pressureConfigured()) {
+        queue_.schedule(config_.chaos.pressure.start +
+                            config_.chaos.pressure.period,
+                        [this] { pressureStorm(); }, "chaos-pressure");
+    }
+    if (auditor_ && config_.auditIntervalCycles > 0) {
+        queue_.schedule(config_.auditIntervalCycles,
+                        [this] { runAudit(); }, "audit");
     }
 
     std::uint64_t limit = config_.maxEvents;
     if (limit == 0) {
         limit = 16 * (workload_.totalAccesses() + 1024);
     }
+    queue_.setWatchdog(config_.watchdogSameCycleEvents);
     queue_.run(limit);
-    if (queue_.limitHit()) {
-        GRIT_LOG(sim::LogLevel::kWarn,
-                 "workload " << workload_.name
-                             << ": event limit hit before the trace "
-                                "drained; results are truncated");
-        stats_.counter("sim.event_limit_hit").inc();
-        assert(false && "event limit hit before the workload drained");
+    if (queue_.diagnostic()) {
+        sim::SimError err = *queue_.diagnostic();
+        err.context = "workload " + workload_.name;
+        throw sim::SimException(err);
     }
+
+    if (auditor_)
+        runAudit();
 
     RunResult result;
     result.cycles = finish_;
@@ -330,8 +405,17 @@ Simulator::run()
         stats_.counter("gmmu.walks").inc(g->gmmu().walks());
         stats_.counter("gpu.flushes").inc(g->flushes());
     }
+    if (injector_) {
+        for (const auto &[name, value] : injector_->counters())
+            stats_.counter(name).inc(value);
+    }
+    if (auditor_) {
+        stats_.counter("audit.audits").inc(auditor_->audits());
+        stats_.counter("audit.violations").inc(auditor_->violations());
+    }
     result.counters = stats_.items();
     result.timeline = timeline_;
+    result.auditFindings = auditFindings_;
     return result;
 }
 

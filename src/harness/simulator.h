@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "harness/config.h"
+#include "harness/invariant_auditor.h"
 #include "simcore/event_queue.h"
+#include "simcore/fault_injector.h"
 #include "stats/counters.h"
 #include "stats/interval_sampler.h"
 #include "stats/latency_breakdown.h"
@@ -61,6 +63,13 @@ struct RunResult
      */
     std::optional<stats::IntervalSampler> timeline;
 
+    /**
+     * Invariant-audit violations (SimError::str() form, first 32);
+     * populated only under SystemConfig::audit. The full count is the
+     * "audit.violations" counter.
+     */
+    std::vector<std::string> auditFindings;
+
     /** Eviction pressure per thousand accesses (GPS comparison). */
     double oversubscriptionRate() const;
 };
@@ -72,6 +81,9 @@ class Simulator
     /**
      * @param config   system configuration (Table I defaults).
      * @param workload traces to replay (numGpus must match).
+     * @throws sim::SimException (kConfigInvalid) when
+     *         config.validate() reports violations or the workload was
+     *         generated for a different GPU count.
      */
     Simulator(const SystemConfig &config,
               const workload::Workload &workload);
@@ -80,7 +92,11 @@ class Simulator
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
-    /** Run to completion and collect results. */
+    /**
+     * Run to completion and collect results.
+     * @throws sim::SimException when the event-queue safety valve
+     *         (kEventLimit) or liveness watchdog (kNoProgress) trips.
+     */
     RunResult run();
 
     /** Components, for tests and examples. */
@@ -98,6 +114,15 @@ class Simulator
 
     /** Advance lane @p lane of GPU @p g to its next access. */
     void laneStep(unsigned g, unsigned lane);
+
+    /** True once every GPU's access stream is fully issued. */
+    bool drained() const;
+
+    /** Self-rescheduling chaos capacity-pressure storm event. */
+    void pressureStorm();
+
+    /** One invariant audit; logs and collects any violations. */
+    void runAudit();
 
     /**
      * Translate (attempt @p attempt); faults schedule a retry event at
@@ -124,6 +149,9 @@ class Simulator
     std::unique_ptr<uvm::UvmDriver> driver_;
     std::unique_ptr<policy::PlacementPolicy> policy_;
     std::unique_ptr<baselines::TreePrefetcher> prefetcher_;
+    std::unique_ptr<sim::FaultInjector> injector_;
+    std::unique_ptr<sim::InvariantAuditor> auditor_;
+    std::vector<std::string> auditFindings_;
 
     /** Per-run event timeline, engaged when the config samples one. */
     std::optional<stats::IntervalSampler> timeline_;

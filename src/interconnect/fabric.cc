@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 
+#include "simcore/fault_injector.h"
 #include "simcore/trace_recorder.h"
 
 namespace grit::ic {
@@ -44,6 +45,33 @@ Fabric::transfer(sim::Cycle now, sim::GpuId src, sim::GpuId dst,
                  std::uint64_t bytes)
 {
     assert(src != dst && "transfer to self");
+    if (injector_ != nullptr && injector_->enabled()) {
+        // Graceful degradation under link chaos: a flapped link stalls
+        // the transfer with bounded exponential backoff; if the flap
+        // outlasts every retry the transfer is forced through anyway
+        // (counted, never dropped — the simulation must make progress).
+        if (injector_->linkDown(src, dst, now)) {
+            sim::Cycle backoff = kRetryBackoffCycles;
+            unsigned attempt = 0;
+            while (attempt < kMaxLinkRetries &&
+                   injector_->linkDown(src, dst, now)) {
+                now += backoff;
+                backoff *= 2;
+                ++attempt;
+                injector_->noteLinkRetry();
+            }
+            if (injector_->linkDown(src, dst, now))
+                injector_->noteLinkForced();
+            else
+                injector_->noteLinkRecovered();
+        }
+        // Degraded-bandwidth windows serialize the payload slower.
+        const unsigned slow = injector_->linkSlowFactor(src, dst, now);
+        if (slow > 1) {
+            bytes *= slow;
+            injector_->noteSlowTransfer();
+        }
+    }
     sim::Cycle done;
     if (src == sim::kHostId) {
         done = pcieDown_.transfer(now, bytes);

@@ -20,6 +20,7 @@
 #include "simcore/types.h"
 
 namespace grit::sim {
+class FaultInjector;
 class TraceRecorder;
 }  // namespace grit::sim
 
@@ -73,6 +74,13 @@ class Fabric
     /** Record bulk transfers as trace events; nullptr disables. */
     void setTrace(sim::TraceRecorder *trace) { trace_ = trace; }
 
+    /** Attach the chaos fault injector; nullptr disables (default). */
+    void setInjector(sim::FaultInjector *injector) { injector_ = injector; }
+
+    /** Bounded exponential backoff while a chaos-flapped link is down. */
+    static constexpr sim::Cycle kRetryBackoffCycles = 500;
+    static constexpr unsigned kMaxLinkRetries = 8;
+
     void reset();
 
   private:
@@ -86,6 +94,7 @@ class Fabric
     Link pcieDown_;  //!< host -> GPU
     std::uint64_t messages_ = 0;
     sim::TraceRecorder *trace_ = nullptr;
+    sim::FaultInjector *injector_ = nullptr;
 };
 
 }  // namespace grit::ic

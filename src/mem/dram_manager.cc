@@ -82,6 +82,30 @@ DramManager::setKind(sim::PageId page, FrameKind kind)
     it->second->kind = kind;
 }
 
+std::optional<Eviction>
+DramManager::evictLru()
+{
+    if (lru_.empty())
+        return std::nullopt;
+    Frame lru = lru_.back();
+    lru_.pop_back();
+    map_.erase(lru.page);
+    if (lru.kind == FrameKind::kReplica)
+        --replicas_;
+    ++evictions_;
+    return Eviction{lru.page, lru.kind};
+}
+
+std::vector<Eviction>
+DramManager::frames() const
+{
+    std::vector<Eviction> out;
+    out.reserve(lru_.size());
+    for (const Frame &f : lru_)
+        out.push_back(Eviction{f.page, f.kind});
+    return out;
+}
+
 void
 DramManager::clear()
 {

@@ -18,6 +18,7 @@
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "simcore/types.h"
 
@@ -61,6 +62,16 @@ class DramManager
 
     /** Convert a resident replica frame to owned or vice versa. */
     void setKind(sim::PageId page, FrameKind kind);
+
+    /**
+     * Force-evict the LRU frame regardless of capacity headroom
+     * (chaos capacity-pressure storms). Counts as an eviction.
+     * @return the evicted frame, or nullopt when DRAM is empty.
+     */
+    std::optional<Eviction> evictLru();
+
+    /** Snapshot of every resident frame, for cross-layer audits. */
+    std::vector<Eviction> frames() const;
 
     std::uint64_t size() const { return map_.size(); }
     std::uint64_t capacity() const { return capacity_; }

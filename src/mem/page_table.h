@@ -99,6 +99,12 @@ class PageTable
     /** Number of entries (valid or annotation-only). */
     std::size_t size() const { return entries_.size(); }
 
+    /** All records (valid or annotation-only), for cross-layer audits. */
+    const std::unordered_map<sim::PageId, PteRecord> &entries() const
+    {
+        return entries_;
+    }
+
     /** Number of entries with the valid bit set. */
     std::size_t validCount() const;
 

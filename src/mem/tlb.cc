@@ -92,4 +92,14 @@ Tlb::occupancy() const
     return n;
 }
 
+std::vector<sim::PageId>
+Tlb::livePages() const
+{
+    std::vector<sim::PageId> out;
+    for (const Entry &e : entries_)
+        if (live(e))
+            out.push_back(e.page);
+    return out;
+}
+
 }  // namespace grit::mem

@@ -53,6 +53,9 @@ class Tlb
     /** Valid entries currently held (walks the arrays; test use). */
     std::size_t occupancy() const;
 
+    /** Pages with live translations (audit use; does not touch LRU). */
+    std::vector<sim::PageId> livePages() const;
+
     void resetStats() { hits_ = misses_ = 0; }
 
   private:

@@ -1,6 +1,7 @@
 #include "simcore/event_queue.h"
 
 #include <cassert>
+#include <sstream>
 #include <utility>
 
 #include "simcore/log.h"
@@ -8,12 +9,12 @@
 namespace grit::sim {
 
 void
-EventQueue::schedule(Cycle when, EventFn fn)
+EventQueue::schedule(Cycle when, EventFn fn, const char *tag)
 {
     assert(fn && "scheduling an empty event");
     if (when < now_)
         when = now_;
-    heap_.push(Item{when, nextSeq_++, std::move(fn)});
+    heap_.push(Item{when, nextSeq_++, std::move(fn), tag});
 }
 
 bool
@@ -35,15 +36,45 @@ std::uint64_t
 EventQueue::run(std::uint64_t limit)
 {
     limitHit_ = false;
+    stalled_ = false;
+    diagnostic_.reset();
     std::uint64_t executed = 0;
-    while (executed < limit && step())
+    Cycle lastAdvance = now_;
+    std::uint64_t sameCycle = 0;
+    while (executed < limit && !heap_.empty()) {
+        step();
         ++executed;
-    if (!heap_.empty() && executed >= limit) {
+        if (watchdogEvents_ > 0) {
+            if (now_ != lastAdvance) {
+                lastAdvance = now_;
+                sameCycle = 0;
+            } else if (++sameCycle > watchdogEvents_) {
+                stalled_ = true;
+                break;
+            }
+        }
+    }
+    if (stalled_) {
+        std::ostringstream what;
+        what << "no progress: " << sameCycle
+             << " events executed at cycle " << now_
+             << " without simulated time advancing (next pending: '"
+             << (nextTag() ? nextTag() : "untagged") << "', "
+             << heap_.size() << " pending)";
+        diagnostic_ = SimError(ErrorCode::kNoProgress, what.str(),
+                               "event-queue watchdog");
+        GRIT_LOG(LogLevel::kError, diagnostic_->str());
+    } else if (!heap_.empty() && executed >= limit) {
         limitHit_ = true;
-        GRIT_LOG(LogLevel::kWarn,
-                 "event limit (" << limit << ") hit at cycle " << now_
-                                 << " with " << heap_.size()
-                                 << " events still pending");
+        std::ostringstream what;
+        what << "event limit (" << limit << ") hit at cycle " << now_
+             << " with " << heap_.size()
+             << " events still pending; oldest pending event: '"
+             << (nextTag() ? nextTag() : "untagged") << "' at cycle "
+             << heap_.top().when;
+        diagnostic_ = SimError(ErrorCode::kEventLimit, what.str(),
+                               "event-queue safety valve");
+        GRIT_LOG(LogLevel::kError, diagnostic_->str());
     }
     return executed;
 }
@@ -55,6 +86,8 @@ EventQueue::reset()
     now_ = 0;
     nextSeq_ = 0;
     limitHit_ = false;
+    stalled_ = false;
+    diagnostic_.reset();
 }
 
 }  // namespace grit::sim

@@ -5,6 +5,13 @@
  * Events are (time, sequence, callback) triples processed in nondecreasing
  * time order; ties break by insertion sequence so runs are bit-for-bit
  * reproducible regardless of scheduling jitter in the host process.
+ *
+ * Two safety valves guard against runaway simulations, both reporting a
+ * structured SimError via diagnostic() instead of aborting: the run()
+ * event limit (names the oldest pending event's debug tag when it
+ * trips) and a same-cycle liveness watchdog that detects event storms
+ * which stop advancing simulated time (deadlock/livelock) long before
+ * the event limit would.
  */
 
 #ifndef GRIT_SIMCORE_EVENT_QUEUE_H_
@@ -12,9 +19,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
+#include "simcore/sim_error.h"
 #include "simcore/types.h"
 
 namespace grit::sim {
@@ -50,19 +59,23 @@ class EventQueue
      * Schedule @p fn to run at absolute time @p when.
      * @param when absolute cycle; clamped to now() if in the past.
      * @param fn   callback to execute.
+     * @param tag  optional static debug tag naming the event kind;
+     *             surfaces in limit-trip / watchdog diagnostics. Must
+     *             point to storage outliving the event (string literal).
      */
-    void schedule(Cycle when, EventFn fn);
+    void schedule(Cycle when, EventFn fn, const char *tag = nullptr);
 
     /** Schedule @p fn to run @p delay cycles after now(). */
-    void scheduleAfter(Cycle delay, EventFn fn)
+    void scheduleAfter(Cycle delay, EventFn fn, const char *tag = nullptr)
     {
-        schedule(now_ + delay, std::move(fn));
+        schedule(now_ + delay, std::move(fn), tag);
     }
 
     /**
-     * Run events until the queue drains or @p limit events have fired.
-     * Hitting the limit with events still pending logs at kWarn and
-     * sets limitHit() so callers can tell a drained simulation from a
+     * Run events until the queue drains, @p limit events have fired, or
+     * the liveness watchdog trips. Either stop with work still pending
+     * records a structured diagnostic() and sets limitHit() /
+     * stalled() so callers can tell a drained simulation from a
      * truncated one.
      * @param limit safety valve against runaway simulations.
      * @return number of events executed.
@@ -71,6 +84,31 @@ class EventQueue
 
     /** True when the last run() stopped at its limit with work pending. */
     bool limitHit() const { return limitHit_; }
+
+    /** True when the last run() was stopped by the liveness watchdog. */
+    bool stalled() const { return stalled_; }
+
+    /**
+     * Structured diagnostic from the last run()'s safety stop
+     * (kEventLimit or kNoProgress), or nullopt after a clean drain.
+     */
+    const std::optional<SimError> &diagnostic() const
+    {
+        return diagnostic_;
+    }
+
+    /**
+     * Arm the liveness watchdog: executing more than @p events events
+     * without simulated time advancing stops run() with a kNoProgress
+     * diagnostic. 0 (the default) disables the watchdog.
+     */
+    void setWatchdog(std::uint64_t events) { watchdogEvents_ = events; }
+
+    /** Debug tag of the next pending event (nullptr if none/untagged). */
+    const char *nextTag() const
+    {
+        return heap_.empty() ? nullptr : heap_.top().tag;
+    }
 
     /** Execute at most one event. @return true if an event fired. */
     bool step();
@@ -84,6 +122,7 @@ class EventQueue
         Cycle when;
         std::uint64_t seq;
         EventFn fn;
+        const char *tag;
     };
 
     struct Later
@@ -100,7 +139,10 @@ class EventQueue
     std::priority_queue<Item, std::vector<Item>, Later> heap_;
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t watchdogEvents_ = 0;
     bool limitHit_ = false;
+    bool stalled_ = false;
+    std::optional<SimError> diagnostic_;
 };
 
 }  // namespace grit::sim

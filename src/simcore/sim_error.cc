@@ -1,0 +1,52 @@
+#include "simcore/sim_error.h"
+
+namespace grit::sim {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kConfigInvalid: return "config-invalid";
+      case ErrorCode::kBadArgument:   return "bad-argument";
+      case ErrorCode::kChaosSpec:     return "chaos-spec";
+      case ErrorCode::kTraceLoad:     return "trace-load";
+      case ErrorCode::kEventLimit:    return "event-limit";
+      case ErrorCode::kNoProgress:    return "no-progress";
+      case ErrorCode::kInvariant:     return "invariant";
+      case ErrorCode::kInternal:      return "internal";
+    }
+    return "?";
+}
+
+std::string
+SimError::str() const
+{
+    std::string out = "error [";
+    out += errorCodeName(code);
+    out += "]";
+    if (!context.empty()) {
+        out += " ";
+        out += context;
+    }
+    out += ": ";
+    out += message;
+    return out;
+}
+
+void
+throwIfInvalid(const std::vector<SimError> &violations,
+               const std::string &context)
+{
+    if (violations.empty())
+        return;
+    std::string message;
+    for (const SimError &v : violations) {
+        if (!message.empty())
+            message += "; ";
+        message += v.message;
+    }
+    throw SimException(ErrorCode::kConfigInvalid, std::move(message),
+                       context);
+}
+
+}  // namespace grit::sim

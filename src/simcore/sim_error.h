@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Structured, recoverable simulator errors.
+ *
+ * A SimError is a machine-readable diagnostic (stable code + message +
+ * context) that replaces hard asserts on input-dependent failure paths:
+ * config validation, chaos-spec parsing, trace loading, and the event
+ * queue's runaway/no-progress detectors. Harness entry points catch
+ * SimException and turn it into an actionable message plus a nonzero
+ * exit instead of UB or abort(). Error-code vocabulary is documented in
+ * docs/ROBUSTNESS.md.
+ */
+
+#ifndef GRIT_SIMCORE_SIM_ERROR_H_
+#define GRIT_SIMCORE_SIM_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace grit::sim {
+
+/** Stable machine-readable error codes. */
+enum class ErrorCode {
+    kConfigInvalid,   //!< SystemConfig::validate() violation
+    kBadArgument,     //!< unusable CLI argument / unknown name
+    kChaosSpec,       //!< malformed --chaos perturbation spec
+    kTraceLoad,       //!< workload trace could not be built/loaded
+    kEventLimit,      //!< event-queue safety valve tripped
+    kNoProgress,      //!< liveness watchdog: simulated time stopped
+    kInvariant,       //!< cross-layer invariant audit violation
+    kInternal,        //!< invariant the simulator itself broke
+};
+
+/** Stable printable code name ("config-invalid"). */
+const char *errorCodeName(ErrorCode code);
+
+/** One structured diagnostic: code + message + optional context. */
+struct SimError
+{
+    ErrorCode code = ErrorCode::kInternal;
+    /** Human-readable description of what went wrong. */
+    std::string message;
+    /** Where it went wrong ("uvm.servers", "fig17_overall --chaos"). */
+    std::string context;
+
+    SimError() = default;
+    SimError(ErrorCode c, std::string msg, std::string ctx = {})
+        : code(c), message(std::move(msg)), context(std::move(ctx))
+    {
+    }
+
+    /** "error [config-invalid] ctx: msg" (ctx part omitted if empty). */
+    std::string str() const;
+};
+
+/** Exception carrier for a SimError (harness entry points catch it). */
+class SimException : public std::runtime_error
+{
+  public:
+    explicit SimException(SimError error)
+        : std::runtime_error(error.str()), error_(std::move(error))
+    {
+    }
+
+    SimException(ErrorCode code, std::string message,
+                 std::string context = {})
+        : SimException(SimError(code, std::move(message),
+                                std::move(context)))
+    {
+    }
+
+    const SimError &error() const { return error_; }
+    ErrorCode code() const { return error_.code; }
+
+  private:
+    SimError error_;
+};
+
+/**
+ * Throw a kConfigInvalid SimException aggregating @p violations.
+ * No-op when the list is empty.
+ */
+void throwIfInvalid(const std::vector<SimError> &violations,
+                    const std::string &context);
+
+}  // namespace grit::sim
+
+#endif  // GRIT_SIMCORE_SIM_ERROR_H_

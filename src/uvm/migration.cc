@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simcore/fault_injector.h"
 #include "simcore/trace_recorder.h"
 #include "uvm/uvm_driver.h"
 
@@ -166,6 +167,24 @@ UvmDriver::migratePage(sim::PageId page, sim::GpuId to, sim::Cycle now,
     if (from == to && gpuAt(to).dram().resident(page)) {
         // Data is already here; only the translation needs repair.
         return refillMapping(page, to, now);
+    }
+
+    // Graceful degradation under chaos capacity pressure: when the
+    // target GPU is hard-full during a storm, migrating in would only
+    // amplify the eviction churn — fall back to a remote mapping and
+    // leave the data where it is.
+    if (injector_ != nullptr && from != to &&
+        injector_->pressureActive(now)) {
+        const mem::DramManager &dram = gpuAt(to).dram();
+        if (dram.capacity() != 0 && dram.size() >= dram.capacity() &&
+            !dram.resident(page)) {
+            injector_->noteMigrationFallback();
+            info.touched = true;
+            const sim::Cycle done = mapRemote(page, to, now);
+            breakdown_.add(kind, done - start);
+            timelineRecord(stats::TimelineKind::kRemoteAccess, start);
+            return done;
+        }
     }
 
     sim::Cycle t = now;
@@ -346,6 +365,24 @@ UvmDriver::collapsePage(sim::PageId page, sim::GpuId writer, sim::Cycle now)
                        old_owner);
     notifyPlaced(writer, page, t);
     return t;
+}
+
+unsigned
+UvmDriver::injectCapacityPressure(sim::GpuId gpu, unsigned pages,
+                                  sim::Cycle now)
+{
+    gpu::Gpu &g = gpuAt(gpu);
+    unsigned evicted = 0;
+    for (unsigned i = 0; i < pages; ++i) {
+        const std::optional<mem::Eviction> victim = g.dram().evictLru();
+        if (!victim.has_value())
+            break;
+        handleEviction(gpu, *victim, now, stats::LatencyKind::kHost);
+        ++evicted;
+    }
+    if (injector_ != nullptr && evicted > 0)
+        injector_->notePressureEvictions(evicted);
+    return evicted;
 }
 
 sim::Cycle

@@ -89,6 +89,12 @@ class ReplicaDirectory
 
     std::size_t size() const { return pages_.size(); }
 
+    /** All page records, for cross-layer audits (read-only). */
+    const std::unordered_map<sim::PageId, PageInfo> &pages() const
+    {
+        return pages_;
+    }
+
     void clear()
     {
         pages_.clear();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simcore/fault_injector.h"
 #include "simcore/trace_recorder.h"
 #include "stats/interval_sampler.h"
 
@@ -148,6 +149,14 @@ UvmDriver::handleFault(sim::GpuId gpu, sim::PageId page, bool write,
     // driver the full invalidate-everyone coordination; a write fault
     // on a spilled page with no other holders is just a placement.
     sim::Cycle service = config_.serviceCycles + overhead;
+    // Chaos: a perturbation window may inflate driver servicing time.
+    if (injector_ != nullptr) {
+        const sim::Cycle chaos_extra = injector_->extraServiceCycles(at);
+        if (chaos_extra > 0) {
+            service += chaos_extra;
+            injector_->noteServiceDelay();
+        }
+    }
     const bool other_holders =
         fi.replicaCount > 0 || (info.owner >= 0 && info.owner != gpu);
     const bool collapses =
@@ -225,7 +234,10 @@ sim::Cycle
 UvmDriver::mapRemote(sim::PageId page, sim::GpuId gpu, sim::Cycle now)
 {
     PageInfo &info = directory_.info(page);
-    assert(info.owner != gpu);
+    // Precondition: the mapper holds no local copy — a remote PTE would
+    // shadow the frame and strand the directory's mapper entry when the
+    // frame is later evicted.
+    assert(info.owner != gpu && !info.hasReplica(gpu));
     gpuAt(gpu).pageTable().install(page, mem::MappingKind::kRemote,
                                    info.owner, /*writable=*/true);
     info.addRemoteMapper(gpu);

@@ -30,6 +30,7 @@
 #include "uvm/replica_directory.h"
 
 namespace grit::sim {
+class FaultInjector;
 class TraceRecorder;
 }  // namespace grit::sim
 
@@ -183,6 +184,15 @@ class UvmDriver
     /** Occupy host memory (PA-Table accesses); returns data-ready time. */
     sim::Cycle hostMemAccess(sim::Cycle now, std::uint64_t bytes);
 
+    /**
+     * Chaos capacity-pressure storm: force-evict up to @p pages LRU
+     * pages from @p gpu through the regular eviction path (replica
+     * drops, heir promotion, host spills with dirty writeback).
+     * @return pages actually evicted.
+     */
+    unsigned injectCapacityPressure(sim::GpuId gpu, unsigned pages,
+                                    sim::Cycle now);
+
     // --- Queries ---
 
     ReplicaDirectory &directory() { return directory_; }
@@ -216,6 +226,12 @@ class UvmDriver
 
     /** Aggregate queueing delay behind the fault-servicing contexts. */
     sim::Cycle serverQueueDelay() const { return servers_.queueDelay(); }
+
+    /** Attach the chaos fault injector; nullptr disables (default). */
+    void setInjector(sim::FaultInjector *injector) { injector_ = injector; }
+
+    /** Chaos injector, if any (policies query it for PA-Cache chaos). */
+    sim::FaultInjector *injector() { return injector_; }
 
   private:
     friend class MigrationMechanics;
@@ -273,6 +289,7 @@ class UvmDriver
 
     policy::PlacementPolicy *policy_ = nullptr;
     PlacementListener *listener_ = nullptr;
+    sim::FaultInjector *injector_ = nullptr;
     sim::TraceRecorder *trace_ = nullptr;
     stats::IntervalSampler *timeline_ = nullptr;
     mem::PageTable centralTable_;

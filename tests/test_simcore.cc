@@ -115,6 +115,89 @@ TEST(EventQueue, ResetClearsEverything)
     EXPECT_EQ(q.now(), 0u);
 }
 
+TEST(EventQueue, LimitTripRecordsDiagnosticNamingOldestTag)
+{
+    EventQueue q;
+    for (int i = 0; i < 4; ++i)
+        q.schedule(static_cast<Cycle>(i), [] {}, "early");
+    q.schedule(90, [] {}, "lane-step");
+    q.schedule(99, [] {}, "fault-replay");
+    q.run(5);  // stops with "fault-replay" still pending
+    ASSERT_TRUE(q.limitHit());
+    ASSERT_TRUE(q.diagnostic().has_value());
+    EXPECT_EQ(q.diagnostic()->code, ErrorCode::kEventLimit);
+    EXPECT_NE(q.diagnostic()->message.find("fault-replay"),
+              std::string::npos);
+    EXPECT_NE(q.diagnostic()->message.find("limit (5)"),
+              std::string::npos);
+}
+
+TEST(EventQueue, CleanDrainLeavesNoDiagnostic)
+{
+    EventQueue q;
+    q.schedule(1, [] {}, "only");
+    q.run();
+    EXPECT_FALSE(q.limitHit());
+    EXPECT_FALSE(q.stalled());
+    EXPECT_FALSE(q.diagnostic().has_value());
+}
+
+TEST(EventQueue, WatchdogTripsOnSameCycleStorm)
+{
+    EventQueue q;
+    q.setWatchdog(100);
+    std::function<void()> storm = [&] { q.schedule(7, storm, "storm"); };
+    q.schedule(7, storm, "storm");
+    q.run();
+    ASSERT_TRUE(q.stalled());
+    EXPECT_FALSE(q.limitHit());
+    ASSERT_TRUE(q.diagnostic().has_value());
+    EXPECT_EQ(q.diagnostic()->code, ErrorCode::kNoProgress);
+    EXPECT_NE(q.diagnostic()->message.find("storm"), std::string::npos);
+    EXPECT_NE(q.diagnostic()->message.find("cycle 7"), std::string::npos);
+}
+
+TEST(EventQueue, WatchdogTolerantOfAdvancingTime)
+{
+    EventQueue q;
+    q.setWatchdog(4);
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 100)
+            q.scheduleAfter(1, chain, "chain");
+    };
+    q.schedule(0, chain, "chain");
+    q.run();
+    EXPECT_EQ(fired, 100);
+    EXPECT_FALSE(q.stalled());
+    EXPECT_FALSE(q.diagnostic().has_value());
+}
+
+TEST(EventQueue, ResetClearsDiagnosticState)
+{
+    EventQueue q;
+    q.setWatchdog(10);
+    std::function<void()> storm = [&] { q.schedule(3, storm, "storm"); };
+    q.schedule(3, storm, "storm");
+    q.run();
+    ASSERT_TRUE(q.stalled());
+    q.reset();
+    EXPECT_FALSE(q.stalled());
+    EXPECT_FALSE(q.diagnostic().has_value());
+    q.schedule(1, [] {});
+    q.run();
+    EXPECT_FALSE(q.diagnostic().has_value());
+}
+
+TEST(EventQueue, NextTagReportsOldestPending)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextTag(), nullptr);
+    q.schedule(5, [] {}, "later");
+    q.schedule(1, [] {}, "sooner");
+    EXPECT_STREQ(q.nextTag(), "sooner");
+}
+
 // ----------------------------------------------------------------------- Rng
 
 TEST(Rng, DeterministicForSameSeed)

@@ -67,6 +67,39 @@ TEST(JsonWriter, WritesNestedStructures)
     EXPECT_EQ(os.str(), R"({"a":1,"b":["x",true],"c":{"d":2.5}})");
 }
 
+/** Regression: non-finite doubles must surface as `null` inside a full
+ *  document, not just through the number() helper — a NaN metric (e.g.
+ *  a 0/0 rate) must never produce invalid JSON. */
+TEST(JsonWriter, NonFiniteValuesEmitNullInsideDocuments)
+{
+    std::ostringstream os;
+    {
+        stats::JsonWriter json(os);
+        json.beginObject();
+        json.key("nan").value(std::numeric_limits<double>::quiet_NaN());
+        json.key("inf").value(std::numeric_limits<double>::infinity());
+        json.key("ninf").value(-std::numeric_limits<double>::infinity());
+        json.key("ok").value(1.5);
+        json.endObject();
+    }
+    EXPECT_EQ(os.str(),
+              R"({"nan":null,"inf":null,"ninf":null,"ok":1.5})");
+}
+
+TEST(ResultSink, NonFiniteScalarsEmitNull)
+{
+    std::ostringstream os;
+    stats::ResultSink sink(os);
+    sink.begin("gen", "t");
+    sink.beginRuns();
+    sink.beginRun("APP", "policy");
+    sink.scalar("rate", std::numeric_limits<double>::quiet_NaN());
+    sink.endRun();
+    sink.endRuns();
+    sink.end();
+    EXPECT_NE(os.str().find(R"("rate":null)"), std::string::npos);
+}
+
 // --------------------------------------------------------- TraceRecorder
 
 TEST(TraceRecorder, RetainsEverythingBelowCapacity)
