@@ -2,14 +2,27 @@
  * @file
  * Shared helpers for the figure-reproduction bench binaries: standard
  * configurations, policy sets, result formatting, the `--jobs` worker
- * knob, and the `--json <path>` / `--trace <path>` structured-output
- * flags (docs/METRICS.md documents the emitted schema).
+ * knob, the `--json <path>` / `--trace <path>` structured-output flags
+ * (docs/METRICS.md documents the emitted schema), and the resilient
+ * sweep controls (`--journal <path>`, `--resume`, `--deadline <sec>`,
+ * `--event-budget <n>`, `--retries <n>`, `--sweep-stats`; workflow in
+ * EXPERIMENTS.md).
+ *
+ * Exit-code contract (checked by the "robustness" ctest cases):
+ *   0        - full sweep, every run completed
+ *   2        - structured configuration/usage error (SimException)
+ *   3        - partial sweep: at least one run was quarantined
+ *   128+sig  - the sweep drained early after SIGINT/SIGTERM
  */
 
 #ifndef GRIT_BENCH_BENCH_UTIL_H_
 #define GRIT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
+#include <iterator>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -21,11 +34,58 @@
 #include "harness/experiment.h"
 #include "harness/experiment_engine.h"
 #include "harness/results_io.h"
+#include "harness/run_journal.h"
 #include "harness/table.h"
 #include "simcore/trace_recorder.h"
 #include "workload/apps.h"
 
 namespace grit::bench {
+
+/** Exit codes of the bench binaries (see file comment). */
+inline constexpr int kExitFull = 0;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitPartialSweep = 3;
+
+/**
+ * The cooperative-cancel flag SIGINT/SIGTERM handlers raise; wired
+ * into every resilient sweep so in-flight runs stop between events.
+ */
+inline std::atomic<int> &
+cancelFlag()
+{
+    static std::atomic<int> flag{0};
+    return flag;
+}
+
+/** The received signal number; 0 while no signal arrived. */
+inline int
+cancelSignal()
+{
+    return cancelFlag().load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+/** Async-signal-safe: one relaxed atomic store, nothing else. */
+inline void
+signalHandler(int sig)
+{
+    cancelFlag().store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+/**
+ * Install the SIGINT/SIGTERM drain handlers. Idempotent; guardedMain
+ * calls it, so bench binaries inherit graceful shutdown for free.
+ */
+inline void
+installSignalHandlers()
+{
+    cancelFlag().store(0, std::memory_order_relaxed);  // touch eagerly
+    std::signal(SIGINT, &detail::signalHandler);
+    std::signal(SIGTERM, &detail::signalHandler);
+}
 
 /** Workload parameters for bench runs (env-overridable). */
 inline workload::WorkloadParams
@@ -104,24 +164,188 @@ applyChaosArgs(int argc, char **argv, harness::SystemConfig &config)
         config.audit = true;
 }
 
+/** Resilient-sweep CLI flags (shared by every bench binary). */
+struct SweepCli
+{
+    std::string journalPath;       //!< --journal <path>
+    bool resume = false;           //!< --resume (with --journal)
+    double deadlineSec = 0.0;      //!< --deadline <seconds>
+    std::uint64_t eventBudget = 0; //!< --event-budget <events>
+    unsigned retries = 0;          //!< --retries <n> (transient only)
+    bool sweepStats = false;       //!< --sweep-stats ("sweep" section)
+};
+
+/**
+ * Parse the resilience flags. Throws sim::SimException (kBadArgument)
+ * on unusable values (--resume without --journal, negative deadline).
+ */
+inline SweepCli
+sweepCliFromArgs(int argc, char **argv)
+{
+    SweepCli cli;
+    cli.journalPath = argValue(argc, argv, "--journal");
+    cli.resume = hasFlag(argc, argv, "--resume");
+    if (cli.resume && cli.journalPath.empty())
+        throw sim::SimException(sim::ErrorCode::kBadArgument,
+                                "--resume requires --journal <path>");
+    const std::string deadline = argValue(argc, argv, "--deadline");
+    if (!deadline.empty()) {
+        cli.deadlineSec = std::strtod(deadline.c_str(), nullptr);
+        if (!(cli.deadlineSec > 0.0))
+            throw sim::SimException(
+                sim::ErrorCode::kBadArgument,
+                "--deadline needs a positive number of seconds, got \"" +
+                    deadline + "\"");
+    }
+    const std::string budget = argValue(argc, argv, "--event-budget");
+    if (!budget.empty()) {
+        cli.eventBudget = std::strtoull(budget.c_str(), nullptr, 10);
+        if (cli.eventBudget == 0)
+            throw sim::SimException(
+                sim::ErrorCode::kBadArgument,
+                "--event-budget needs a positive event count, got \"" +
+                    budget + "\"");
+    }
+    const std::string retries = argValue(argc, argv, "--retries");
+    if (!retries.empty())
+        cli.retries = static_cast<unsigned>(
+            std::strtoul(retries.c_str(), nullptr, 10));
+    cli.sweepStats = hasFlag(argc, argv, "--sweep-stats");
+    return cli;
+}
+
+/**
+ * What the last resilient sweep in this process did; consulted by
+ * maybeWriteJson (failure manifest, sweep stats) and guardedMain
+ * (partial-sweep exit code).
+ */
+struct SweepReport
+{
+    bool active = false;  //!< a resilient sweep ran
+    bool sweepStats = false;
+    bool cancelled = false;
+    std::vector<harness::FailureRecord> failures;
+    harness::SweepStatsView stats;
+};
+
+inline SweepReport &
+sweepReport()
+{
+    static SweepReport report;
+    return report;
+}
+
+/** Program name for journal headers ("fig17_overall"). */
+inline std::string
+programName(int argc, char **argv)
+{
+    if (argc < 1 || argv == nullptr || argv[0] == nullptr)
+        return "bench";
+    const std::string path = argv[0];
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/**
+ * Execute @p plan resiliently: journal/resume, per-run watchdogs, and
+ * failure quarantine per the CLI flags; the cancel flag is always
+ * wired so SIGINT/SIGTERM drain instead of killing the process. Fills
+ * sweepReport() and prints quarantined cells to stderr; the matrix
+ * (with salvaged partial runs) is returned for normal reporting.
+ */
+inline harness::ResultMatrix
+runPlanResilient(harness::ExperimentEngine &engine,
+                 const harness::RunPlan &plan, int argc, char **argv)
+{
+    const SweepCli cli = sweepCliFromArgs(argc, argv);
+    harness::ResilientOptions options;
+    options.wallDeadlineSec = cli.deadlineSec;
+    options.eventBudget = cli.eventBudget;
+    options.retries = cli.retries;
+    options.cancelFlag = &cancelFlag();
+    harness::RunJournal journal;
+    if (!cli.journalPath.empty()) {
+        // A binary that sweeps several plans (fig22_24 runs one per
+        // GPU count) shares one journal; re-opens within the process
+        // must append, not truncate away the earlier sweeps.
+        static std::vector<std::string> opened;
+        const bool reopened =
+            std::find(opened.begin(), opened.end(), cli.journalPath) !=
+            opened.end();
+        journal.open(cli.journalPath, programName(argc, argv),
+                     cli.resume || reopened);
+        if (!reopened)
+            opened.push_back(cli.journalPath);
+        options.journal = &journal;
+    }
+
+    harness::SweepResult sweep = engine.runResilient(plan, options);
+
+    // Accumulate across sweeps in the same process so the manifest,
+    // stats, and exit code cover all of them.
+    SweepReport &report = sweepReport();
+    report.active = true;
+    report.sweepStats |= cli.sweepStats;
+    report.cancelled |= sweep.cancelled;
+    const std::size_t firstNew = report.failures.size();
+    report.failures.insert(
+        report.failures.end(),
+        std::make_move_iterator(sweep.failures.begin()),
+        std::make_move_iterator(sweep.failures.end()));
+    report.stats.executed += sweep.executed;
+    report.stats.reused += sweep.reused;
+    report.stats.skipped += sweep.skipped;
+    const workload::TraceCache &cache = engine.traceCache();
+    report.stats.cacheHits += cache.hits();
+    report.stats.cacheMisses += cache.misses();
+    report.stats.cacheEvictions += cache.evictions();
+    report.stats.cacheBytes = cache.bytes();
+    report.stats.cacheByteBudget = cache.byteBudget();
+
+    for (std::size_t i = firstNew; i < report.failures.size(); ++i) {
+        const harness::FailureRecord &f = report.failures[i];
+        std::cerr << "quarantined " << f.row << "/" << f.label << " ("
+                  << f.attempts << " attempt"
+                  << (f.attempts == 1 ? "" : "s")
+                  << (f.salvaged ? ", partial counters salvaged" : "")
+                  << "): " << f.error.str() << "\n";
+    }
+    if (sweep.cancelled)
+        std::cerr << "sweep drained early on signal " << cancelSignal()
+                  << ": " << sweep.skipped
+                  << " cell(s) left for --resume\n";
+    return std::move(sweep.matrix);
+}
+
 /**
  * Run @p body, converting structured simulator errors (bad config,
  * malformed chaos spec, tripped watchdog) into an actionable stderr
- * message and exit code 2 instead of an abort. Every bench binary's
- * main() delegates here.
+ * message and exit code 2 instead of an abort. Installs the
+ * SIGINT/SIGTERM drain handlers, and maps a clean return onto the
+ * exit-code contract: 128+signal when the sweep drained early, 3 when
+ * runs were quarantined, the body's own code otherwise. Every bench
+ * binary's main() delegates here.
  */
 template <typename Body>
 int
 guardedMain(Body &&body)
 {
+    installSignalHandlers();
     try {
-        return body();
+        int code = body();
+        if (code == 0) {
+            if (cancelSignal() != 0)
+                code = 128 + cancelSignal();
+            else if (!sweepReport().failures.empty())
+                code = kExitPartialSweep;
+        }
+        return code;
     } catch (const sim::SimException &e) {
         std::cerr << e.error().str() << "\n";
-        return 2;
+        return kExitUsage;
     } catch (const std::exception &e) {
         std::cerr << "error [internal]: " << e.what() << "\n";
-        return 2;
+        return kExitUsage;
     }
 }
 
@@ -157,7 +381,12 @@ openOutput(const std::string &path)
     return os;
 }
 
-/** Write the "grit-results" document for @p matrix if `--json` given. */
+/**
+ * Write the "grit-results" document for @p matrix if `--json` given.
+ * After a resilient sweep this includes the failure manifest and (with
+ * --sweep-stats) the "sweep" section; an all-green sweep emits exactly
+ * the classic document, so resumed and uninterrupted sweeps diff clean.
+ */
 inline void
 maybeWriteJson(int argc, char **argv, const std::string &generator,
                const std::string &title,
@@ -168,8 +397,15 @@ maybeWriteJson(int argc, char **argv, const std::string &generator,
     if (path.empty())
         return;
     auto file = openOutput(path);
-    harness::writeResultMatrix(file ? *file : std::cout, generator, title,
-                               params, matrix);
+    const SweepReport &report = sweepReport();
+    if (report.active)
+        harness::writeSweepResult(
+            file ? *file : std::cout, generator, title, params, matrix,
+            report.failures,
+            report.sweepStats ? &report.stats : nullptr);
+    else
+        harness::writeResultMatrix(file ? *file : std::cout, generator,
+                                   title, params, matrix);
     if (file)
         std::cerr << "results: " << path << "\n";
 }
@@ -232,7 +468,12 @@ makeEngine(int argc, char **argv)
     return harness::ExperimentEngine(options);
 }
 
-/** Run the app x config sweep on the parallel engine. */
+/**
+ * Run the app x config sweep on the parallel engine, through the
+ * resilient path: cells journal/resume via `--journal`/`--resume`,
+ * hung runs are cut off by `--deadline`/`--event-budget` and
+ * quarantined, and SIGINT/SIGTERM drain gracefully.
+ */
 inline harness::ResultMatrix
 runMatrix(const std::vector<workload::AppId> &apps,
           const std::vector<harness::LabeledConfig> &configs,
@@ -240,7 +481,8 @@ runMatrix(const std::vector<workload::AppId> &apps,
           char **argv = nullptr)
 {
     auto engine = makeEngine(argc, argv);
-    return engine.runMatrix(apps, configs, params);
+    const auto plan = harness::RunPlan::matrix(apps, configs, params);
+    return runPlanResilient(engine, plan, argc, argv);
 }
 
 /** The three uniform schemes the paper compares against. */

@@ -5,7 +5,8 @@
  * the full counter set.
  *
  * Usage: diag_run [APP] [POLICY] [--json <path>] [--trace <path>]
- *                 [--chaos <spec>] [--audit]
+ *                 [--chaos <spec>] [--audit] [--deadline <sec>]
+ *                 [--event-budget <n>] [--journal <path>] [--resume]
  *
  * `--json` writes a one-run "grit-results" document (docs/METRICS.md)
  * including the per-interval event timeline; `--trace` writes a Chrome
@@ -15,6 +16,12 @@
  * `--chaos <spec>` enables deterministic fault injection and `--audit`
  * cross-layer invariant audits (docs/ROBUSTNESS.md documents both);
  * chaos/audit counters land in the text dump and the JSON document.
+ *
+ * The run executes on the resilient path, so the sweep flags work here
+ * too: `--deadline`/`--event-budget` convert a hung run (e.g. chaos
+ * `hang:at=N`) into a quarantined timeout with salvaged partial
+ * counters, and the exit code follows the bench contract (0 complete,
+ * 2 usage error, 3 quarantined, 128+signal on SIGINT/SIGTERM).
  */
 
 #include <cstring>
@@ -35,8 +42,10 @@ run(int argc, char **argv)
         const char *arg = argv[i];
         if (arg[0] == '-') {
             // Value-taking flags consume the next arg unless inline;
-            // boolean flags (--audit) stand alone.
+            // boolean flags stand alone.
             if (std::strcmp(arg, "--audit") != 0 &&
+                std::strcmp(arg, "--resume") != 0 &&
+                std::strcmp(arg, "--sweep-stats") != 0 &&
                 std::strchr(arg, '=') == nullptr && i + 1 < argc)
                 ++i;
             continue;
@@ -44,15 +53,26 @@ run(int argc, char **argv)
         positional.push_back(arg);
     }
 
-    const auto app = workload::appFromName(
-        positional.size() > 0 ? positional[0] : "BFS");
-    const auto kind = harness::policyKindFromName(
-        positional.size() > 1 ? positional[1] : "on-touch");
-    if (!app.has_value() || !kind.has_value()) {
-        std::cerr << "usage: diag_run [APP] [POLICY] [--json <path>] "
-                     "[--trace <path>] [--chaos <spec>] [--audit]\n";
-        return 1;
-    }
+    const std::string appName =
+        positional.size() > 0 ? positional[0] : "BFS";
+    const std::string kindName =
+        positional.size() > 1 ? positional[1] : "on-touch";
+    const auto app = workload::appFromName(appName);
+    if (!app.has_value())
+        throw sim::SimException(
+            sim::ErrorCode::kBadArgument,
+            "unknown application \"" + appName +
+                "\" (Table II abbreviations: BFS, BS, C2D, FIR, GEMM, "
+                "MM, SC, ST)",
+            "diag_run");
+    const auto kind = harness::policyKindFromName(kindName);
+    if (!kind.has_value())
+        throw sim::SimException(
+            sim::ErrorCode::kBadArgument,
+            "unknown policy \"" + kindName +
+                "\" (try grit, on-touch, access-counter, duplication, "
+                "first-touch, ideal, griffin-dpc, gps)",
+            "diag_run");
 
     const auto params = grit::bench::benchParams();
     harness::SystemConfig config = harness::makeConfig(*kind, 4);
@@ -62,8 +82,32 @@ run(int argc, char **argv)
     const auto trace = grit::bench::traceFromArgs(argc, argv);
     config.trace = trace.get();
 
-    const harness::RunResult r = harness::runApp(*app, config, params);
+    // One-cell resilient plan: journal/resume, watchdogs, quarantine,
+    // and SIGINT/SIGTERM drain all behave exactly as in the sweeps.
+    const std::string row = workload::appMeta(*app).abbr;
+    const std::string label = harness::policyKindName(*kind);
+    harness::RunPlan plan;
+    plan.addCell(row, label, config, *app, params);
+    auto engine = grit::bench::makeEngine(argc, argv);
+    const auto matrix =
+        grit::bench::runPlanResilient(engine, plan, argc, argv);
 
+    const auto rowIt = matrix.find(row);
+    if (rowIt == matrix.end() ||
+        rowIt->second.find(label) == rowIt->second.end()) {
+        // Quarantined without salvage; the diagnostic already went to
+        // stderr and guardedMain turns the report into exit code 3.
+        grit::bench::maybeWriteJson(argc, argv, "diag_run",
+                                    "Single-run diagnostic", params,
+                                    matrix);
+        return 0;
+    }
+    const harness::RunResult &r = rowIt->second.at(label);
+
+    if (r.partial)
+        std::cout << "partial 1"
+                  << (r.error ? " (" + r.error->str() + ")" : "")
+                  << "\n";
     if (config.chaos.any())
         std::cout << "chaos " << config.chaos.summary() << "\n";
     if (config.audit) {
@@ -85,9 +129,6 @@ run(int argc, char **argv)
     for (const auto &[k, v] : r.counters)
         std::cout << k << " " << v << "\n";
 
-    harness::ResultMatrix matrix;
-    matrix[workload::appMeta(*app).abbr]
-          [harness::policyKindName(*kind)] = r;
     grit::bench::maybeWriteJson(argc, argv, "diag_run",
                                 "Single-run diagnostic", params, matrix);
     grit::bench::maybeWriteTrace(argc, argv, trace.get());

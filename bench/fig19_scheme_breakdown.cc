@@ -25,15 +25,23 @@ run(int argc, char **argv)
     for (workload::AppId app : workload::kAllApps)
         plan.add(app, grit_config, params);
     auto engine = grit::bench::makeEngine(argc, argv);
-    const auto matrix = engine.run(plan);
+    // Resilient path: honors --journal/--resume/--deadline and drains
+    // on SIGINT/SIGTERM; quarantined apps show up as "-" rows.
+    const auto matrix =
+        grit::bench::runPlanResilient(engine, plan, argc, argv);
 
     std::cout << "Figure 19: scheme mix of L2-TLB-missing accesses "
                  "under GRIT\n\n";
     harness::TextTable table({"app", "on-touch %", "access-counter %",
                               "duplication %"});
     for (workload::AppId app : workload::kAllApps) {
-        const auto &result =
-            matrix.at(workload::appMeta(app).abbr).at("grit");
+        const auto rowIt = matrix.find(workload::appMeta(app).abbr);
+        if (rowIt == matrix.end() ||
+            rowIt->second.find("grit") == rowIt->second.end()) {
+            table.addRow({workload::appMeta(app).abbr, "-", "-", "-"});
+            continue;
+        }
+        const auto &result = rowIt->second.at("grit");
 
         // Index by mem::Scheme; kNone accesses ran under the start
         // scheme (on-touch) before any decision.

@@ -48,10 +48,15 @@ run(int argc, char **argv)
              {"on-touch", "access-counter", "duplication"}) {
             double sum = 0.0;
             for (const auto &[app, runs] : matrix) {
+                // Quarantined cells are simply absent; skip the app.
+                const auto bIt = runs.find(base);
+                const auto gIt = runs.find("grit");
+                if (bIt == runs.end() || gIt == runs.end())
+                    continue;
                 const double b =
-                    static_cast<double>(runs.at(base).totalFaults());
+                    static_cast<double>(bIt->second.totalFaults());
                 const double g =
-                    static_cast<double>(runs.at("grit").totalFaults());
+                    static_cast<double>(gIt->second.totalFaults());
                 if (b > 0)
                     sum += 1.0 - g / b;
             }

@@ -34,18 +34,28 @@ run(int argc, char **argv)
                          harness::makeConfig(PolicyKind::kGrit, 4), w);
     }
     auto engine = grit::bench::makeEngine(argc, argv);
-    const auto matrix = engine.run(plan);
+    // Resilient path: honors --journal/--resume/--deadline and drains
+    // on SIGINT/SIGTERM; quarantined models show up as "-" rows.
+    const auto matrix =
+        grit::bench::runPlanResilient(engine, plan, argc, argv);
 
     std::cout << "Figure 31: DNN model parallelism (speedup over "
                  "on-touch; paper: VGG16 +15 %, ResNet18 +18 %)\n\n";
     harness::TextTable table({"model", "on-touch", "grit", "improvement"});
     for (workload::DnnModel model :
          {workload::DnnModel::kVgg16, workload::DnnModel::kResNet18}) {
-        const auto &runs = matrix.at(workload::dnnModelName(model));
+        const std::string row = workload::dnnModelName(model);
+        const auto rowIt = matrix.find(row);
+        if (rowIt == matrix.end() ||
+            rowIt->second.find("on-touch") == rowIt->second.end() ||
+            rowIt->second.find("grit") == rowIt->second.end()) {
+            table.addRow({row, "-", "-", "-"});
+            continue;
+        }
+        const auto &runs = rowIt->second;
         const double speedup =
             harness::speedupOver(runs.at("on-touch"), runs.at("grit"));
-        table.addRow({workload::dnnModelName(model), "1.00",
-                      harness::TextTable::fmt(speedup),
+        table.addRow({row, "1.00", harness::TextTable::fmt(speedup),
                       harness::TextTable::pct(100.0 * (speedup - 1.0))});
     }
     table.print(std::cout);

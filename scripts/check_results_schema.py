@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a "grit-results" JSON document against schema version 1.
+"""Validate a "grit-results" JSON document (schema version 1 or 2).
 
 Usage: check_results_schema.py FILE [FILE ...]
        some_binary --json - | check_results_schema.py -
@@ -7,7 +7,10 @@ Usage: check_results_schema.py FILE [FILE ...]
 The schema is documented in docs/METRICS.md. This checker is
 intentionally stdlib-only so it runs anywhere CI runs. It validates the
 envelope, the per-run metric keys and types, the latency-breakdown and
-scheme-accesses sub-objects, optional timelines, and the tables section.
+scheme-accesses sub-objects, optional timelines, the tables section,
+and the version-2 additions (per-run partial/error, the failure
+manifest, and the sweep-stats section). Version 2 is purely additive,
+so version-1 documents keep validating unchanged.
 Exit status is 0 when every input validates, 1 otherwise.
 """
 
@@ -15,7 +18,21 @@ import json
 import sys
 
 SCHEMA_NAME = "grit-results"
-SCHEMA_VERSION = 1
+SCHEMA_VERSIONS = (1, 2)
+
+ERROR_CODES = [
+    "config-invalid",
+    "bad-argument",
+    "chaos-spec",
+    "trace-load",
+    "event-limit",
+    "no-progress",
+    "invariant",
+    "deadline",
+    "interrupted",
+    "journal",
+    "internal",
+]
 
 # Scalar run metrics: name -> allowed types.
 RUN_SCALARS = {
@@ -92,6 +109,17 @@ def check_timeline(timeline, where):
             expect_type(v, int, f"{where}.intervals[{i}]")
 
 
+def check_error(error, where):
+    expect(isinstance(error, dict), where, "error must be an object")
+    expect(list(error.keys()) == ["code", "message", "context"], where,
+           f"error keys must be [code, message, context], got "
+           f"{list(error.keys())}")
+    expect(error["code"] in ERROR_CODES, f"{where}.code",
+           f"unknown error code {error['code']!r}")
+    expect_type(error["message"], str, f"{where}.message")
+    expect_type(error["context"], str, f"{where}.context")
+
+
 def check_run(run, where):
     expect(isinstance(run, dict), where, "run must be an object")
     expect_type(run.get("row"), str, f"{where}.row")
@@ -118,6 +146,48 @@ def check_run(run, where):
         check_timeline(run["timeline"], f"{where}.timeline")
     expect("counters" in run, where, "missing counters object")
     check_counters(run["counters"], f"{where}.counters")
+    # Version-2 salvage: a truncated run carries partial + its error.
+    if "partial" in run or "error" in run:
+        expect(run.get("partial") is True, where,
+               "partial must be true when present")
+        expect("error" in run, where, "partial run must carry an error")
+        check_error(run["error"], f"{where}.error")
+
+
+def check_failure(failure, where):
+    expect(isinstance(failure, dict), where, "failure must be an object")
+    expect_type(failure.get("row"), str, f"{where}.row")
+    expect_type(failure.get("label"), str, f"{where}.label")
+    fingerprint = failure.get("fingerprint")
+    expect_type(fingerprint, str, f"{where}.fingerprint")
+    expect(len(fingerprint) == 16
+           and all(c in "0123456789abcdef" for c in fingerprint),
+           f"{where}.fingerprint",
+           f"expected 16 lowercase hex chars, got {fingerprint!r}")
+    check_error(failure.get("error"), f"{where}.error")
+    attempts = failure.get("attempts")
+    expect_type(attempts, int, f"{where}.attempts")
+    expect(attempts >= 1, f"{where}.attempts", "attempts must be >= 1")
+    expect(isinstance(failure.get("salvaged"), bool), where,
+           "salvaged must be a bool")
+    known = {"row", "label", "fingerprint", "error", "attempts",
+             "salvaged"}
+    extra = set(failure) - known
+    expect(not extra, where, f"unknown failure keys: {sorted(extra)}")
+
+
+def check_sweep(sweep, where):
+    expect(isinstance(sweep, dict), where, "sweep must be an object")
+    for key in ("executed", "reused", "skipped"):
+        expect_type(sweep.get(key), int, f"{where}.{key}")
+    cache = sweep.get("cache")
+    expect(isinstance(cache, dict), where, "sweep.cache must be an object")
+    for key in ("hits", "misses", "evictions", "bytes", "byte_budget"):
+        expect_type(cache.get(key), int, f"{where}.cache.{key}")
+    expect(set(sweep) == {"executed", "reused", "skipped", "cache"} and
+           set(cache) == {"hits", "misses", "evictions", "bytes",
+                          "byte_budget"},
+           where, "unexpected sweep keys")
 
 
 def check_table(table, where):
@@ -143,8 +213,9 @@ def check_document(doc, where):
     expect(isinstance(doc, dict), where, "document must be an object")
     expect(doc.get("schema") == SCHEMA_NAME, where,
            f"schema must be {SCHEMA_NAME!r}, got {doc.get('schema')!r}")
-    expect(doc.get("version") == SCHEMA_VERSION, where,
-           f"version must be {SCHEMA_VERSION}, got {doc.get('version')!r}")
+    version = doc.get("version")
+    expect(version in SCHEMA_VERSIONS, where,
+           f"version must be one of {SCHEMA_VERSIONS}, got {version!r}")
     expect_type(doc.get("generator"), str, f"{where}.generator")
     expect_type(doc.get("title"), str, f"{where}.title")
     params = doc.get("params")
@@ -162,6 +233,12 @@ def check_document(doc, where):
         check_table(table, f"{where}.tables[{i}]")
     known = {"schema", "version", "generator", "title", "params", "runs",
              "tables"}
+    if version >= 2:
+        known |= {"failures", "sweep"}
+        for i, failure in enumerate(doc.get("failures", [])):
+            check_failure(failure, f"{where}.failures[{i}]")
+        if "sweep" in doc:
+            check_sweep(doc["sweep"], f"{where}.sweep")
     extra = set(doc) - known
     expect(not extra, where, f"unknown top-level keys: {sorted(extra)}")
 
@@ -201,7 +278,10 @@ def check_file(path):
         return False
     runs = len(doc.get("runs", []))
     tables = len(doc.get("tables", []))
-    print(f"ok   {name}: {runs} run(s), {tables} table(s)")
+    note = ""
+    if doc.get("failures"):
+        note = f", {len(doc['failures'])} quarantined failure(s)"
+    print(f"ok   {name}: {runs} run(s), {tables} table(s){note}")
     return True
 
 

@@ -7,6 +7,7 @@
 #ifndef GRIT_HARNESS_CONFIG_H_
 #define GRIT_HARNESS_CONFIG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -115,6 +116,29 @@ struct SystemConfig
      * advancing. 0 disables.
      */
     std::uint64_t watchdogSameCycleEvents = 2'000'000;
+
+    /**
+     * Per-run wall-clock deadline in seconds; 0 disables. Polled as a
+     * cooperative EventQueue cancel (never an abort): a run that
+     * exceeds it stops between events with a structured kDeadline
+     * diagnostic, so a hung run becomes a quarantinable timeout.
+     */
+    double wallDeadlineSec = 0.0;
+
+    /**
+     * Per-run executed-event budget; 0 disables. Reuses the event
+     * queue's limit machinery but reports kDeadline (a per-run
+     * watchdog) instead of kEventLimit (the global safety valve).
+     */
+    std::uint64_t eventBudget = 0;
+
+    /**
+     * External cooperative-cancel flag, e.g. set by a SIGINT/SIGTERM
+     * handler; a nonzero value requests drain and the run stops with a
+     * kInterrupted diagnostic naming the signal. Non-owning; must
+     * outlive the run.
+     */
+    const std::atomic<int> *cancelFlag = nullptr;
 
     /**
      * Check every knob combination this config can express.

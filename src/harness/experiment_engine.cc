@@ -3,9 +3,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "harness/run_journal.h"
 #include "harness/simulator.h"
 #include "simcore/log.h"
 
@@ -83,6 +85,26 @@ ExperimentEngine::jobs() const
     return options_.jobs > 0 ? options_.jobs : defaultJobs();
 }
 
+void
+ExperimentEngine::applyCacheBudget()
+{
+    std::uint64_t budget = options_.traceCacheBytes;
+    if (budget == 0) {
+        if (const char *env = std::getenv("GRIT_TRACE_CACHE_BYTES")) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(env, &end, 10);
+            if (end != env && *end == '\0')
+                budget = v;
+            else
+                GRIT_LOG(sim::LogLevel::kWarn,
+                         "ignoring invalid GRIT_TRACE_CACHE_BYTES "
+                         "value \""
+                             << env << "\"");
+        }
+    }
+    cache_.setByteBudget(budget);
+}
+
 ResultMatrix
 ExperimentEngine::run(const RunPlan &plan)
 {
@@ -137,6 +159,233 @@ ExperimentEngine::run(const RunPlan &plan)
     for (std::size_t i = 0; i < cells.size(); ++i)
         matrix[cells[i].row][cells[i].label] = std::move(results[i]);
     return matrix;
+}
+
+namespace {
+
+/** What one cell of a resilient sweep turned into. */
+struct CellOutcome
+{
+    bool reused = false;       //!< replayed from the journal
+    bool executed = false;     //!< simulated (possibly quarantined)
+    bool notStarted = false;   //!< cancel flag was up before launch
+    bool interrupted = false;  //!< stopped mid-run by the cancel flag
+    bool hasResult = false;
+    RunResult result;
+    std::optional<FailureRecord> failure;
+};
+
+/** Journal I/O must never take down the sweep that feeds it. */
+void
+tryAppend(RunJournal *journal, const JournalEntry &entry)
+{
+    if (journal == nullptr)
+        return;
+    try {
+        journal->append(entry);
+    } catch (const std::exception &e) {
+        GRIT_LOG(sim::LogLevel::kWarn,
+                 "journal append failed (resume coverage lost for "
+                     << entry.row << "/" << entry.label
+                     << "): " << e.what());
+    }
+}
+
+}  // namespace
+
+SweepResult
+ExperimentEngine::runResilient(const RunPlan &plan,
+                               const ResilientOptions &options)
+{
+    const std::vector<RunCell> &cells = plan.cells();
+    std::vector<CellOutcome> outcomes(cells.size());
+
+    auto cancelRequested = [&options] {
+        return options.cancelFlag != nullptr &&
+               options.cancelFlag->load(std::memory_order_relaxed) != 0;
+    };
+
+    auto runCell = [&](std::size_t i) {
+        CellOutcome &out = outcomes[i];
+        const RunCell &cell = cells[i];
+        const std::string fingerprint = runFingerprint(cell);
+
+        if (options.journal != nullptr) {
+            if (const JournalEntry *e =
+                    options.journal->find(fingerprint)) {
+                out.reused = true;
+                if (e->hasResult) {
+                    out.hasResult = true;
+                    out.result = e->result;
+                }
+                if (e->status == "failed") {
+                    FailureRecord f;
+                    f.cellIndex = i;
+                    f.row = cell.row;
+                    f.label = cell.label;
+                    f.fingerprint = fingerprint;
+                    f.error = e->error
+                                  ? *e->error
+                                  : sim::SimError(
+                                        sim::ErrorCode::kInternal,
+                                        "journaled failure carries no "
+                                        "diagnostic");
+                    f.attempts = e->attempts;
+                    f.salvaged = e->hasResult;
+                    out.failure = std::move(f);
+                }
+                return;
+            }
+        }
+        if (cancelRequested()) {
+            out.notStarted = true;
+            return;
+        }
+
+        SystemConfig config = cell.config;
+        if (options.wallDeadlineSec > 0.0)
+            config.wallDeadlineSec = options.wallDeadlineSec;
+        if (options.eventBudget != 0)
+            config.eventBudget = options.eventBudget;
+        if (options.cancelFlag != nullptr)
+            config.cancelFlag = options.cancelFlag;
+
+        unsigned attempts = 0;
+        while (true) {
+            ++attempts;
+            std::optional<sim::SimError> error;
+            RunResult result;
+            bool salvaged = false;
+            try {
+                workload::WorkloadHandle w = cell.workload;
+                if (!w) {
+                    w = options_.shareTraces
+                            ? cache_.get(cell.app, cell.params)
+                            : std::make_shared<
+                                  const workload::Workload>(
+                                  workload::makeWorkload(cell.app,
+                                                         cell.params));
+                }
+                Simulator simulator(config, *w);
+                result = simulator.run(options.salvagePartial);
+                if (result.partial) {
+                    error = result.error
+                                ? *result.error
+                                : sim::SimError(
+                                      sim::ErrorCode::kInternal,
+                                      "partial result carries no "
+                                      "diagnostic");
+                    salvaged = true;
+                }
+            } catch (const sim::SimException &e) {
+                error = e.error();
+            } catch (const std::exception &e) {
+                error = sim::SimError(sim::ErrorCode::kInternal,
+                                      e.what(),
+                                      cell.row + "/" + cell.label);
+            }
+
+            if (!error) {
+                out.executed = true;
+                out.hasResult = true;
+                out.result = std::move(result);
+                JournalEntry entry;
+                entry.fingerprint = fingerprint;
+                entry.row = cell.row;
+                entry.label = cell.label;
+                entry.status = "ok";
+                entry.attempts = attempts;
+                entry.hasResult = true;
+                entry.result = out.result;
+                tryAppend(options.journal, entry);
+                return;
+            }
+            if (error->code == sim::ErrorCode::kInterrupted) {
+                // Deliberately not journaled and not quarantined: the
+                // cell never finished on its own terms, so a resumed
+                // sweep must re-execute it.
+                out.interrupted = true;
+                return;
+            }
+            const bool transient =
+                error->code == sim::ErrorCode::kDeadline;
+            if (transient && attempts <= options.retries &&
+                !cancelRequested())
+                continue;
+
+            out.executed = true;
+            FailureRecord f;
+            f.cellIndex = i;
+            f.row = cell.row;
+            f.label = cell.label;
+            f.fingerprint = fingerprint;
+            f.error = *error;
+            f.attempts = attempts;
+            f.salvaged = salvaged && options.salvagePartial;
+            if (f.salvaged) {
+                out.hasResult = true;
+                out.result = result;
+            }
+            JournalEntry entry;
+            entry.fingerprint = fingerprint;
+            entry.row = cell.row;
+            entry.label = cell.label;
+            entry.status = "failed";
+            entry.attempts = attempts;
+            entry.error = *error;
+            if (f.salvaged) {
+                entry.hasResult = true;
+                entry.result = result;
+            }
+            out.failure = std::move(f);
+            tryAppend(options.journal, entry);
+            return;
+        }
+    };
+
+    const std::size_t workers = std::min<std::size_t>(
+        jobs(), std::max<std::size_t>(cells.size(), 1));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            runCell(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        {
+            std::vector<std::jthread> pool;
+            pool.reserve(workers);
+            for (std::size_t t = 0; t < workers; ++t) {
+                pool.emplace_back([&] {
+                    for (std::size_t i = next.fetch_add(1);
+                         i < cells.size(); i = next.fetch_add(1))
+                        runCell(i);
+                });
+            }
+        }  // jthread joins here
+    }
+
+    // Fold in plan order so the manifest and counts are deterministic
+    // regardless of which worker finished first.
+    SweepResult sweep;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        CellOutcome &o = outcomes[i];
+        if (o.notStarted || o.interrupted) {
+            ++sweep.skipped;
+            sweep.cancelled = true;
+            continue;
+        }
+        if (o.reused)
+            ++sweep.reused;
+        else if (o.executed)
+            ++sweep.executed;
+        if (o.hasResult)
+            sweep.matrix[cells[i].row][cells[i].label] =
+                std::move(o.result);
+        if (o.failure)
+            sweep.failures.push_back(std::move(*o.failure));
+    }
+    if (cancelRequested())
+        sweep.cancelled = true;
+    return sweep;
 }
 
 ResultMatrix

@@ -18,6 +18,8 @@
 #ifndef GRIT_HARNESS_EXPERIMENT_ENGINE_H_
 #define GRIT_HARNESS_EXPERIMENT_ENGINE_H_
 
+#include <atomic>
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -27,6 +29,8 @@
 #include "workload/trace_cache.h"
 
 namespace grit::harness {
+
+class RunJournal;
 
 /** One experiment cell: a workload run under one configuration. */
 struct RunCell
@@ -84,6 +88,65 @@ class RunPlan
 /** Resolved worker count: GRIT_JOBS env if set, else hardware threads. */
 unsigned defaultJobs();
 
+/** Knobs of the resilient execution path (runResilient). */
+struct ResilientOptions
+{
+    /**
+     * Journal completed cells here and skip cells the journal already
+     * holds; nullptr disables journaling. Non-owning; must be open.
+     */
+    RunJournal *journal = nullptr;
+    /** Per-run wall-clock deadline (seconds); 0 keeps each config's. */
+    double wallDeadlineSec = 0.0;
+    /** Per-run executed-event budget; 0 keeps each config's. */
+    std::uint64_t eventBudget = 0;
+    /**
+     * Cooperative-cancel flag (e.g. wired to a SIGINT handler): a
+     * nonzero value stops in-flight runs between events and skips
+     * cells not yet started. Non-owning; may be nullptr.
+     */
+    const std::atomic<int> *cancelFlag = nullptr;
+    /**
+     * Re-executions granted to transient failures (kDeadline). Other
+     * codes are deterministic and never retried.
+     */
+    unsigned retries = 0;
+    /** Export counters-so-far of timed-out runs (partial results). */
+    bool salvagePartial = true;
+};
+
+/** One quarantined cell in a SweepResult's failure manifest. */
+struct FailureRecord
+{
+    std::size_t cellIndex = 0;  //!< position in the RunPlan
+    std::string row;
+    std::string label;
+    std::string fingerprint;
+    sim::SimError error;
+    unsigned attempts = 1;
+    /** True when the partial counters made it into the matrix. */
+    bool salvaged = false;
+};
+
+/**
+ * Outcome of a resilient sweep: every cell either produced a matrix
+ * entry (complete, or salvaged-partial), was quarantined into the
+ * failure manifest, or was left unstarted by a cancel.
+ */
+struct SweepResult
+{
+    ResultMatrix matrix;
+    /** Quarantined cells, in plan order. */
+    std::vector<FailureRecord> failures;
+    std::size_t executed = 0;  //!< cells actually simulated
+    std::size_t reused = 0;    //!< cells replayed from the journal
+    std::size_t skipped = 0;   //!< cells never started (cancel)
+    /** The sweep was stopped early by the cancel flag. */
+    bool cancelled = false;
+    /** Every planned cell ran (or was reused) and none failed. */
+    bool complete() const { return failures.empty() && !cancelled; }
+};
+
 /** Executes RunPlans on a worker pool with a shared trace cache. */
 class ExperimentEngine
 {
@@ -94,10 +157,19 @@ class ExperimentEngine
         unsigned jobs = 0;
         /** Share identical traces across cells via the TraceCache. */
         bool shareTraces = true;
+        /**
+         * Trace-cache byte budget; 0 = take it from the
+         * GRIT_TRACE_CACHE_BYTES environment variable (absent or
+         * invalid = unbounded).
+         */
+        std::uint64_t traceCacheBytes = 0;
     };
 
-    ExperimentEngine() = default;
-    explicit ExperimentEngine(const Options &options) : options_(options) {}
+    ExperimentEngine() { applyCacheBudget(); }
+    explicit ExperimentEngine(const Options &options) : options_(options)
+    {
+        applyCacheBudget();
+    }
 
     /**
      * Execute every cell of @p plan and fold the results into a
@@ -106,6 +178,20 @@ class ExperimentEngine
      * plan order wins) after all workers drain.
      */
     ResultMatrix run(const RunPlan &plan);
+
+    /**
+     * Resilient variant of run(): cells found in the journal are
+     * replayed instead of re-simulated; watchdog/cancel diagnostics
+     * and per-cell exceptions are quarantined into the failure
+     * manifest (the rest of the sweep proceeds); transient failures
+     * get @p options.retries re-executions; timed-out runs optionally
+     * salvage counters-so-far into the matrix as partial results.
+     * Deterministic: the matrix and the failure manifest are identical
+     * for any worker count, and a resumed sweep merges to the same
+     * matrix an uninterrupted one produces.
+     */
+    SweepResult runResilient(const RunPlan &plan,
+                             const ResilientOptions &options);
 
     /** Plan + run the classic app x config matrix in one call. */
     ResultMatrix runMatrix(
@@ -123,6 +209,9 @@ class ExperimentEngine
     const workload::TraceCache &traceCache() const { return cache_; }
 
   private:
+    /** Resolve Options::traceCacheBytes (env fallback) into the cache. */
+    void applyCacheBudget();
+
     Options options_;
     workload::TraceCache cache_;
 };

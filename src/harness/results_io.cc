@@ -30,6 +30,18 @@ writeRunResult(stats::ResultSink &sink, const RunResult &result)
     if (result.timeline.has_value())
         sink.writeTimeline(*result.timeline, stats::timelineKeyNames());
     sink.writeCounters(result.counters);
+
+    // v2: truncated runs flag themselves; complete runs emit nothing
+    // extra, so their serialization is unchanged from v1.
+    if (result.partial) {
+        const sim::SimError fallback(
+            sim::ErrorCode::kInternal,
+            "partial result carries no diagnostic");
+        const sim::SimError &error =
+            result.error ? *result.error : fallback;
+        sink.writePartial(sim::errorCodeName(error.code), error.message,
+                          error.context);
+    }
 }
 
 void
@@ -51,6 +63,45 @@ writeResultMatrix(std::ostream &os, std::string_view generator,
         }
     }
     sink.endRuns();
+    sink.end();
+    os << '\n';
+}
+
+void
+writeSweepResult(std::ostream &os, std::string_view generator,
+                 std::string_view title,
+                 const workload::WorkloadParams &params,
+                 const ResultMatrix &matrix,
+                 const std::vector<FailureRecord> &failures,
+                 const SweepStatsView *stats)
+{
+    stats::ResultSink sink(os);
+    sink.begin(generator, title);
+    sink.writeParams(params.footprintDivisor, params.intensity,
+                     params.seed);
+    sink.beginRuns();
+    for (const auto &[row, runs] : matrix) {
+        for (const auto &[label, result] : runs) {
+            sink.beginRun(row, label);
+            writeRunResult(sink, result);
+            sink.endRun();
+        }
+    }
+    sink.endRuns();
+    if (!failures.empty()) {
+        sink.beginFailures();
+        for (const FailureRecord &f : failures)
+            sink.writeFailure(f.row, f.label, f.fingerprint,
+                              sim::errorCodeName(f.error.code),
+                              f.error.message, f.error.context,
+                              f.attempts, f.salvaged);
+        sink.endFailures();
+    }
+    if (stats != nullptr)
+        sink.writeSweepStats(stats->executed, stats->reused,
+                             stats->skipped, stats->cacheHits,
+                             stats->cacheMisses, stats->cacheEvictions,
+                             stats->cacheBytes, stats->cacheByteBudget);
     sink.end();
     os << '\n';
 }

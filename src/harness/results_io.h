@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/experiment_engine.h"
 #include "stats/result_sink.h"
 #include "workload/apps.h"
 
@@ -40,6 +41,35 @@ void writeResultMatrix(std::ostream &os, std::string_view generator,
                        std::string_view title,
                        const workload::WorkloadParams &params,
                        const ResultMatrix &matrix);
+
+/** Opt-in "sweep" section payload (--sweep-stats). */
+struct SweepStatsView
+{
+    std::uint64_t executed = 0;
+    std::uint64_t reused = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheEvictions = 0;
+    std::uint64_t cacheBytes = 0;
+    std::uint64_t cacheByteBudget = 0;
+};
+
+/**
+ * Write one complete document for a resilient sweep: the matrix runs
+ * (salvaged-partial runs carry "partial"/"error"), the quarantined-run
+ * "failures" manifest when any exist, and — only when @p stats is
+ * non-null — the "sweep" statistics section. Without failures, partial
+ * runs, or stats, the document is byte-identical to writeResultMatrix
+ * output, which is what lets a resumed sweep merge cleanly against an
+ * uninterrupted reference.
+ */
+void writeSweepResult(std::ostream &os, std::string_view generator,
+                      std::string_view title,
+                      const workload::WorkloadParams &params,
+                      const ResultMatrix &matrix,
+                      const std::vector<FailureRecord> &failures,
+                      const SweepStatsView *stats = nullptr);
 
 /** A named table for the "tables" section (characterization output). */
 struct NamedTable

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Append-only run journal: the crash-safe checkpoint behind resumable
+ * sweeps (`--journal` / `--resume`).
+ *
+ * Every completed cell of a RunPlan is appended as one self-contained
+ * JSONL record keyed by a deterministic fingerprint of the cell
+ * (config digest + workload + scheme label + seed) and flushed before
+ * the engine moves on, so a killed sweep loses at most the runs that
+ * were still in flight. On resume, journaled cells are skipped and
+ * their results replayed from the journal; because every RunResult
+ * field is an integer or a string, the round trip is lossless and the
+ * merged output is byte-identical to an uninterrupted sweep.
+ *
+ * File layout: a header line
+ *   {"schema":"grit-run-journal","version":1,"generator":"<binary>"}
+ * followed by one entry object per line. A truncated final line (the
+ * signature of a crash mid-append) is ignored on load.
+ */
+
+#ifndef GRIT_HARNESS_RUN_JOURNAL_H_
+#define GRIT_HARNESS_RUN_JOURNAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/experiment_engine.h"
+#include "harness/simulator.h"
+#include "stats/json_value.h"
+#include "stats/json_writer.h"
+
+namespace grit::harness {
+
+/**
+ * Order-independent digest of the SystemConfig knobs a sweep varies
+ * (policy, topology, capacities, chaos numerics). Deliberately excludes
+ * the resilience controls (wallDeadlineSec, eventBudget, cancelFlag)
+ * and non-owning pointers: resuming with a different deadline must
+ * still match the journaled fingerprints.
+ */
+std::uint64_t configDigest(const SystemConfig &config);
+
+/**
+ * Deterministic hex fingerprint of one RunPlan cell: row, label,
+ * workload identity (app abbreviation or prebuilt-workload name),
+ * generation params, and configDigest().
+ */
+std::string runFingerprint(const RunCell &cell);
+
+/** One journaled cell outcome. */
+struct JournalEntry
+{
+    std::string fingerprint;
+    std::string row;
+    std::string label;
+    /** "ok" or "failed" (quarantined). */
+    std::string status;
+    /** Executions attempted (> 1 after a transient-failure retry). */
+    unsigned attempts = 1;
+    /**
+     * Present for "ok" entries and for quarantined entries whose
+     * partial counters were salvaged (result.partial is then true).
+     */
+    bool hasResult = false;
+    RunResult result;
+    /** The quarantining diagnostic ("failed" entries). */
+    std::optional<sim::SimError> error;
+};
+
+/** Lossless RunResult serialization (exposed for tests). */
+void writeRunResultJson(stats::JsonWriter &w, const RunResult &result);
+/** Inverse of writeRunResultJson. @throws SimException (kJournal). */
+RunResult runResultFromJson(const stats::JsonValue &v);
+
+/** Serialize @p entry as one journal line (no trailing newline). */
+std::string journalLine(const JournalEntry &entry);
+/** Parse one journal line. @throws SimException (kJournal). */
+JournalEntry journalEntryFromLine(const std::string &line);
+
+/**
+ * The append-only journal file. Thread-safe: engine workers append
+ * concurrently; each append writes one line and flushes it.
+ */
+class RunJournal
+{
+  public:
+    static constexpr const char *kSchemaName = "grit-run-journal";
+    static constexpr unsigned kSchemaVersion = 1;
+
+    /**
+     * Open @p path for appending. With @p resume, an existing file is
+     * loaded first (header validated, entries indexed) and appended
+     * to; without it the file is truncated and a fresh header written.
+     * @throws sim::SimException (kJournal) when the file cannot be
+     *         opened or an existing header names a different schema,
+     *         version, or generator.
+     */
+    void open(const std::string &path, const std::string &generator,
+              bool resume);
+
+    bool isOpen() const { return out_.is_open(); }
+    const std::string &path() const { return path_; }
+
+    /** Entries loaded or appended so far. */
+    std::size_t size() const;
+
+    /** Journaled outcome for @p fingerprint; nullptr when absent. */
+    const JournalEntry *find(const std::string &fingerprint) const;
+
+    /** Append @p entry and flush the line. Thread-safe. */
+    void append(const JournalEntry &entry);
+
+  private:
+    void loadExisting(const std::string &generator);
+
+    mutable std::mutex mutex_;
+    std::ofstream out_;
+    std::string path_;
+    /** unique_ptr keeps addresses stable for index_ across growth. */
+    std::vector<std::unique_ptr<JournalEntry>> entries_;
+    std::unordered_map<std::string, const JournalEntry *> index_;
+};
+
+}  // namespace grit::harness
+
+#endif  // GRIT_HARNESS_RUN_JOURNAL_H_

@@ -1,6 +1,7 @@
 #include "harness/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "simcore/log.h"
@@ -182,6 +183,15 @@ Simulator::pressureStorm()
 }
 
 void
+Simulator::hangSpin()
+{
+    // Deliberate livelock (chaos `hang:at=N`): every event reschedules
+    // itself at the same cycle, so simulated time never advances and
+    // only a watchdog (liveness, deadline, cancel) can stop the run.
+    queue_.schedule(queue_.now(), [this] { hangSpin(); }, "chaos-hang");
+}
+
+void
 Simulator::runAudit()
 {
     static constexpr std::size_t kMaxFindings = 32;
@@ -352,7 +362,7 @@ Simulator::finishAccess(unsigned g, sim::Cycle ready, sim::GpuId loc,
 }
 
 RunResult
-Simulator::run()
+Simulator::run(bool salvage_partial)
 {
     // Seed every lane of every GPU.
     for (unsigned g = 0; g < config_.numGpus; ++g) {
@@ -368,6 +378,10 @@ Simulator::run()
                             config_.chaos.pressure.period,
                         [this] { pressureStorm(); }, "chaos-pressure");
     }
+    if (injector_ && config_.chaos.hang.at != sim::ChaosSpec::kNever) {
+        queue_.schedule(config_.chaos.hang.at, [this] { hangSpin(); },
+                        "chaos-hang");
+    }
     if (auditor_ && config_.auditIntervalCycles > 0) {
         queue_.schedule(config_.auditIntervalCycles,
                         [this] { runAudit(); }, "audit");
@@ -377,15 +391,66 @@ Simulator::run()
     if (limit == 0) {
         limit = 16 * (workload_.totalAccesses() + 1024);
     }
+    bool budget_binding = false;
+    if (config_.eventBudget != 0 && config_.eventBudget < limit) {
+        limit = config_.eventBudget;
+        budget_binding = true;
+    }
+    if (config_.wallDeadlineSec > 0.0 || config_.cancelFlag != nullptr) {
+        const auto start = std::chrono::steady_clock::now();
+        const double deadline = config_.wallDeadlineSec;
+        const std::atomic<int> *flag = config_.cancelFlag;
+        queue_.setCancelCheck(
+            [this, start, deadline, flag]() -> std::optional<sim::SimError> {
+                if (flag != nullptr) {
+                    const int sig = flag->load(std::memory_order_relaxed);
+                    if (sig != 0)
+                        return sim::SimError(
+                            sim::ErrorCode::kInterrupted,
+                            "cooperative cancel requested (signal " +
+                                std::to_string(sig) + ") at cycle " +
+                                std::to_string(queue_.now()));
+                }
+                if (deadline > 0.0) {
+                    const double elapsed =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+                    if (elapsed > deadline)
+                        return sim::SimError(
+                            sim::ErrorCode::kDeadline,
+                            "wall-clock deadline (" +
+                                std::to_string(deadline) +
+                                " s) exceeded at cycle " +
+                                std::to_string(queue_.now()));
+                }
+                return std::nullopt;
+            });
+    }
     queue_.setWatchdog(config_.watchdogSameCycleEvents);
     queue_.run(limit);
+    std::optional<sim::SimError> truncated;
     if (queue_.diagnostic()) {
         sim::SimError err = *queue_.diagnostic();
+        if (budget_binding && err.code == sim::ErrorCode::kEventLimit) {
+            // The binding limit was the per-run budget, not the global
+            // safety valve: report it as a watchdog timeout.
+            err.code = sim::ErrorCode::kDeadline;
+            err.message = "event budget (" +
+                          std::to_string(config_.eventBudget) +
+                          ") exhausted at cycle " +
+                          std::to_string(queue_.now());
+        }
         err.context = "workload " + workload_.name;
-        throw sim::SimException(err);
+        if (!salvage_partial)
+            throw sim::SimException(err);
+        truncated = std::move(err);
     }
 
-    if (auditor_)
+    // Skip the end-of-run audit on truncated runs: mid-flight state
+    // (migrations in progress) legitimately violates quiescent
+    // invariants and would drown the real diagnostic.
+    if (auditor_ && !truncated)
         runAudit();
 
     RunResult result;
@@ -416,6 +481,10 @@ Simulator::run()
     result.counters = stats_.items();
     result.timeline = timeline_;
     result.auditFindings = auditFindings_;
+    if (truncated) {
+        result.partial = true;
+        result.error = std::move(truncated);
+    }
     return result;
 }
 

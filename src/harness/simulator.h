@@ -70,6 +70,17 @@ struct RunResult
      */
     std::vector<std::string> auditFindings;
 
+    /**
+     * True when a watchdog (wall-clock deadline, event budget,
+     * liveness) or a cooperative cancel truncated the run: every metric
+     * above is a counters-so-far snapshot, not a completed simulation.
+     * Serialized as `"partial": true` in the grit-results schema.
+     */
+    bool partial = false;
+
+    /** The structured diagnostic that truncated a partial run. */
+    std::optional<sim::SimError> error;
+
     /** Eviction pressure per thousand accesses (GPS comparison). */
     double oversubscriptionRate() const;
 };
@@ -94,10 +105,19 @@ class Simulator
 
     /**
      * Run to completion and collect results.
-     * @throws sim::SimException when the event-queue safety valve
-     *         (kEventLimit) or liveness watchdog (kNoProgress) trips.
+     *
+     * Watchdogs (SystemConfig::wallDeadlineSec, eventBudget,
+     * cancelFlag, the liveness watchdog, and the event-limit safety
+     * valve) stop the event loop cooperatively between events. What
+     * happens next depends on @p salvage_partial:
+     *  - false (default): the structured diagnostic is thrown as a
+     *    sim::SimException (kEventLimit / kNoProgress / kDeadline /
+     *    kInterrupted);
+     *  - true: the counters-so-far are still collected and returned
+     *    with RunResult::partial set and RunResult::error carrying the
+     *    diagnostic — the salvage path quarantined sweeps rely on.
      */
-    RunResult run();
+    RunResult run(bool salvage_partial = false);
 
     /** Components, for tests and examples. */
     uvm::UvmDriver &driver() { return *driver_; }
@@ -120,6 +140,9 @@ class Simulator
 
     /** Self-rescheduling chaos capacity-pressure storm event. */
     void pressureStorm();
+
+    /** Self-rescheduling same-cycle livelock (chaos `hang` clause). */
+    void hangSpin();
 
     /** One invariant audit; logs and collects any violations. */
     void runAudit();

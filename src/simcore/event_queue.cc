@@ -37,11 +37,20 @@ EventQueue::run(std::uint64_t limit)
 {
     limitHit_ = false;
     stalled_ = false;
+    cancelled_ = false;
     diagnostic_.reset();
     std::uint64_t executed = 0;
     Cycle lastAdvance = now_;
     std::uint64_t sameCycle = 0;
     while (executed < limit && !heap_.empty()) {
+        if (cancelCheck_ && executed % cancelIntervalEvents_ == 0) {
+            if (std::optional<SimError> reason = cancelCheck_()) {
+                cancelled_ = true;
+                diagnostic_ = std::move(reason);
+                GRIT_LOG(LogLevel::kError, diagnostic_->str());
+                break;
+            }
+        }
         step();
         ++executed;
         if (watchdogEvents_ > 0) {
@@ -54,7 +63,9 @@ EventQueue::run(std::uint64_t limit)
             }
         }
     }
-    if (stalled_) {
+    if (cancelled_) {
+        // diagnostic_ carries the cancel reason verbatim.
+    } else if (stalled_) {
         std::ostringstream what;
         what << "no progress: " << sameCycle
              << " events executed at cycle " << now_
@@ -87,6 +98,7 @@ EventQueue::reset()
     nextSeq_ = 0;
     limitHit_ = false;
     stalled_ = false;
+    cancelled_ = false;
     diagnostic_.reset();
 }
 

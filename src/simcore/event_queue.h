@@ -88,6 +88,34 @@ class EventQueue
     /** True when the last run() was stopped by the liveness watchdog. */
     bool stalled() const { return stalled_; }
 
+    /** True when the last run() was stopped by the cancel check. */
+    bool cancelled() const { return cancelled_; }
+
+    /**
+     * Predicate run() polls between events; a non-nullopt return stops
+     * the run cooperatively (no event is interrupted mid-flight) and
+     * becomes diagnostic(). This is how per-run watchdogs — wall-clock
+     * deadlines and external interrupt flags — reach into a simulation
+     * without aborting the process.
+     */
+    using CancelFn = std::function<std::optional<SimError>()>;
+
+    /**
+     * Install @p check, polled before the first event and then every
+     * @p interval_events executed events. An empty function (the
+     * default) disables cancellation.
+     */
+    void setCancelCheck(CancelFn check,
+                        std::uint64_t interval_events = kCancelInterval)
+    {
+        cancelCheck_ = std::move(check);
+        cancelIntervalEvents_ = interval_events > 0 ? interval_events
+                                                    : kCancelInterval;
+    }
+
+    /** Default cancel-poll granularity, in executed events. */
+    static constexpr std::uint64_t kCancelInterval = 1024;
+
     /**
      * Structured diagnostic from the last run()'s safety stop
      * (kEventLimit or kNoProgress), or nullopt after a clean drain.
@@ -140,8 +168,11 @@ class EventQueue
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t watchdogEvents_ = 0;
+    CancelFn cancelCheck_;
+    std::uint64_t cancelIntervalEvents_ = kCancelInterval;
     bool limitHit_ = false;
     bool stalled_ = false;
+    bool cancelled_ = false;
     std::optional<SimError> diagnostic_;
 };
 

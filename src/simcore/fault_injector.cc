@@ -86,7 +86,8 @@ ChaosSpec::any() const
     return linkFlap.period > 0 || linkSlow.factor > 1 ||
            serviceDelay.extra > 0 ||
            (pressure.pages > 0 && pressure.period > 0) ||
-           paFlush.period > 0 || paDisable.start != kNever;
+           paFlush.period > 0 || paDisable.start != kNever ||
+           hang.at != kNever;
 }
 
 ChaosSpec
@@ -169,6 +170,11 @@ ChaosSpec::parse(const std::string &text)
                     spec.paDisable.end = uintv();
                 else
                     specError(clause, "unknown key '" + key + "'");
+            } else if (head == "hang") {
+                if (key == "at")
+                    spec.hang.at = uintv();
+                else
+                    specError(clause, "unknown key '" + key + "'");
             } else {
                 specError(clause, "unknown perturbation '" + head + "'");
             }
@@ -189,6 +195,8 @@ ChaosSpec::parse(const std::string &text)
         if (head == "padisable" &&
             spec.paDisable.end <= spec.paDisable.start)
             specError(clause, "padisable needs end > start");
+        if (head == "hang" && spec.hang.at == kNever)
+            specError(clause, "hang needs at=N");
     }
     return spec;
 }
@@ -214,6 +222,8 @@ ChaosSpec::summary() const
         add("paflush");
     if (paDisable.start != kNever)
         add("padisable");
+    if (hang.at != kNever)
+        add("hang");
     return out.empty() ? "none" : out;
 }
 

@@ -48,6 +48,11 @@ namespace grit::sim {
  *   padisable:start=S[,end=E]           - PA-Cache unavailable during
  *                                         [S, E); policy falls back to
  *                                         the in-memory PA-Table
+ *   hang:at=C                           - spin the event loop at cycle
+ *                                         C without advancing simulated
+ *                                         time (a deliberate livelock
+ *                                         for watchdog/quarantine
+ *                                         drills)
  *
  * A default-constructed spec injects nothing (any() == false).
  */
@@ -93,6 +98,11 @@ struct ChaosSpec
         Cycle start = kNever;  //!< kNever disables the clause
         Cycle end = kNever;    //!< exclusive; kNever = rest of run
     } paDisable;
+
+    struct Hang
+    {
+        Cycle at = kNever;  //!< cycle the livelock starts; kNever off
+    } hang;
 
     static constexpr Cycle kNever = ~Cycle{0};
 

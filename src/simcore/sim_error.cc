@@ -12,10 +12,29 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kTraceLoad:     return "trace-load";
       case ErrorCode::kEventLimit:    return "event-limit";
       case ErrorCode::kNoProgress:    return "no-progress";
+      case ErrorCode::kDeadline:      return "deadline";
+      case ErrorCode::kInterrupted:   return "interrupted";
+      case ErrorCode::kJournal:       return "journal";
       case ErrorCode::kInvariant:     return "invariant";
       case ErrorCode::kInternal:      return "internal";
     }
     return "?";
+}
+
+std::optional<ErrorCode>
+errorCodeFromName(std::string_view name)
+{
+    for (const ErrorCode code :
+         {ErrorCode::kConfigInvalid, ErrorCode::kBadArgument,
+          ErrorCode::kChaosSpec, ErrorCode::kTraceLoad,
+          ErrorCode::kEventLimit, ErrorCode::kNoProgress,
+          ErrorCode::kDeadline, ErrorCode::kInterrupted,
+          ErrorCode::kJournal, ErrorCode::kInvariant,
+          ErrorCode::kInternal}) {
+        if (name == errorCodeName(code))
+            return code;
+    }
+    return std::nullopt;
 }
 
 std::string

@@ -14,8 +14,10 @@
 #ifndef GRIT_SIMCORE_SIM_ERROR_H_
 #define GRIT_SIMCORE_SIM_ERROR_H_
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace grit::sim {
@@ -28,12 +30,18 @@ enum class ErrorCode {
     kTraceLoad,       //!< workload trace could not be built/loaded
     kEventLimit,      //!< event-queue safety valve tripped
     kNoProgress,      //!< liveness watchdog: simulated time stopped
+    kDeadline,        //!< per-run watchdog: wall-clock or event budget
+    kInterrupted,     //!< cooperative cancel after SIGINT/SIGTERM
+    kJournal,         //!< run journal could not be read/written
     kInvariant,       //!< cross-layer invariant audit violation
     kInternal,        //!< invariant the simulator itself broke
 };
 
 /** Stable printable code name ("config-invalid"). */
 const char *errorCodeName(ErrorCode code);
+
+/** Inverse of errorCodeName; nullopt for unknown names. */
+std::optional<ErrorCode> errorCodeFromName(std::string_view name);
 
 /** One structured diagnostic: code + message + optional context. */
 struct SimError

@@ -1,0 +1,353 @@
+#include "stats/json_value.h"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace grit::stats {
+
+namespace {
+
+[[noreturn]] void
+fail(std::size_t offset, const std::string &what)
+{
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(offset));
+}
+
+}  // namespace
+
+/** Recursive-descent parser over a string_view with a depth guard. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue(0);
+        skipSpace();
+        if (pos_ != text_.size())
+            fail(pos_, "trailing content");
+        return v;
+    }
+
+  private:
+    static constexpr unsigned kMaxDepth = 64;
+
+    JsonValue
+    parseValue(unsigned depth)
+    {
+        if (depth > kMaxDepth)
+            fail(pos_, "nesting too deep");
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail(pos_, "unexpected end of input");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(depth);
+          case '[': return parseArray(depth);
+          case '"': return parseString();
+          case 't': return parseLiteral("true", makeBool(true));
+          case 'f': return parseLiteral("false", makeBool(false));
+          case 'n': return parseLiteral("null", JsonValue{});
+          default:  return parseNumber();
+        }
+    }
+
+    static JsonValue
+    makeBool(bool b)
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = b;
+        return v;
+    }
+
+    JsonValue
+    parseLiteral(std::string_view word, JsonValue value)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            fail(pos_, "bad literal");
+        pos_ += word.size();
+        return value;
+    }
+
+    JsonValue
+    parseObject(unsigned depth)
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kObject;
+        ++pos_;  // '{'
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipSpace();
+            if (peek() != '"')
+                fail(pos_, "expected object key");
+            std::string key = parseString().string_;
+            skipSpace();
+            if (peek() != ':')
+                fail(pos_, "expected ':'");
+            ++pos_;
+            v.object_.emplace_back(std::move(key),
+                                   parseValue(depth + 1));
+            skipSpace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return v;
+            }
+            fail(pos_, "expected ',' or '}'");
+        }
+    }
+
+    JsonValue
+    parseArray(unsigned depth)
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kArray;
+        ++pos_;  // '['
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array_.push_back(parseValue(depth + 1));
+            skipSpace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return v;
+            }
+            fail(pos_, "expected ',' or ']'");
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        ++pos_;  // '"'
+        std::string &out = v.string_;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail(pos_, "unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail(pos_, "unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':  out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/':  out.push_back('/'); break;
+              case 'b':  out.push_back('\b'); break;
+              case 'f':  out.push_back('\f'); break;
+              case 'n':  out.push_back('\n'); break;
+              case 'r':  out.push_back('\r'); break;
+              case 't':  out.push_back('\t'); break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size())
+                      fail(pos_, "short \\u escape");
+                  unsigned cp = 0;
+                  for (unsigned i = 0; i < 4; ++i) {
+                      const char h = text_[pos_++];
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          fail(pos_, "bad \\u escape");
+                  }
+                  // The writer only emits \u00XX for control bytes;
+                  // encode the general BMP case as UTF-8 anyway.
+                  if (cp < 0x80) {
+                      out.push_back(static_cast<char>(cp));
+                  } else if (cp < 0x800) {
+                      out.push_back(
+                          static_cast<char>(0xC0 | (cp >> 6)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  } else {
+                      out.push_back(
+                          static_cast<char>(0xE0 | (cp >> 12)));
+                      out.push_back(static_cast<char>(
+                          0x80 | ((cp >> 6) & 0x3F)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  }
+                  break;
+              }
+              default: fail(pos_ - 1, "bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string_view token = text_.substr(start, pos_ - start);
+        if (token.empty() || token == "-")
+            fail(start, "bad number");
+
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kNumber;
+        const bool integral =
+            token.find_first_of(".eE") == std::string_view::npos &&
+            token[0] != '-';
+        if (integral) {
+            std::uint64_t u = 0;
+            const auto [p, ec] = std::from_chars(
+                token.data(), token.data() + token.size(), u);
+            if (ec == std::errc() && p == token.data() + token.size()) {
+                v.hasUint_ = true;
+                v.uint_ = u;
+            }
+        }
+        double d = 0.0;
+        const auto [p, ec] = std::from_chars(
+            token.data(), token.data() + token.size(), d);
+        if (ec != std::errc() || p != token.data() + token.size()) {
+            if (!v.hasUint_)
+                fail(start, "bad number");
+            d = static_cast<double>(v.uint_);
+        }
+        v.number_ = d;
+        return v;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+bool
+JsonValue::asBool() const
+{
+    if (!isBool())
+        throw std::runtime_error("json: not a bool");
+    return bool_;
+}
+
+std::uint64_t
+JsonValue::asUint64() const
+{
+    if (!isUnsigned())
+        throw std::runtime_error("json: not an unsigned integer");
+    return uint_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (!isNumber())
+        throw std::runtime_error("json: not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (!isString())
+        throw std::runtime_error("json: not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (!isArray())
+        throw std::runtime_error("json: not an array");
+    return array_;
+}
+
+const std::vector<JsonValue::Member> &
+JsonValue::asObject() const
+{
+    if (!isObject())
+        throw std::runtime_error("json: not an object");
+    return object_;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const Member &m : object_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    if (const JsonValue *v = find(key))
+        return *v;
+    throw std::runtime_error("json: missing key '" + std::string(key) +
+                             "'");
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    const auto &a = asArray();
+    if (index >= a.size())
+        throw std::runtime_error("json: index out of range");
+    return a[index];
+}
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+}  // namespace grit::stats

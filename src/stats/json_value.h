@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal JSON reader: the inverse of stats::JsonWriter, sufficient to
+ * load back documents this repository itself emits (run-journal lines,
+ * grit-results fragments).
+ *
+ * Design constraints that shape the API:
+ *  - objects preserve insertion order, so a value that round-trips
+ *    through parse + JsonWriter re-emission is byte-identical (the run
+ *    journal's crash-safe resume depends on this);
+ *  - integers up to 2^64-1 parse losslessly (counters are uint64 and
+ *    must not detour through double);
+ *  - stdlib-only, no recursion limits beyond an explicit depth guard.
+ */
+
+#ifndef GRIT_STATS_JSON_VALUE_H_
+#define GRIT_STATS_JSON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace grit::stats {
+
+/** One parsed JSON value (tree-owning, order-preserving). */
+class JsonValue
+{
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::kNull; }
+    bool isBool() const { return kind_ == Kind::kBool; }
+    bool isNumber() const { return kind_ == Kind::kNumber; }
+    bool isString() const { return kind_ == Kind::kString; }
+    bool isArray() const { return kind_ == Kind::kArray; }
+    bool isObject() const { return kind_ == Kind::kObject; }
+
+    /** True for a number written without '.', 'e', or a sign issue. */
+    bool isUnsigned() const { return isNumber() && hasUint_; }
+
+    bool asBool() const;
+    /** Exact for any emitted uint64. @throws on non-integer/overflow. */
+    std::uint64_t asUint64() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::vector<Member> &asObject() const;
+
+    /** Member lookup (first match); nullptr when absent / not object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Member lookup that throws std::runtime_error when missing. */
+    const JsonValue &at(std::string_view key) const;
+
+    /** Element lookup that throws when out of range / not an array. */
+    const JsonValue &at(std::size_t index) const;
+
+    /**
+     * Parse one JSON document from @p text (trailing whitespace only).
+     * @throws std::runtime_error naming the byte offset on malformed
+     *         input.
+     */
+    static JsonValue parse(std::string_view text);
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    bool hasUint_ = false;
+    std::uint64_t uint_ = 0;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<Member> object_;
+};
+
+}  // namespace grit::stats
+
+#endif  // GRIT_STATS_JSON_VALUE_H_

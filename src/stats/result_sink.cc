@@ -113,6 +113,74 @@ ResultSink::writeTimeline(const IntervalSampler &sampler,
 }
 
 void
+ResultSink::writePartial(std::string_view code, std::string_view message,
+                         std::string_view context)
+{
+    json_.key("partial").value(true);
+    json_.key("error").beginObject();
+    json_.key("code").value(code);
+    json_.key("message").value(message);
+    json_.key("context").value(context);
+    json_.endObject();
+}
+
+void
+ResultSink::beginFailures()
+{
+    json_.key("failures").beginArray();
+}
+
+void
+ResultSink::endFailures()
+{
+    json_.endArray();
+}
+
+void
+ResultSink::writeFailure(std::string_view row, std::string_view label,
+                         std::string_view fingerprint,
+                         std::string_view code, std::string_view message,
+                         std::string_view context, unsigned attempts,
+                         bool salvaged)
+{
+    json_.beginObject();
+    json_.key("row").value(row);
+    json_.key("label").value(label);
+    json_.key("fingerprint").value(fingerprint);
+    json_.key("error").beginObject();
+    json_.key("code").value(code);
+    json_.key("message").value(message);
+    json_.key("context").value(context);
+    json_.endObject();
+    json_.key("attempts").value(attempts);
+    json_.key("salvaged").value(salvaged);
+    json_.endObject();
+}
+
+void
+ResultSink::writeSweepStats(std::uint64_t executed, std::uint64_t reused,
+                            std::uint64_t skipped,
+                            std::uint64_t cache_hits,
+                            std::uint64_t cache_misses,
+                            std::uint64_t cache_evictions,
+                            std::uint64_t cache_bytes,
+                            std::uint64_t cache_byte_budget)
+{
+    json_.key("sweep").beginObject();
+    json_.key("executed").value(executed);
+    json_.key("reused").value(reused);
+    json_.key("skipped").value(skipped);
+    json_.key("cache").beginObject();
+    json_.key("hits").value(cache_hits);
+    json_.key("misses").value(cache_misses);
+    json_.key("evictions").value(cache_evictions);
+    json_.key("bytes").value(cache_bytes);
+    json_.key("byte_budget").value(cache_byte_budget);
+    json_.endObject();
+    json_.endObject();
+}
+
+void
 ResultSink::beginTables()
 {
     json_.key("tables").beginArray();

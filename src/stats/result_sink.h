@@ -43,8 +43,14 @@ class ResultSink
   public:
     /** Schema identifier stamped into every document. */
     static constexpr const char *kSchemaName = "grit-results";
-    /** Bump on any backwards-incompatible layout change. */
-    static constexpr unsigned kSchemaVersion = 1;
+    /**
+     * Bump on any backwards-incompatible layout change. Version 2 is a
+     * purely additive revision of version 1: optional per-run
+     * "partial"/"error" fields (watchdog-truncated runs whose counters
+     * were salvaged) plus optional top-level "failures" (quarantined
+     * runs manifest) and "sweep" (execution statistics) sections.
+     */
+    static constexpr unsigned kSchemaVersion = 2;
 
     explicit ResultSink(std::ostream &os) : json_(os) {}
 
@@ -79,6 +85,37 @@ class ResultSink
      */
     void writeTimeline(const IntervalSampler &sampler,
                        const std::vector<const char *> &key_names);
+
+    /**
+     * v2: flag the open run as truncated ("partial": true) and record
+     * the structured diagnostic that truncated it. Only emitted for
+     * salvaged runs, so complete runs serialize exactly as in v1.
+     */
+    void writePartial(std::string_view code, std::string_view message,
+                      std::string_view context);
+
+    /** v2: open/close the optional "failures" manifest array. */
+    void beginFailures();
+    void endFailures();
+
+    /** One quarantined run in the "failures" manifest. */
+    void writeFailure(std::string_view row, std::string_view label,
+                      std::string_view fingerprint, std::string_view code,
+                      std::string_view message, std::string_view context,
+                      unsigned attempts, bool salvaged);
+
+    /**
+     * v2: the optional "sweep" execution-statistics object. Opt-in
+     * (--sweep-stats) because reuse/cache numbers legitimately differ
+     * between a fresh and a resumed sweep, and default documents must
+     * stay byte-identical.
+     */
+    void writeSweepStats(std::uint64_t executed, std::uint64_t reused,
+                         std::uint64_t skipped, std::uint64_t cache_hits,
+                         std::uint64_t cache_misses,
+                         std::uint64_t cache_evictions,
+                         std::uint64_t cache_bytes,
+                         std::uint64_t cache_byte_budget);
 
     void beginTables();
     void endTables();

@@ -17,6 +17,15 @@ mix(std::uint64_t h, std::uint64_t v)
 
 }  // namespace
 
+std::uint64_t
+workloadBytes(const Workload &workload)
+{
+    std::uint64_t bytes = sizeof(Workload);
+    for (const GpuTrace &trace : workload.traces)
+        bytes += trace.capacity() * sizeof(Access);
+    return bytes;
+}
+
 std::size_t
 TraceCache::KeyHash::operator()(const Key &key) const
 {
@@ -33,25 +42,40 @@ TraceCache::get(AppId app, const WorkloadParams &params)
 {
     const Key key{app, params};
     std::promise<WorkloadHandle> promise;
-    Slot slot;
+    std::shared_future<WorkloadHandle> slot;
     bool generate = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = map_.find(key);
         if (it == map_.end()) {
             slot = promise.get_future().share();
-            map_.emplace(key, slot);
+            Entry entry;
+            entry.slot = slot;
+            entry.lastUse = ++tick_;
+            map_.emplace(key, std::move(entry));
             generate = true;
         } else {
-            slot = it->second;
+            slot = it->second.slot;
+            it->second.lastUse = ++tick_;
         }
     }
 
     if (generate) {
         misses_.fetch_add(1);
         try {
-            promise.set_value(
-                std::make_shared<const Workload>(makeWorkload(app, params)));
+            auto handle = std::make_shared<const Workload>(
+                makeWorkload(app, params));
+            promise.set_value(handle);
+            std::lock_guard<std::mutex> lock(mu_);
+            // The entry may already be gone (clear() raced us); only
+            // account for it while it is actually cached.
+            auto it = map_.find(key);
+            if (it != map_.end() && !it->second.ready) {
+                it->second.bytes = workloadBytes(*handle);
+                it->second.ready = true;
+                totalBytes_ += it->second.bytes;
+                evictLocked(key);
+            }
         } catch (...) {
             // Don't cache the failure: drop the slot so a later call can
             // retry, and propagate to everyone waiting on this one.
@@ -67,6 +91,54 @@ TraceCache::get(AppId app, const WorkloadParams &params)
     return slot.get();
 }
 
+void
+TraceCache::evictLocked(const Key &protect)
+{
+    while (byteBudget_ != 0 && totalBytes_ > byteBudget_) {
+        auto victim = map_.end();
+        for (auto it = map_.begin(); it != map_.end(); ++it) {
+            if (!it->second.ready || it->first == protect)
+                continue;
+            if (victim == map_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == map_.end())
+            break;  // nothing evictable (in-flight or protected only)
+        totalBytes_ -= victim->second.bytes;
+        evictions_.fetch_add(1);
+        map_.erase(victim);
+    }
+}
+
+void
+TraceCache::setByteBudget(std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    byteBudget_ = bytes;
+    if (byteBudget_ != 0 && totalBytes_ > byteBudget_) {
+        // Shrink immediately; protect nothing (no insertion in flight
+        // from this thread). A protect key that cannot match any entry
+        // keeps evictLocked() generic.
+        const Key none{static_cast<AppId>(~0u), WorkloadParams{}};
+        evictLocked(none);
+    }
+}
+
+std::uint64_t
+TraceCache::byteBudget() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return byteBudget_;
+}
+
+std::uint64_t
+TraceCache::bytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totalBytes_;
+}
+
 std::size_t
 TraceCache::size() const
 {
@@ -79,6 +151,7 @@ TraceCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
+    totalBytes_ = 0;
 }
 
 }  // namespace grit::workload

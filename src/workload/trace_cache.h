@@ -8,6 +8,14 @@
  * worker threads, since a Workload is immutable after generation. The
  * cache is thread-safe: concurrent requests for the same key block on a
  * single generation instead of racing to duplicate it.
+ *
+ * Memory is bounded: an optional byte budget (setByteBudget, or the
+ * GRIT_TRACE_CACHE_BYTES environment variable via the experiment
+ * engine) evicts least-recently-used entries once the resident trace
+ * bytes exceed it. Eviction only drops the cache's reference —
+ * outstanding WorkloadHandles keep their trace alive, so running
+ * simulators never dangle; a later get() for an evicted key simply
+ * regenerates it.
  */
 
 #ifndef GRIT_WORKLOAD_TRACE_CACHE_H_
@@ -28,12 +36,17 @@ namespace grit::workload {
 /** Handle to a cached, immutable workload trace. */
 using WorkloadHandle = std::shared_ptr<const Workload>;
 
+/** Approximate resident bytes of @p workload (traces dominate). */
+std::uint64_t workloadBytes(const Workload &workload);
+
 /**
- * Thread-safe cache of makeWorkload results keyed by (AppId, params).
+ * Thread-safe, byte-budgeted LRU cache of makeWorkload results keyed
+ * by (AppId, params).
  *
  * The first get() for a key generates the trace; concurrent get()s for
  * the same key wait for that generation and share the result. Handles
- * keep the trace alive after clear(), so callers never dangle.
+ * keep the trace alive after clear() or eviction, so callers never
+ * dangle.
  */
 class TraceCache
 {
@@ -44,6 +57,23 @@ class TraceCache
 
     /** Fetch (generating on miss) the trace for @p app under @p params. */
     WorkloadHandle get(AppId app, const WorkloadParams &params);
+
+    /**
+     * Cap resident trace bytes; LRU entries are evicted beyond it.
+     * 0 (the default) disables the cap. The entry being inserted is
+     * never evicted by its own insertion, so a single oversized trace
+     * still caches (and is reclaimed by the next insertion).
+     */
+    void setByteBudget(std::uint64_t bytes);
+
+    /** Current byte budget (0 = unbounded). */
+    std::uint64_t byteBudget() const;
+
+    /** Resident bytes of fully generated cached traces. */
+    std::uint64_t bytes() const;
+
+    /** Entries dropped by the byte budget. */
+    std::uint64_t evictions() const { return evictions_.load(); }
 
     /** Requests served from an already-generated (or in-flight) entry. */
     std::uint64_t hits() const { return hits_.load(); }
@@ -70,12 +100,25 @@ class TraceCache
         std::size_t operator()(const Key &key) const;
     };
 
-    using Slot = std::shared_future<WorkloadHandle>;
+    struct Entry
+    {
+        std::shared_future<WorkloadHandle> slot;
+        std::uint64_t bytes = 0;    //!< known once ready
+        std::uint64_t lastUse = 0;  //!< LRU tick
+        bool ready = false;         //!< generation finished
+    };
+
+    /** Evict LRU ready entries past the budget; @p protect survives. */
+    void evictLocked(const Key &protect);
 
     mutable std::mutex mu_;
-    std::unordered_map<Key, Slot, KeyHash> map_;
+    std::unordered_map<Key, Entry, KeyHash> map_;
+    std::uint64_t byteBudget_ = 0;
+    std::uint64_t totalBytes_ = 0;
+    std::uint64_t tick_ = 0;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace grit::workload

@@ -1,0 +1,62 @@
+# Kill-and-resume smoke for resilient sweeps: run a reference sweep,
+# kill -9 a journaled sweep mid-flight, resume it, and require the
+# resumed JSON export to be byte-identical to the reference. Usage:
+#   cmake -DBIN=<sweep binary> [-DARGS="<extra flags>"] -DWORKDIR=<dir> \
+#         -P resume_check.cmake
+if(NOT DEFINED BIN OR NOT DEFINED WORKDIR)
+    message(FATAL_ERROR "resume_check.cmake needs -DBIN and -DWORKDIR")
+endif()
+if(DEFINED ARGS)
+    separate_arguments(extra_args UNIX_COMMAND "${ARGS}")
+else()
+    set(extra_args "")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(ref "${WORKDIR}/reference.json")
+set(res "${WORKDIR}/resumed.json")
+set(journal "${WORKDIR}/journal.jsonl")
+file(REMOVE "${ref}" "${res}" "${journal}")
+
+# 1. Uninterrupted reference sweep.
+execute_process(COMMAND "${BIN}" ${extra_args} --json "${ref}"
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+    message(FATAL_ERROR "reference sweep failed (${code}):\n${err}")
+endif()
+
+# 2. Journaled sweep killed mid-flight with SIGKILL (no chance to clean
+#    up — the journal's per-line flush is all that survives). If the
+#    sweep outruns the timeout the journal is simply complete; resume
+#    then replays everything, which the comparison still validates.
+find_program(timeout_bin NAMES timeout gtimeout)
+if(timeout_bin)
+    execute_process(COMMAND "${timeout_bin}" -s KILL 1
+                            "${BIN}" ${extra_args} --journal "${journal}"
+                    RESULT_VARIABLE kill_code
+                    OUTPUT_QUIET ERROR_QUIET)
+    message(STATUS "journaled sweep exited ${kill_code} (137 = SIGKILL)")
+else()
+    # No timeout(1): seed a complete journal instead of a torn one.
+    execute_process(COMMAND "${BIN}" ${extra_args} --journal "${journal}"
+                    RESULT_VARIABLE kill_code
+                    OUTPUT_QUIET ERROR_QUIET)
+endif()
+
+# 3. Resume and merge.
+execute_process(COMMAND "${BIN}" ${extra_args} --journal "${journal}" --resume
+                        --json "${res}"
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+    message(FATAL_ERROR "resumed sweep failed (${code}):\n${err}")
+endif()
+
+# 4. Bit-identity.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${ref}" "${res}"
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "resumed sweep output differs from the uninterrupted "
+            "reference:\n  ${ref}\n  ${res}")
+endif()
+message(STATUS "resume merge is byte-identical to the reference sweep")

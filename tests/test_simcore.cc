@@ -142,6 +142,55 @@ TEST(EventQueue, CleanDrainLeavesNoDiagnostic)
     EXPECT_FALSE(q.diagnostic().has_value());
 }
 
+TEST(EventQueue, CancelCheckStopsCooperativelyBetweenEvents)
+{
+    EventQueue q;
+    int executed = 0;
+    std::function<void()> chain = [&] {
+        ++executed;
+        q.schedule(q.now() + 1, chain, "chain");
+    };
+    q.schedule(0, chain, "chain");
+    // Poll every event; trip after the third execution. No event is
+    // interrupted mid-flight, so executed stays exactly at the trip.
+    q.setCancelCheck(
+        [&]() -> std::optional<SimError> {
+            if (executed >= 3)
+                return SimError(ErrorCode::kDeadline, "deadline reached");
+            return std::nullopt;
+        },
+        /*interval_events=*/1);
+    q.run();
+    EXPECT_TRUE(q.cancelled());
+    EXPECT_FALSE(q.limitHit());
+    EXPECT_EQ(executed, 3);
+    ASSERT_TRUE(q.diagnostic().has_value());
+    EXPECT_EQ(q.diagnostic()->code, ErrorCode::kDeadline);
+}
+
+TEST(EventQueue, CancelCheckPolledBeforeFirstEvent)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(1, [&] { ran = true; }, "never");
+    q.setCancelCheck([]() -> std::optional<SimError> {
+        return SimError(ErrorCode::kInterrupted, "signal 2");
+    });
+    q.run();
+    EXPECT_TRUE(q.cancelled());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, EmptyCancelCheckIsInert)
+{
+    EventQueue q;
+    q.setCancelCheck({});
+    q.schedule(1, [] {}, "only");
+    q.run();
+    EXPECT_FALSE(q.cancelled());
+    EXPECT_FALSE(q.diagnostic().has_value());
+}
+
 TEST(EventQueue, WatchdogTripsOnSameCycleStorm)
 {
     EventQueue q;

@@ -162,7 +162,7 @@ TEST(ResultSink, WritesVersionedEnvelope)
     sink.endRuns();
     sink.end();
     EXPECT_EQ(os.str(),
-              R"({"schema":"grit-results","version":1,)"
+              R"({"schema":"grit-results","version":2,)"
               R"("generator":"test_gen","title":"a title",)"
               R"("params":{"footprint_divisor":256,"intensity":0.5,)"
               R"("seed":42},"runs":[{"row":"BFS","label":"grit",)"
