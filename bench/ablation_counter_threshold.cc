@@ -13,7 +13,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -32,8 +32,8 @@ run(int argc, char **argv)
         configs.push_back({"grit-" + std::to_string(threshold), grit_cfg});
     }
 
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Ablation: access-counter threshold (Table I default "
                  "256; speedup over on-touch)\n\n";
@@ -42,7 +42,7 @@ run(int argc, char **argv)
         {"ac-64", "ac-256", "ac-1024", "grit-64", "grit-256",
          "grit-1024"},
         "speedup, higher is better");
-    grit::bench::maybeWriteJson(argc, argv, "ablation_counter_threshold",
+    grit::bench::maybeWriteJson(args, "ablation_counter_threshold",
                                 "Ablation: access-counter threshold",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -51,5 +51,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("ablation_counter_threshold",
+                                "Ablation: access-counter threshold");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

@@ -19,7 +19,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -39,8 +39,8 @@ run(int argc, char **argv)
         {"grit-nap-no-cache", grit_config(false, true)},
     };
 
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Ablation: Neighboring-Aware Prediction contribution "
                  "(speedup over on-touch)\n\n";
@@ -57,7 +57,7 @@ run(int argc, char **argv)
         table.addRow({app, harness::TextTable::pct(100.0 * (gain - 1.0))});
     }
     table.print(std::cout);
-    grit::bench::maybeWriteJson(argc, argv, "ablation_group_size",
+    grit::bench::maybeWriteJson(args, "ablation_group_size",
                                 "Ablation: Neighboring-Aware Prediction contribution",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -66,5 +66,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("ablation_group_size",
+                                "Ablation: Neighboring-Aware Prediction contribution");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

@@ -1,15 +1,20 @@
 /**
  * @file
- * Shared helpers for the figure-reproduction bench binaries: standard
- * configurations, policy sets, result formatting, the `--jobs` worker
- * knob, the `--json <path>` / `--trace <path>` structured-output flags
- * (docs/METRICS.md documents the emitted schema), and the resilient
- * sweep controls (`--journal <path>`, `--resume`, `--deadline <sec>`,
- * `--event-budget <n>`, `--retries <n>`, `--sweep-stats`; workflow in
- * EXPERIMENTS.md).
+ * Shared helpers for the figure-reproduction bench binaries.
+ *
+ * Every binary owns a BenchArgs — the declarative harness::Cli flag
+ * registry pre-loaded with the standard flag set (`--jobs`, `--json`,
+ * `--trace`, `--chaos`, `--audit`, and the resilient-sweep controls
+ * `--journal`, `--resume`, `--deadline`, `--event-budget`, `--retries`,
+ * `--sweep-stats`; docs/METRICS.md documents the emitted schema and
+ * EXPERIMENTS.md the sweep workflow) — registers any binary-specific
+ * flags or positionals on args.cli, and hands control to guardedMain,
+ * which parses the command line, handles `--help`, and enforces the
+ * exit-code contract. Unknown flags are structured usage errors now,
+ * not silently ignored tokens.
  *
  * Exit-code contract (checked by the "robustness" ctest cases):
- *   0        - full sweep, every run completed
+ *   0        - full sweep, every run completed (also: --help)
  *   2        - structured configuration/usage error (SimException)
  *   3        - partial sweep: at least one run was quarantined
  *   128+sig  - the sweep drained early after SIGINT/SIGTERM
@@ -22,14 +27,14 @@
 #include <atomic>
 #include <csignal>
 #include <cstdlib>
-#include <iterator>
-#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "harness/cli.h"
 #include "harness/config.h"
 #include "harness/experiment.h"
 #include "harness/experiment_engine.h"
@@ -103,115 +108,89 @@ benchParams()
 }
 
 /**
- * Worker count from the command line: `--jobs N`, `--jobs=N`, or `-j N`.
- * Returns 0 (auto: GRIT_JOBS env, else all cores) when absent.
+ * The standard bench command line: a harness::Cli registry pre-loaded
+ * with the flags every bench binary shares, plus the variables they
+ * parse into. Binaries register extra flags and positionals on `cli`
+ * before handing the whole object to guardedMain, which parses argv
+ * and validates cross-flag rules inside the structured-error guard.
  */
-inline unsigned
-jobsFromArgs(int argc, char **argv)
+struct BenchArgs
 {
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strncmp(arg, "--jobs=", 7) == 0)
-            return static_cast<unsigned>(
-                std::strtoul(arg + 7, nullptr, 10));
-        if ((std::strcmp(arg, "--jobs") == 0 ||
-             std::strcmp(arg, "-j") == 0) &&
-            i + 1 < argc)
-            return static_cast<unsigned>(
-                std::strtoul(argv[i + 1], nullptr, 10));
+    harness::Cli cli;
+
+    unsigned jobs = 0;              //!< --jobs/-j (0 = GRIT_JOBS/auto)
+    std::string jsonPath;           //!< --json <path> ("-" = stdout)
+    std::string tracePath;          //!< --trace <path> ("-" = stdout)
+    std::string chaosSpec;          //!< --chaos <spec>
+    bool audit = false;             //!< --audit
+    std::string journalPath;        //!< --journal <path>
+    bool resume = false;            //!< --resume (with --journal)
+    double deadlineSec = 0.0;       //!< --deadline <seconds>
+    std::uint64_t eventBudget = 0;  //!< --event-budget <events>
+    unsigned retries = 0;           //!< --retries <n> (transient only)
+    bool sweepStats = false;        //!< --sweep-stats ("sweep" section)
+
+    BenchArgs(const std::string &program, const std::string &title)
+        : cli(program, title)
+    {
+        cli.flag("--jobs", &jobs, "N",
+                 "parallel sweep workers (0 = GRIT_JOBS env, else all "
+                 "cores)",
+                 "-j");
+        cli.flag("--json", &jsonPath, "PATH",
+                 "write the grit-results JSON document (\"-\" = stdout)");
+        cli.flag("--trace", &tracePath, "PATH",
+                 "write a Chrome trace-event timeline (\"-\" = stdout)");
+        cli.flag("--chaos", &chaosSpec, "SPEC",
+                 "deterministic fault injection (docs/ROBUSTNESS.md)");
+        cli.flag("--audit", &audit,
+                 "run cross-layer invariant audits during simulation");
+        cli.flag("--journal", &journalPath, "PATH",
+                 "crash-safe sweep journal for --resume");
+        cli.flag("--resume", &resume,
+                 "reuse finished cells from the --journal file");
+        cli.flag("--deadline", &deadlineSec, "SEC",
+                 "wall-clock budget per run; over-budget runs are "
+                 "quarantined");
+        cli.flag("--event-budget", &eventBudget, "N",
+                 "event budget per run; over-budget runs are "
+                 "quarantined");
+        cli.flag("--retries", &retries, "N",
+                 "re-execute quarantined runs up to N times");
+        cli.flag("--sweep-stats", &sweepStats,
+                 "include the \"sweep\" section in --json output");
     }
-    return 0;
-}
 
-/** Value of `--flag <v>` or `--flag=<v>`; empty string when absent. */
-inline std::string
-argValue(int argc, char **argv, const char *flag)
-{
-    const std::size_t len = std::strlen(flag);
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=')
-            return std::string(arg + len + 1);
-        if (std::strcmp(arg, flag) == 0 && i + 1 < argc)
-            return std::string(argv[i + 1]);
+    /**
+     * Cross-flag rules, enforced after parse(). Throws kBadArgument
+     * (exit code 2 via guardedMain) on unusable combinations.
+     */
+    void
+    validate() const
+    {
+        if (resume && journalPath.empty())
+            throw sim::SimException(
+                sim::ErrorCode::kBadArgument,
+                "--resume requires --journal <path>");
+        if (deadlineSec < 0.0)
+            throw sim::SimException(
+                sim::ErrorCode::kBadArgument,
+                "--deadline needs a positive number of seconds");
     }
-    return std::string();
-}
-
-/** True when the boolean @p flag appears anywhere on the line. */
-inline bool
-hasFlag(int argc, char **argv, const char *flag)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], flag) == 0)
-            return true;
-    }
-    return false;
-}
-
-/**
- * Apply `--chaos <spec>` and `--audit` to @p config. A malformed spec
- * throws sim::SimException (kChaosSpec) — call from inside guardedMain
- * so the user sees the structured diagnostic, not a crash.
- */
-inline void
-applyChaosArgs(int argc, char **argv, harness::SystemConfig &config)
-{
-    const std::string spec = argValue(argc, argv, "--chaos");
-    if (!spec.empty())
-        config.chaos = sim::ChaosSpec::parse(spec);
-    if (hasFlag(argc, argv, "--audit"))
-        config.audit = true;
-}
-
-/** Resilient-sweep CLI flags (shared by every bench binary). */
-struct SweepCli
-{
-    std::string journalPath;       //!< --journal <path>
-    bool resume = false;           //!< --resume (with --journal)
-    double deadlineSec = 0.0;      //!< --deadline <seconds>
-    std::uint64_t eventBudget = 0; //!< --event-budget <events>
-    unsigned retries = 0;          //!< --retries <n> (transient only)
-    bool sweepStats = false;       //!< --sweep-stats ("sweep" section)
 };
 
 /**
- * Parse the resilience flags. Throws sim::SimException (kBadArgument)
- * on unusable values (--resume without --journal, negative deadline).
+ * Apply `--chaos <spec>` and `--audit` to @p config. A malformed spec
+ * throws sim::SimException (kChaosSpec) — guardedMain shows the user
+ * the structured diagnostic, not a crash.
  */
-inline SweepCli
-sweepCliFromArgs(int argc, char **argv)
+inline void
+applyChaos(const BenchArgs &args, harness::SystemConfig &config)
 {
-    SweepCli cli;
-    cli.journalPath = argValue(argc, argv, "--journal");
-    cli.resume = hasFlag(argc, argv, "--resume");
-    if (cli.resume && cli.journalPath.empty())
-        throw sim::SimException(sim::ErrorCode::kBadArgument,
-                                "--resume requires --journal <path>");
-    const std::string deadline = argValue(argc, argv, "--deadline");
-    if (!deadline.empty()) {
-        cli.deadlineSec = std::strtod(deadline.c_str(), nullptr);
-        if (!(cli.deadlineSec > 0.0))
-            throw sim::SimException(
-                sim::ErrorCode::kBadArgument,
-                "--deadline needs a positive number of seconds, got \"" +
-                    deadline + "\"");
-    }
-    const std::string budget = argValue(argc, argv, "--event-budget");
-    if (!budget.empty()) {
-        cli.eventBudget = std::strtoull(budget.c_str(), nullptr, 10);
-        if (cli.eventBudget == 0)
-            throw sim::SimException(
-                sim::ErrorCode::kBadArgument,
-                "--event-budget needs a positive event count, got \"" +
-                    budget + "\"");
-    }
-    const std::string retries = argValue(argc, argv, "--retries");
-    if (!retries.empty())
-        cli.retries = static_cast<unsigned>(
-            std::strtoul(retries.c_str(), nullptr, 10));
-    cli.sweepStats = hasFlag(argc, argv, "--sweep-stats");
-    return cli;
+    if (!args.chaosSpec.empty())
+        config.chaos = sim::ChaosSpec::parse(args.chaosSpec);
+    if (args.audit)
+        config.audit = true;
 }
 
 /**
@@ -235,17 +214,6 @@ sweepReport()
     return report;
 }
 
-/** Program name for journal headers ("fig17_overall"). */
-inline std::string
-programName(int argc, char **argv)
-{
-    if (argc < 1 || argv == nullptr || argv[0] == nullptr)
-        return "bench";
-    const std::string path = argv[0];
-    const std::size_t slash = path.find_last_of('/');
-    return slash == std::string::npos ? path : path.substr(slash + 1);
-}
-
 /**
  * Execute @p plan resiliently: journal/resume, per-run watchdogs, and
  * failure quarantine per the CLI flags; the cancel flag is always
@@ -255,27 +223,26 @@ programName(int argc, char **argv)
  */
 inline harness::ResultMatrix
 runPlanResilient(harness::ExperimentEngine &engine,
-                 const harness::RunPlan &plan, int argc, char **argv)
+                 const harness::RunPlan &plan, const BenchArgs &args)
 {
-    const SweepCli cli = sweepCliFromArgs(argc, argv);
     harness::ResilientOptions options;
-    options.wallDeadlineSec = cli.deadlineSec;
-    options.eventBudget = cli.eventBudget;
-    options.retries = cli.retries;
+    options.wallDeadlineSec = args.deadlineSec;
+    options.eventBudget = args.eventBudget;
+    options.retries = args.retries;
     options.cancelFlag = &cancelFlag();
     harness::RunJournal journal;
-    if (!cli.journalPath.empty()) {
+    if (!args.journalPath.empty()) {
         // A binary that sweeps several plans (fig22_24 runs one per
         // GPU count) shares one journal; re-opens within the process
         // must append, not truncate away the earlier sweeps.
         static std::vector<std::string> opened;
         const bool reopened =
-            std::find(opened.begin(), opened.end(), cli.journalPath) !=
+            std::find(opened.begin(), opened.end(), args.journalPath) !=
             opened.end();
-        journal.open(cli.journalPath, programName(argc, argv),
-                     cli.resume || reopened);
+        journal.open(args.journalPath, args.cli.program(),
+                     args.resume || reopened);
         if (!reopened)
-            opened.push_back(cli.journalPath);
+            opened.push_back(args.journalPath);
         options.journal = &journal;
     }
 
@@ -285,7 +252,7 @@ runPlanResilient(harness::ExperimentEngine &engine,
     // stats, and exit code cover all of them.
     SweepReport &report = sweepReport();
     report.active = true;
-    report.sweepStats |= cli.sweepStats;
+    report.sweepStats |= args.sweepStats;
     report.cancelled |= sweep.cancelled;
     const std::size_t firstNew = report.failures.size();
     report.failures.insert(
@@ -318,9 +285,11 @@ runPlanResilient(harness::ExperimentEngine &engine,
 }
 
 /**
- * Run @p body, converting structured simulator errors (bad config,
- * malformed chaos spec, tripped watchdog) into an actionable stderr
- * message and exit code 2 instead of an abort. Installs the
+ * Parse the command line into @p args, then run @p body, converting
+ * structured simulator errors (unknown flag, bad config, malformed
+ * chaos spec, tripped watchdog) into an actionable stderr message and
+ * exit code 2 instead of an abort. `--help` prints the generated flag
+ * summary and exits 0 without running the body. Installs the
  * SIGINT/SIGTERM drain handlers, and maps a clean return onto the
  * exit-code contract: 128+signal when the sweep drained early, 3 when
  * runs were quarantined, the body's own code otherwise. Every bench
@@ -328,10 +297,13 @@ runPlanResilient(harness::ExperimentEngine &engine,
  */
 template <typename Body>
 int
-guardedMain(Body &&body)
+guardedMain(int argc, char **argv, BenchArgs &args, Body &&body)
 {
     installSignalHandlers();
     try {
+        if (!args.cli.parse(argc, argv))
+            return kExitFull;  // --help
+        args.validate();
         int code = body();
         if (code == 0) {
             if (cancelSignal() != 0)
@@ -347,20 +319,6 @@ guardedMain(Body &&body)
         std::cerr << "error [internal]: " << e.what() << "\n";
         return kExitUsage;
     }
-}
-
-/** Path of `--json <path>`; empty when structured output is off. */
-inline std::string
-jsonPathFromArgs(int argc, char **argv)
-{
-    return argValue(argc, argv, "--json");
-}
-
-/** Path of `--trace <path>`; empty when timeline tracing is off. */
-inline std::string
-tracePathFromArgs(int argc, char **argv)
-{
-    return argValue(argc, argv, "--trace");
 }
 
 /**
@@ -388,15 +346,14 @@ openOutput(const std::string &path)
  * the classic document, so resumed and uninterrupted sweeps diff clean.
  */
 inline void
-maybeWriteJson(int argc, char **argv, const std::string &generator,
+maybeWriteJson(const BenchArgs &args, const std::string &generator,
                const std::string &title,
                const workload::WorkloadParams &params,
                const harness::ResultMatrix &matrix)
 {
-    const std::string path = jsonPathFromArgs(argc, argv);
-    if (path.empty())
+    if (args.jsonPath.empty())
         return;
-    auto file = openOutput(path);
+    auto file = openOutput(args.jsonPath);
     const SweepReport &report = sweepReport();
     if (report.active)
         harness::writeSweepResult(
@@ -407,24 +364,23 @@ maybeWriteJson(int argc, char **argv, const std::string &generator,
         harness::writeResultMatrix(file ? *file : std::cout, generator,
                                    title, params, matrix);
     if (file)
-        std::cerr << "results: " << path << "\n";
+        std::cerr << "results: " << args.jsonPath << "\n";
 }
 
 /** Tables-section variant for the characterization binaries. */
 inline void
-maybeWriteJsonTables(int argc, char **argv, const std::string &generator,
+maybeWriteJsonTables(const BenchArgs &args, const std::string &generator,
                      const std::string &title,
                      const workload::WorkloadParams &params,
                      const std::vector<harness::NamedTable> &tables)
 {
-    const std::string path = jsonPathFromArgs(argc, argv);
-    if (path.empty())
+    if (args.jsonPath.empty())
         return;
-    auto file = openOutput(path);
+    auto file = openOutput(args.jsonPath);
     harness::writeResultTables(file ? *file : std::cout, generator, title,
                                params, tables);
     if (file)
-        std::cerr << "results: " << path << "\n";
+        std::cerr << "results: " << args.jsonPath << "\n";
 }
 
 /**
@@ -433,25 +389,24 @@ maybeWriteJsonTables(int argc, char **argv, const std::string &generator,
  * recorder must not be shared across parallel simulators).
  */
 inline std::unique_ptr<sim::TraceRecorder>
-traceFromArgs(int argc, char **argv)
+makeTrace(const BenchArgs &args)
 {
-    if (tracePathFromArgs(argc, argv).empty())
+    if (args.tracePath.empty())
         return nullptr;
     return std::make_unique<sim::TraceRecorder>();
 }
 
 /** Write @p trace as Chrome trace-event JSON to the `--trace` path. */
 inline void
-maybeWriteTrace(int argc, char **argv, const sim::TraceRecorder *trace)
+maybeWriteTrace(const BenchArgs &args, const sim::TraceRecorder *trace)
 {
     if (trace == nullptr)
         return;
-    const std::string path = tracePathFromArgs(argc, argv);
-    auto file = openOutput(path);
+    auto file = openOutput(args.tracePath);
     trace->writeChromeTrace(file ? *file : std::cout);
     (file ? *file : std::cout) << "\n";
     if (file) {
-        std::cerr << "trace: " << path << " (" << trace->size()
+        std::cerr << "trace: " << args.tracePath << " (" << trace->size()
                   << " events";
         if (trace->dropped() > 0)
             std::cerr << ", " << trace->dropped() << " dropped";
@@ -461,10 +416,10 @@ maybeWriteTrace(int argc, char **argv, const sim::TraceRecorder *trace)
 
 /** An ExperimentEngine honoring `--jobs`/`-j` (else GRIT_JOBS/auto). */
 inline harness::ExperimentEngine
-makeEngine(int argc, char **argv)
+makeEngine(const BenchArgs &args)
 {
     harness::ExperimentEngine::Options options;
-    options.jobs = jobsFromArgs(argc, argv);
+    options.jobs = args.jobs;
     return harness::ExperimentEngine(options);
 }
 
@@ -475,14 +430,13 @@ makeEngine(int argc, char **argv)
  * quarantined, and SIGINT/SIGTERM drain gracefully.
  */
 inline harness::ResultMatrix
-runMatrix(const std::vector<workload::AppId> &apps,
-          const std::vector<harness::LabeledConfig> &configs,
-          const workload::WorkloadParams &params, int argc = 0,
-          char **argv = nullptr)
+runSweep(const std::vector<workload::AppId> &apps,
+         const std::vector<harness::LabeledConfig> &configs,
+         const workload::WorkloadParams &params, const BenchArgs &args)
 {
-    auto engine = makeEngine(argc, argv);
+    auto engine = makeEngine(args);
     const auto plan = harness::RunPlan::matrix(apps, configs, params);
-    return runPlanResilient(engine, plan, argc, argv);
+    return runPlanResilient(engine, plan, args);
 }
 
 /** The three uniform schemes the paper compares against. */

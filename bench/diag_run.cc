@@ -4,9 +4,7 @@
  * every metric the simulator produces — cycles, latency breakdown, and
  * the full counter set.
  *
- * Usage: diag_run [APP] [POLICY] [--json <path>] [--trace <path>]
- *                 [--chaos <spec>] [--audit] [--deadline <sec>]
- *                 [--event-budget <n>] [--journal <path>] [--resume]
+ * Usage: diag_run [APP] [POLICY] [flags]   (see --help for the flags)
  *
  * `--json` writes a one-run "grit-results" document (docs/METRICS.md)
  * including the per-interval event timeline; `--trace` writes a Chrome
@@ -24,39 +22,17 @@
  * 2 usage error, 3 quarantined, 128+signal on SIGINT/SIGTERM).
  */
 
-#include <cstring>
 #include <iostream>
-#include <vector>
 
 #include "bench_util.h"
 #include "stats/latency_breakdown.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args, const std::string &appName,
+    const std::string &kindName)
 {
     using namespace grit;
 
-    // Positional args (app, policy) may be interleaved with flags.
-    std::vector<const char *> positional;
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (arg[0] == '-') {
-            // Value-taking flags consume the next arg unless inline;
-            // boolean flags stand alone.
-            if (std::strcmp(arg, "--audit") != 0 &&
-                std::strcmp(arg, "--resume") != 0 &&
-                std::strcmp(arg, "--sweep-stats") != 0 &&
-                std::strchr(arg, '=') == nullptr && i + 1 < argc)
-                ++i;
-            continue;
-        }
-        positional.push_back(arg);
-    }
-
-    const std::string appName =
-        positional.size() > 0 ? positional[0] : "BFS";
-    const std::string kindName =
-        positional.size() > 1 ? positional[1] : "on-touch";
     const auto app = workload::appFromName(appName);
     if (!app.has_value())
         throw sim::SimException(
@@ -78,8 +54,8 @@ run(int argc, char **argv)
     harness::SystemConfig config = harness::makeConfig(*kind, 4);
     config.timeline = true;
     config.timelineIntervalCycles = stats::kDefaultTimelineIntervalCycles;
-    grit::bench::applyChaosArgs(argc, argv, config);
-    const auto trace = grit::bench::traceFromArgs(argc, argv);
+    grit::bench::applyChaos(args, config);
+    const auto trace = grit::bench::makeTrace(args);
     config.trace = trace.get();
 
     // One-cell resilient plan: journal/resume, watchdogs, quarantine,
@@ -88,16 +64,15 @@ run(int argc, char **argv)
     const std::string label = harness::policyKindName(*kind);
     harness::RunPlan plan;
     plan.addCell(row, label, config, *app, params);
-    auto engine = grit::bench::makeEngine(argc, argv);
-    const auto matrix =
-        grit::bench::runPlanResilient(engine, plan, argc, argv);
+    auto engine = grit::bench::makeEngine(args);
+    const auto matrix = grit::bench::runPlanResilient(engine, plan, args);
 
     const auto rowIt = matrix.find(row);
     if (rowIt == matrix.end() ||
         rowIt->second.find(label) == rowIt->second.end()) {
         // Quarantined without salvage; the diagnostic already went to
         // stderr and guardedMain turns the report into exit code 3.
-        grit::bench::maybeWriteJson(argc, argv, "diag_run",
+        grit::bench::maybeWriteJson(args, "diag_run",
                                     "Single-run diagnostic", params,
                                     matrix);
         return 0;
@@ -129,14 +104,27 @@ run(int argc, char **argv)
     for (const auto &[k, v] : r.counters)
         std::cout << k << " " << v << "\n";
 
-    grit::bench::maybeWriteJson(argc, argv, "diag_run",
+    grit::bench::maybeWriteJson(args, "diag_run",
                                 "Single-run diagnostic", params, matrix);
-    grit::bench::maybeWriteTrace(argc, argv, trace.get());
+    grit::bench::maybeWriteTrace(args, trace.get());
     return 0;
 }
 
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("diag_run",
+                                "run one app under one policy and dump "
+                                "every metric");
+    std::string appName = "BFS";
+    std::string kindName = "on-touch";
+    args.cli.positional("APP", &appName,
+                        "Table II application abbreviation (default BFS)",
+                        /*required=*/false);
+    args.cli.positional(
+        "POLICY", &kindName,
+        "placement policy, e.g. grit or on-touch (default on-touch)",
+        /*required=*/false);
+    return grit::bench::guardedMain(
+        argc, argv, args, [&] { return run(args, appName, kindName); });
 }

@@ -10,7 +10,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
@@ -18,8 +18,8 @@ run(int argc, char **argv)
     configs.push_back(
         {"ideal", harness::makeConfig(harness::PolicyKind::kIdeal, 4)});
 
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Figure 1: performance of each scheme relative to "
                  "baseline on-touch migration\n\n";
@@ -27,7 +27,7 @@ run(int argc, char **argv)
         matrix, "on-touch",
         {"on-touch", "access-counter", "duplication", "ideal"},
         "speedup, higher is better");
-    grit::bench::maybeWriteJson(argc, argv, "fig01_motivation",
+    grit::bench::maybeWriteJson(args, "fig01_motivation",
                                 "Figure 1: uniform scheme performance vs on-touch",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -36,5 +36,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig01_motivation",
+                                "Figure 1: uniform scheme performance vs on-touch");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

@@ -13,7 +13,7 @@
 #include "stats/latency_breakdown.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using stats::LatencyKind;
@@ -21,8 +21,7 @@ run(int argc, char **argv)
     const auto params = grit::bench::benchParams();
     const auto configs = grit::bench::uniformConfigs();
     const auto matrix =
-        grit::bench::runMatrix(grit::bench::allApps(), configs, params,
-                               argc, argv);
+        grit::bench::runSweep(grit::bench::allApps(), configs, params, args);
 
     std::cout << "Figure 3: page-handling latency breakdown "
                  "(fraction of the app's on-touch total)\n\n";
@@ -84,7 +83,7 @@ run(int argc, char **argv)
         }
     }
     diag.print(std::cout);
-    grit::bench::maybeWriteJson(argc, argv, "fig03_latency_breakdown",
+    grit::bench::maybeWriteJson(args, "fig03_latency_breakdown",
                                 "Figure 3: page-handling latency breakdown",
                                 params, matrix);
     return 0;
@@ -93,5 +92,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig03_latency_breakdown",
+                                "Figure 3: page-handling latency breakdown");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

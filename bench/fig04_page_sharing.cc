@@ -10,7 +10,7 @@
 #include "workload/characterizer.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
@@ -37,8 +37,7 @@ run(int argc, char **argv)
                  100.0 * c.accessesToShared / accesses, 1)});
     }
     table.print(std::cout);
-    grit::bench::maybeWriteJsonTables(
-        argc, argv, "fig04_page_sharing",
+    grit::bench::maybeWriteJsonTables(args, "fig04_page_sharing",
         "Figure 4: private/shared pages and accesses", params,
         {harness::namedTable("page_sharing", table)});
     return 0;
@@ -47,5 +46,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig04_page_sharing",
+                                "Figure 4: private/shared pages and accesses");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

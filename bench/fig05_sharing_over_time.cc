@@ -52,7 +52,7 @@ report(const grit::workload::Workload &w, unsigned intervals,
 }  // namespace
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
@@ -66,8 +66,7 @@ run(int argc, char **argv)
            kIntervals, tables);
     report(workload::makeWorkload(workload::AppId::kSt, params),
            kIntervals, tables);
-    grit::bench::maybeWriteJsonTables(
-        argc, argv, "fig05_sharing_over_time",
+    grit::bench::maybeWriteJsonTables(args, "fig05_sharing_over_time",
         "Figure 5: shared page access pattern over time", params,
         tables);
     return 0;
@@ -76,5 +75,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig05_sharing_over_time",
+                                "Figure 5: shared page access pattern over time");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

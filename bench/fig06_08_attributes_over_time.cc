@@ -75,7 +75,7 @@ report(const grit::workload::Workload &w,
 }  // namespace
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
@@ -86,8 +86,7 @@ run(int argc, char **argv)
     report(workload::makeWorkload(workload::AppId::kGemm, params),
            tables);
     report(workload::makeWorkload(workload::AppId::kSt, params), tables);
-    grit::bench::maybeWriteJsonTables(
-        argc, argv, "fig06_08_attributes_over_time",
+    grit::bench::maybeWriteJsonTables(args, "fig06_08_attributes_over_time",
         "Figures 6-8: page attributes over time", params, tables);
     return 0;
 }
@@ -95,5 +94,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig06_08_attributes_over_time",
+                                "Figures 6-8: page attributes over time");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

@@ -10,7 +10,7 @@
 #include "workload/characterizer.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
@@ -35,8 +35,7 @@ run(int argc, char **argv)
                  100.0 * c.accessesToReadWrite / accesses, 1)});
     }
     table.print(std::cout);
-    grit::bench::maybeWriteJsonTables(
-        argc, argv, "fig09_read_write_mix",
+    grit::bench::maybeWriteJsonTables(args, "fig09_read_write_mix",
         "Figure 9: accesses to read vs read-write pages", params,
         {harness::namedTable("read_write_mix", table)});
     return 0;
@@ -45,5 +44,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig09_read_write_mix",
+                                "Figure 9: accesses to read vs read-write pages");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

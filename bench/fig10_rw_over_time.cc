@@ -11,7 +11,7 @@
 #include "workload/characterizer.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
@@ -35,8 +35,7 @@ run(int argc, char **argv)
                                        100.0 * writes / total, 1)});
     }
     table.print(std::cout);
-    grit::bench::maybeWriteJsonTables(
-        argc, argv, "fig10_rw_over_time",
+    grit::bench::maybeWriteJsonTables(args, "fig10_rw_over_time",
         "Figure 10: read/write mix over time for one ST page", params,
         {harness::namedTable("rw_over_time", table)});
     return 0;
@@ -45,5 +44,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig10_rw_over_time",
+                                "Figure 10: read/write mix over time for one ST page");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

@@ -11,16 +11,16 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
     auto configs = grit::bench::mainConfigs();
     // `--chaos` / `--audit` apply to every policy in the lineup.
     for (auto &labeled : configs)
-        grit::bench::applyChaosArgs(argc, argv, labeled.config);
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+        grit::bench::applyChaos(args, labeled.config);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Figure 17: GRIT vs uniform schemes (speedup over "
                  "on-touch)\n\n";
@@ -37,7 +37,7 @@ run(int argc, char **argv)
                          harness::meanImprovementPct(matrix, base, "grit"))
                   << "\n";
     }
-    grit::bench::maybeWriteJson(argc, argv, "fig17_overall",
+    grit::bench::maybeWriteJson(args, "fig17_overall",
                                 "Figure 17: GRIT vs uniform schemes",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -46,5 +46,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig17_overall",
+                                "Figure 17: GRIT vs uniform schemes");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

@@ -11,13 +11,13 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
     const auto configs = grit::bench::mainConfigs();
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Figure 18: GPU page faults normalized to on-touch\n\n";
     const std::vector<std::string> labels = {
@@ -65,7 +65,7 @@ run(int argc, char **argv)
                          1)
                   << "% fewer faults\n";
     }
-    grit::bench::maybeWriteJson(argc, argv, "fig18_page_faults",
+    grit::bench::maybeWriteJson(args, "fig18_page_faults",
                                 "Figure 18: GPU page faults per scheme",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -74,5 +74,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig18_page_faults",
+                                "Figure 18: GPU page faults per scheme");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

@@ -12,7 +12,7 @@
 #include "mem/pte.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
@@ -24,11 +24,11 @@ run(int argc, char **argv)
         "grit", harness::makeConfig(harness::PolicyKind::kGrit, 4)};
     for (workload::AppId app : workload::kAllApps)
         plan.add(app, grit_config, params);
-    auto engine = grit::bench::makeEngine(argc, argv);
+    auto engine = grit::bench::makeEngine(args);
     // Resilient path: honors --journal/--resume/--deadline and drains
     // on SIGINT/SIGTERM; quarantined apps show up as "-" rows.
     const auto matrix =
-        grit::bench::runPlanResilient(engine, plan, argc, argv);
+        grit::bench::runPlanResilient(engine, plan, args);
 
     std::cout << "Figure 19: scheme mix of L2-TLB-missing accesses "
                  "under GRIT\n\n";
@@ -67,7 +67,7 @@ run(int argc, char **argv)
                        : "-"});
     }
     table.print(std::cout);
-    grit::bench::maybeWriteJson(argc, argv, "fig19_scheme_breakdown",
+    grit::bench::maybeWriteJson(args, "fig19_scheme_breakdown",
                                 "Figure 19: scheme mix of L2-TLB-missing accesses under GRIT",
                                 params, matrix);
     return 0;
@@ -76,5 +76,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig19_scheme_breakdown",
+                                "Figure 19: scheme mix of L2-TLB-missing accesses under GRIT");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

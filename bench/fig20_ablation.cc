@@ -11,7 +11,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -32,8 +32,8 @@ run(int argc, char **argv)
         {"full-grit", grit_config(true, true)},
     };
 
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Figure 20: GRIT component ablation (speedup over "
                  "on-touch)\n\n";
@@ -51,7 +51,7 @@ run(int argc, char **argv)
                          matrix, "on-touch", label))
                   << "\n";
     }
-    grit::bench::maybeWriteJson(argc, argv, "fig20_ablation",
+    grit::bench::maybeWriteJson(args, "fig20_ablation",
                                 "Figure 20: GRIT component ablation",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -60,5 +60,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig20_ablation",
+                                "Figure 20: GRIT component ablation");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

@@ -10,7 +10,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -25,8 +25,8 @@ run(int argc, char **argv)
             {"grit-t" + std::to_string(threshold), config});
     }
 
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Figure 21: GRIT fault-threshold sensitivity (speedup "
                  "over on-touch)\n\n";
@@ -44,7 +44,7 @@ run(int argc, char **argv)
                          matrix, "on-touch", label))
                   << "\n";
     }
-    grit::bench::maybeWriteJson(argc, argv, "fig21_fault_threshold",
+    grit::bench::maybeWriteJson(args, "fig21_fault_threshold",
                                 "Figure 21: GRIT fault-threshold sensitivity",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -53,5 +53,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig21_fault_threshold",
+                                "Figure 21: GRIT fault-threshold sensitivity");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

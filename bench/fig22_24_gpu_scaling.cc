@@ -11,7 +11,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
@@ -20,8 +20,8 @@ run(int argc, char **argv)
 
     for (unsigned gpus : {2u, 8u, 16u}) {
         const auto configs = grit::bench::mainConfigs(gpus);
-        const auto matrix = grit::bench::runMatrix(
-            grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+        const auto matrix = grit::bench::runSweep(
+            grit::bench::allApps(), configs, grit::bench::benchParams(), args);
         for (const auto &[row, runs] : matrix)
             for (const auto &[label, result] : runs)
                 combined[row][label + "@" + std::to_string(gpus) +
@@ -69,7 +69,7 @@ run(int argc, char **argv)
         }
         std::cout << "\n";
     }
-    grit::bench::maybeWriteJson(argc, argv, "fig22_24_gpu_scaling",
+    grit::bench::maybeWriteJson(args, "fig22_24_gpu_scaling",
                                 "Figures 22-24: GRIT GPU scaling",
                                 grit::bench::benchParams(), combined);
     return 0;
@@ -78,5 +78,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig22_24_gpu_scaling",
+                                "Figures 22-24: GRIT GPU scaling");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

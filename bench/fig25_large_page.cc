@@ -15,7 +15,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -39,8 +39,7 @@ run(int argc, char **argv)
     }
 
     const auto matrix =
-        grit::bench::runMatrix(grit::bench::allApps(), configs, params,
-                               argc, argv);
+        grit::bench::runSweep(grit::bench::allApps(), configs, params, args);
 
     std::cout << "Figure 25: large pages (32 KB model of the paper's "
                  "2 MB study; speedup over large-page on-touch)\n\n";
@@ -55,7 +54,7 @@ run(int argc, char **argv)
               << harness::TextTable::pct(harness::meanImprovementPct(
                      matrix, "on-touch-large", "grit-large"))
               << "\n";
-    grit::bench::maybeWriteJson(argc, argv, "fig25_large_page",
+    grit::bench::maybeWriteJson(args, "fig25_large_page",
                                 "Figure 25: GRIT with large pages",
                                 params, matrix);
     return 0;
@@ -64,5 +63,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig25_large_page",
+                                "Figure 25: GRIT with large pages");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

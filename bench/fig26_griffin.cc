@@ -11,7 +11,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -32,8 +32,8 @@ run(int argc, char **argv)
         {"grit+acud", grit_acud},
     };
 
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Figure 26: Griffin comparison (speedup over "
                  "Griffin-DPC)\n\n";
@@ -56,7 +56,7 @@ run(int argc, char **argv)
               << harness::TextTable::pct(harness::meanImprovementPct(
                      matrix, "grit", "grit+acud"))
               << "\n";
-    grit::bench::maybeWriteJson(argc, argv, "fig26_griffin",
+    grit::bench::maybeWriteJson(args, "fig26_griffin",
                                 "Figure 26: Griffin comparison",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -65,5 +65,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig26_griffin",
+                                "Figure 26: Griffin comparison");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

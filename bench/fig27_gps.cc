@@ -11,7 +11,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -21,8 +21,8 @@ run(int argc, char **argv)
         {"grit", harness::makeConfig(PolicyKind::kGrit, 4)},
     };
 
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Figure 27: GPS comparison (speedup over GPS)\n\n";
     grit::bench::printSpeedupTable(matrix, "gps", {"gps", "grit"},
@@ -55,7 +55,7 @@ run(int argc, char **argv)
                          100.0 * (gps_sum / grit_sum - 1.0))
                   << "\n";
     }
-    grit::bench::maybeWriteJson(argc, argv, "fig27_gps",
+    grit::bench::maybeWriteJson(args, "fig27_gps",
                                 "Figure 27: GPS comparison",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -64,5 +64,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig27_gps",
+                                "Figure 27: GPS comparison");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

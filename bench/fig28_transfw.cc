@@ -12,7 +12,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -26,8 +26,8 @@ run(int argc, char **argv)
         {"grit", harness::makeConfig(PolicyKind::kGrit, 4)},
     };
 
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Figure 28: Griffin-DPC + Trans-FW comparison (speedup "
                  "over the combination)\n\n";
@@ -38,7 +38,7 @@ run(int argc, char **argv)
               << harness::TextTable::pct(harness::meanImprovementPct(
                      matrix, "dpc+transfw", "grit"))
               << "\n";
-    grit::bench::maybeWriteJson(argc, argv, "fig28_transfw",
+    grit::bench::maybeWriteJson(args, "fig28_transfw",
                                 "Figure 28: Griffin-DPC + Trans-FW comparison",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -47,5 +47,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig28_transfw",
+                                "Figure 28: Griffin-DPC + Trans-FW comparison");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

@@ -11,7 +11,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -21,8 +21,8 @@ run(int argc, char **argv)
         {"grit", harness::makeConfig(PolicyKind::kGrit, 4)},
     };
 
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Figure 29: first-touch comparison (speedup over "
                  "first-touch)\n\n";
@@ -33,7 +33,7 @@ run(int argc, char **argv)
               << harness::TextTable::pct(harness::meanImprovementPct(
                      matrix, "first-touch", "grit"))
               << "\n";
-    grit::bench::maybeWriteJson(argc, argv, "fig29_first_touch",
+    grit::bench::maybeWriteJson(args, "fig29_first_touch",
                                 "Figure 29: first-touch comparison",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -42,5 +42,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig29_first_touch",
+                                "Figure 29: first-touch comparison");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

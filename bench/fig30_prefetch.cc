@@ -11,7 +11,7 @@
 #include "bench_util.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -28,8 +28,8 @@ run(int argc, char **argv)
         {"grit+prefetch", grit_pf},
     };
 
-    const auto matrix = grit::bench::runMatrix(
-        grit::bench::allApps(), configs, grit::bench::benchParams(), argc, argv);
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 
     std::cout << "Figure 30: GRIT combined with tree-based neighborhood "
                  "prefetching (speedup over on-touch+prefetch)\n\n";
@@ -41,7 +41,7 @@ run(int argc, char **argv)
               << harness::TextTable::pct(harness::meanImprovementPct(
                      matrix, "on-touch+prefetch", "grit+prefetch"))
               << "\n";
-    grit::bench::maybeWriteJson(argc, argv, "fig30_prefetch",
+    grit::bench::maybeWriteJson(args, "fig30_prefetch",
                                 "Figure 30: GRIT with tree-based prefetching",
                                 grit::bench::benchParams(), matrix);
     return 0;
@@ -50,5 +50,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig30_prefetch",
+                                "Figure 30: GRIT with tree-based prefetching");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

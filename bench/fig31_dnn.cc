@@ -11,7 +11,7 @@
 #include "workload/dnn.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
     using harness::PolicyKind;
@@ -33,11 +33,11 @@ run(int argc, char **argv)
         plan.addWorkload(row, "grit",
                          harness::makeConfig(PolicyKind::kGrit, 4), w);
     }
-    auto engine = grit::bench::makeEngine(argc, argv);
+    auto engine = grit::bench::makeEngine(args);
     // Resilient path: honors --journal/--resume/--deadline and drains
     // on SIGINT/SIGTERM; quarantined models show up as "-" rows.
     const auto matrix =
-        grit::bench::runPlanResilient(engine, plan, argc, argv);
+        grit::bench::runPlanResilient(engine, plan, args);
 
     std::cout << "Figure 31: DNN model parallelism (speedup over "
                  "on-touch; paper: VGG16 +15 %, ResNet18 +18 %)\n\n";
@@ -59,7 +59,7 @@ run(int argc, char **argv)
                       harness::TextTable::pct(100.0 * (speedup - 1.0))});
     }
     table.print(std::cout);
-    grit::bench::maybeWriteJson(argc, argv, "fig31_dnn",
+    grit::bench::maybeWriteJson(args, "fig31_dnn",
                                 "Figure 31: DNN model parallelism",
                                 params, matrix);
     return 0;
@@ -68,5 +68,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("fig31_dnn",
+                                "Figure 31: DNN model parallelism");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

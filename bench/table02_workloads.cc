@@ -11,7 +11,7 @@
 #include "workload/characterizer.h"
 
 static int
-run(int argc, char **argv)
+run(const grit::bench::BenchArgs &args)
 {
     using namespace grit;
 
@@ -35,8 +35,7 @@ run(int argc, char **argv)
                       harness::TextTable::fmt(writes, 1)});
     }
     table.print(std::cout);
-    grit::bench::maybeWriteJsonTables(
-        argc, argv, "table02_workloads", "Table II: applications",
+    grit::bench::maybeWriteJsonTables(args, "table02_workloads", "Table II: applications",
         params, {harness::namedTable("workloads", table)});
     return 0;
 }
@@ -44,5 +43,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return grit::bench::guardedMain([&] { return run(argc, argv); });
+    grit::bench::BenchArgs args("table02_workloads",
+                                "Table II: applications");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
 }

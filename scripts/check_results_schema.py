@@ -27,6 +27,7 @@ ERROR_CODES = [
     "trace-load",
     "event-limit",
     "no-progress",
+    "schedule-in-past",
     "invariant",
     "deadline",
     "interrupted",

@@ -6,8 +6,7 @@ const PaEntry *
 PaTable::find(sim::PageId vpn) const
 {
     ++reads_;
-    auto it = entries_.find(vpn);
-    return it == entries_.end() ? nullptr : &it->second;
+    return entries_.find(vpn);
 }
 
 void
@@ -21,7 +20,7 @@ bool
 PaTable::erase(sim::PageId vpn)
 {
     ++writes_;
-    return entries_.erase(vpn) != 0;
+    return entries_.erase(vpn);
 }
 
 void

@@ -16,8 +16,8 @@
 #define GRIT_CORE_PA_TABLE_H_
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "simcore/flat_map.h"
 #include "simcore/types.h"
 
 namespace grit::core {
@@ -69,7 +69,13 @@ class PaTable
     void clear();
 
   private:
-    std::unordered_map<sim::PageId, PaEntry> entries_;
+    /**
+     * Open-addressing flat map: the PA-Table sits on the fault path
+     * (one find per fault, one put/erase per scheme decision), so its
+     * insert-until-threshold-then-delete churn runs on recycled cells
+     * instead of per-node allocations.
+     */
+    sim::FlatMap<sim::PageId, PaEntry> entries_;
     mutable std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
 };

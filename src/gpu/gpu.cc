@@ -103,14 +103,20 @@ Gpu::fillTlbs(unsigned lane, sim::PageId page)
 {
     assert(lane < config_.lanes);
     l1Tlbs_[lane].insert(page);
+    l1Holders_[page] |= std::uint64_t{1} << (lane & 63);
     l2Tlb_.insert(page);
 }
 
 void
 Gpu::invalidatePage(sim::PageId page)
 {
-    for (auto &tlb : l1Tlbs_)
-        tlb.invalidate(page);
+    if (const std::uint64_t *mask = l1Holders_.find(page)) {
+        for (unsigned lane = 0; lane < config_.lanes; ++lane) {
+            if ((*mask >> (lane & 63)) & 1)
+                l1Tlbs_[lane].invalidate(page);
+        }
+        l1Holders_.erase(page);
+    }
     l2Tlb_.invalidate(page);
     // Large pages span more lines than a set scan is worth; flush.
     if (linesPerPage_ > 1024)
@@ -124,6 +130,7 @@ Gpu::flushForInvalidation(sim::Cycle now, sim::Cycle drain_cycles)
 {
     for (auto &tlb : l1Tlbs_)
         tlb.flushAll();
+    l1Holders_.clear();  // flush emptied every L1; drop the filter
     l2Tlb_.flushAll();
     l2Cache_.flushAll();
     gmmu_.flushWalkCache();

@@ -23,6 +23,7 @@
 #include "mem/dram_manager.h"
 #include "mem/page_table.h"
 #include "mem/tlb.h"
+#include "simcore/flat_map.h"
 #include "simcore/resource.h"
 #include "simcore/types.h"
 
@@ -168,6 +169,16 @@ class Gpu
     unsigned linesPerPage_;
 
     std::vector<mem::Tlb> l1Tlbs_;  //!< one per lane
+    /**
+     * Conservative shootdown filter: page -> bitmask of lanes (mod 64)
+     * whose L1 TLB may hold it. Set on every fill, erased once the page
+     * is shot down, cleared on full flushes. A page absent from the
+     * index is provably in no L1 TLB, so invalidatePage() skips the
+     * per-lane set scans — the dominant cost of remote invalidations —
+     * without changing any TLB state transition. False positives only
+     * cost a scan; false negatives cannot happen.
+     */
+    sim::FlatMap<sim::PageId, std::uint64_t> l1Holders_;
     mem::Tlb l2Tlb_;
     Gmmu gmmu_;
     mem::DataCache l2Cache_;

@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "harness/experiment_engine.h"
-
 namespace grit::harness {
 
 RunResult
@@ -32,21 +30,6 @@ speedupOver(const RunResult &base, const RunResult &test)
             "run?)");
     return static_cast<double>(base.cycles) /
            static_cast<double>(test.cycles);
-}
-
-ResultMatrix
-runMatrix(const std::vector<workload::AppId> &apps,
-          const std::vector<LabeledConfig> &configs,
-          const workload::WorkloadParams &params,
-          const std::function<void(workload::AppId,
-                                   workload::WorkloadParams &)> &mutate)
-{
-    // Compatibility wrapper: a single-threaded ExperimentEngine plan
-    // reproduces the historical serial behaviour exactly.
-    ExperimentEngine::Options options;
-    options.jobs = 1;
-    ExperimentEngine engine(options);
-    return engine.runMatrix(apps, configs, params, mutate);
 }
 
 std::map<std::string, double>

@@ -48,23 +48,6 @@ struct LabeledConfig
 };
 
 /**
- * Run every app in @p apps under every configuration.
- *
- * Compatibility wrapper over ExperimentEngine (experiment_engine.h)
- * with a single-threaded plan; new code — and anything that sweeps more
- * than a couple of cells — should use the engine directly to run cells
- * in parallel and share generated traces.
- *
- * @param mutate optional per-app hook (e.g. to scale input sizes).
- */
-ResultMatrix runMatrix(
-    const std::vector<workload::AppId> &apps,
-    const std::vector<LabeledConfig> &configs,
-    const workload::WorkloadParams &params = {},
-    const std::function<void(workload::AppId, workload::WorkloadParams &)>
-        &mutate = nullptr);
-
-/**
  * The paper's headline metric: mean over apps of
  * (base_time / test_time - 1), in percent.
  */

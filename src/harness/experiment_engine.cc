@@ -108,57 +108,17 @@ ExperimentEngine::applyCacheBudget()
 ResultMatrix
 ExperimentEngine::run(const RunPlan &plan)
 {
-    const std::vector<RunCell> &cells = plan.cells();
-    std::vector<RunResult> results(cells.size());
-    std::vector<std::exception_ptr> errors(cells.size());
-
-    auto runCell = [&](std::size_t i) {
-        try {
-            const RunCell &cell = cells[i];
-            workload::WorkloadHandle w = cell.workload;
-            if (!w) {
-                w = options_.shareTraces
-                        ? cache_.get(cell.app, cell.params)
-                        : std::make_shared<const workload::Workload>(
-                              workload::makeWorkload(cell.app,
-                                                     cell.params));
-            }
-            Simulator simulator(cell.config, *w);
-            results[i] = simulator.run();
-        } catch (...) {
-            errors[i] = std::current_exception();
-        }
-    };
-
-    const std::size_t workers =
-        std::min<std::size_t>(jobs(), std::max<std::size_t>(cells.size(), 1));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < cells.size(); ++i)
-            runCell(i);
-    } else {
-        std::atomic<std::size_t> next{0};
-        {
-            std::vector<std::jthread> pool;
-            pool.reserve(workers);
-            for (std::size_t t = 0; t < workers; ++t) {
-                pool.emplace_back([&] {
-                    for (std::size_t i = next.fetch_add(1);
-                         i < cells.size(); i = next.fetch_add(1))
-                        runCell(i);
-                });
-            }
-        }  // jthread joins here
-    }
-
-    // First failure in plan order wins, independent of thread timing.
-    for (std::size_t i = 0; i < cells.size(); ++i)
-        if (errors[i])
-            std::rethrow_exception(errors[i]);
-
-    ResultMatrix matrix;
-    for (std::size_t i = 0; i < cells.size(); ++i)
-        matrix[cells[i].row][cells[i].label] = std::move(results[i]);
-    return matrix;
+    // Front end over the resilient path (the sole sweep executor):
+    // no journal, no watchdog overrides, no partial salvage. The
+    // manifest is already ordered by plan position, so rethrowing the
+    // first failure reproduces the historical first-in-plan-order-wins
+    // exception behaviour independent of thread timing.
+    ResilientOptions options;
+    options.salvagePartial = false;
+    SweepResult sweep = runResilient(plan, options);
+    if (!sweep.failures.empty())
+        throw sim::SimException(sweep.failures.front().error);
+    return std::move(sweep.matrix);
 }
 
 namespace {
@@ -386,17 +346,6 @@ ExperimentEngine::runResilient(const RunPlan &plan,
     if (cancelRequested())
         sweep.cancelled = true;
     return sweep;
-}
-
-ResultMatrix
-ExperimentEngine::runMatrix(
-    const std::vector<workload::AppId> &apps,
-    const std::vector<LabeledConfig> &configs,
-    const workload::WorkloadParams &params,
-    const std::function<void(workload::AppId, workload::WorkloadParams &)>
-        &mutate)
-{
-    return run(RunPlan::matrix(apps, configs, params, mutate));
 }
 
 }  // namespace grit::harness

@@ -66,7 +66,7 @@ class RunPlan
                          workload::WorkloadHandle workload);
 
     /**
-     * The full app x config cross product runMatrix historically ran.
+     * The full app x config cross product.
      * @param mutate optional per-app hook (e.g. to scale input sizes).
      */
     static RunPlan matrix(
@@ -173,9 +173,11 @@ class ExperimentEngine
 
     /**
      * Execute every cell of @p plan and fold the results into a
-     * ResultMatrix. Deterministic: the matrix is identical for any
-     * worker count. A cell that throws rethrows here (first cell in
-     * plan order wins) after all workers drain.
+     * ResultMatrix. A convenience front end over runResilient() — the
+     * sole sweep executor — with no journal, watchdog overrides, or
+     * partial salvage. Deterministic: the matrix is identical for any
+     * worker count. A quarantined cell rethrows here as SimException
+     * (first cell in plan order wins) after all workers drain.
      */
     ResultMatrix run(const RunPlan &plan);
 
@@ -192,15 +194,6 @@ class ExperimentEngine
      */
     SweepResult runResilient(const RunPlan &plan,
                              const ResilientOptions &options);
-
-    /** Plan + run the classic app x config matrix in one call. */
-    ResultMatrix runMatrix(
-        const std::vector<workload::AppId> &apps,
-        const std::vector<LabeledConfig> &configs,
-        const workload::WorkloadParams &params = {},
-        const std::function<void(workload::AppId,
-                                 workload::WorkloadParams &)> &mutate =
-            nullptr);
 
     /** Worker count run() will use. */
     unsigned jobs() const;

@@ -215,7 +215,9 @@ Simulator::laneStep(unsigned g, unsigned lane)
     if (cur >= decoded_[g].size())
         return;  // this GPU has drained; the lane retires
     const LaneAccess access = decoded_[g][cur++];
-    stats_.counter("sim.accesses").inc();
+    if (accessesCtr_ == nullptr)
+        accessesCtr_ = &stats_.counter("sim.accesses");
+    accessesCtr_->inc();
     beginAccess(g, lane, access, 0);
 }
 
@@ -239,7 +241,9 @@ Simulator::beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
             gpu.fillTlbs(lane, a.page);
         } else {
             loc = driver_->directory().ownerOf(a.page);
-            stats_.counter("sim.stale_replays").inc();
+            if (staleReplaysCtr_ == nullptr)
+                staleReplaysCtr_ = &stats_.counter("sim.stale_replays");
+            staleReplaysCtr_->inc();
         }
         const sim::Cycle done = finishAccess(g, now, loc, a);
         finish_ = std::max(finish_, done);
@@ -339,7 +343,10 @@ Simulator::finishAccess(unsigned g, sim::Cycle ready, sim::GpuId loc,
             t = gpu.remoteSlot(before, flight,
                                /*to_host=*/loc == sim::kHostId);
             breakdown_.add(stats::LatencyKind::kRemoteAccess, t - before);
-            stats_.counter("sim.remote_accesses").inc();
+            if (remoteAccessesCtr_ == nullptr)
+                remoteAccessesCtr_ =
+                    &stats_.counter("sim.remote_accesses");
+            remoteAccessesCtr_->inc();
             if (timeline_)
                 timeline_->record(
                     before,
@@ -428,7 +435,7 @@ Simulator::run(bool salvage_partial)
             });
     }
     queue_.setWatchdog(config_.watchdogSameCycleEvents);
-    queue_.run(limit);
+    const std::uint64_t events_executed = queue_.run(limit);
     std::optional<sim::SimError> truncated;
     if (queue_.diagnostic()) {
         sim::SimError err = *queue_.diagnostic();
@@ -454,6 +461,7 @@ Simulator::run(bool salvage_partial)
         runAudit();
 
     RunResult result;
+    result.eventsExecuted = events_executed;
     result.cycles = finish_;
     result.accesses = stats_.get("sim.accesses");
     result.localFaults = stats_.get("uvm.local_faults");

@@ -81,6 +81,14 @@ struct RunResult
     /** The structured diagnostic that truncated a partial run. */
     std::optional<sim::SimError> error;
 
+    /**
+     * Discrete events the queue executed during the run. A host-side
+     * throughput metric (events/sec in bench/perf_hotpath.cc), not a
+     * simulated quantity: deliberately NOT serialized into the
+     * grit-results schema or the run journal.
+     */
+    std::uint64_t eventsExecuted = 0;
+
     /** Eviction pressure per thousand accesses (GPS comparison). */
     double oversubscriptionRate() const;
 };
@@ -166,6 +174,14 @@ class Simulator
 
     sim::EventQueue queue_;
     stats::StatSet stats_;
+    // Per-access counters resolved on first use and then cached: StatSet
+    // is a string-keyed map with stable nodes, but looking the names up
+    // per access would put string compares on the hot path. Lazy (not
+    // eager) so a counter still only exists once its event occurs —
+    // results serialize the counter set, and it must not change.
+    stats::Counter *accessesCtr_ = nullptr;
+    stats::Counter *staleReplaysCtr_ = nullptr;
+    stats::Counter *remoteAccessesCtr_ = nullptr;
     stats::LatencyBreakdown breakdown_;
     std::unique_ptr<ic::Fabric> fabric_;
     std::vector<std::unique_ptr<gpu::Gpu>> gpus_;

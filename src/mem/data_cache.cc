@@ -1,5 +1,6 @@
 #include "mem/data_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -13,7 +14,9 @@ DataCache::DataCache(std::string name, std::uint64_t size_bytes,
       ways_(ways),
       lineBytes_(line_bytes),
       latency_(latency),
-      entries_(static_cast<std::size_t>(size_bytes / line_bytes))
+      lines_(static_cast<std::size_t>(size_bytes / line_bytes), 0),
+      lastUse_(lines_.size(), 0),
+      genOf_(lines_.size(), 0)
 {
     assert(ways > 0 && line_bytes > 0);
     assert(size_bytes % (line_bytes * ways) == 0);
@@ -24,55 +27,84 @@ bool
 DataCache::access(std::uint64_t line_id)
 {
     ++tick_;
-    Entry *base = &entries_[setIndex(line_id) * ways_];
-    Entry *victim = base;
+    const std::size_t base = std::size_t{setIndex(line_id)} * ways_;
+    std::size_t victim = base;
     for (unsigned w = 0; w < ways_; ++w) {
-        Entry &e = base[w];
-        if (live(e) && e.line == line_id) {
-            e.lastUse = tick_;
+        const std::size_t i = base + w;
+        if (lines_[i] == line_id && live(i)) {
+            lastUse_[i] = tick_;
             ++hits_;
             return true;
         }
-        if (!live(e)) {
-            victim = &e;
+        if (!live(i)) {
+            victim = i;
             continue;
         }
-        if (live(*victim) && e.lastUse < victim->lastUse)
-            victim = &e;
+        if (live(victim) && lastUse_[i] < lastUse_[victim])
+            victim = i;
     }
     ++misses_;
-    victim->line = line_id;
-    victim->lastUse = tick_;
-    victim->gen = gen_;
-    victim->valid = true;
+    lines_[victim] = line_id;
+    lastUse_[victim] = tick_;
+    genOf_[victim] = gen_;
     return false;
 }
 
 bool
 DataCache::contains(std::uint64_t line_id) const
 {
-    const Entry *base = &entries_[setIndex(line_id) * ways_];
+    const std::size_t base = std::size_t{setIndex(line_id)} * ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        const Entry &e = base[w];
-        if (live(e) && e.line == line_id)
+        const std::size_t i = base + w;
+        if (lines_[i] == line_id && live(i))
             return true;
     }
     return false;
 }
 
 void
+DataCache::invalidateSpan(std::size_t begin, std::size_t end,
+                          std::uint64_t first, std::uint64_t count)
+{
+    // Unsigned wrap makes one compare a two-sided range test; the
+    // generation check runs only on the rare in-range candidate. Blocks
+    // of four use a branch-free any-match reduction so the common
+    // no-line-here case costs one branch per block, not per entry.
+    std::size_t i = begin;
+    for (; i + 4 <= end; i += 4) {
+        const bool any = (lines_[i] - first < count) |
+                         (lines_[i + 1] - first < count) |
+                         (lines_[i + 2] - first < count) |
+                         (lines_[i + 3] - first < count);
+        if (!any)
+            continue;
+        for (std::size_t j = i; j < i + 4; ++j)
+            if (lines_[j] - first < count && live(j))
+                genOf_[j] = 0;
+    }
+    for (; i < end; ++i)
+        if (lines_[i] - first < count && live(i))
+            genOf_[i] = 0;
+}
+
+void
 DataCache::invalidatePage(sim::PageId page, unsigned lines_per_page)
 {
     const std::uint64_t first = page * lines_per_page;
-    for (unsigned i = 0; i < lines_per_page; ++i) {
-        const std::uint64_t line_id = first + i;
-        Entry *base = &entries_[setIndex(line_id) * ways_];
-        for (unsigned w = 0; w < ways_; ++w) {
-            Entry &e = base[w];
-            if (live(e) && e.line == line_id)
-                e.valid = false;
-        }
+    // The page's lines occupy lines_per_page consecutive sets starting
+    // at first % sets_ (all sets when the page has more lines than
+    // sets). Sweep those sets as contiguous spans of the SoA arrays.
+    if (lines_per_page >= sets_) {
+        invalidateSpan(0, lines_.size(), first, lines_per_page);
+        return;
     }
+    const std::size_t s0 = setIndex(first);
+    const std::size_t last = std::min<std::size_t>(s0 + lines_per_page,
+                                                   sets_);
+    invalidateSpan(s0 * ways_, last * ways_, first, lines_per_page);
+    if (s0 + lines_per_page > sets_)  // wrapped around the set array
+        invalidateSpan(0, (s0 + lines_per_page - sets_) * ways_, first,
+                       lines_per_page);
 }
 
 void

@@ -7,6 +7,11 @@
  * flushes — issued during migrations and write collapses — are O(1) via
  * a generation counter; per-page invalidations scan only the sets the
  * page's lines map to.
+ *
+ * Storage is structure-of-arrays: a page's lines land in consecutive
+ * sets, so invalidatePage() reduces to a membership test over one or
+ * two contiguous spans of the line-id array — a vectorizable sweep
+ * instead of a per-line, per-way pointer chase over padded structs.
  */
 
 #ifndef GRIT_MEM_DATA_CACHE_H_
@@ -58,29 +63,31 @@ class DataCache
     void resetStats() { hits_ = misses_ = 0; }
 
   private:
-    struct Entry
-    {
-        std::uint64_t line = 0;
-        std::uint64_t lastUse = 0;
-        std::uint64_t gen = 0;
-        bool valid = false;
-    };
-
     unsigned setIndex(std::uint64_t line_id) const
     {
         return static_cast<unsigned>(line_id % sets_);
     }
 
-    bool live(const Entry &e) const { return e.valid && e.gen == gen_; }
+    /** Entry @p i is live: stamped with the current generation. */
+    bool live(std::size_t i) const { return genOf_[i] == gen_; }
+
+    /** Kill every live line in index span [@p begin, @p end) whose id
+     *  falls in [@p first, @p first + @p count). */
+    void invalidateSpan(std::size_t begin, std::size_t end,
+                        std::uint64_t first, std::uint64_t count);
 
     std::string name_;
     unsigned sets_;
     unsigned ways_;
     std::uint64_t lineBytes_;
     sim::Cycle latency_;
-    std::vector<Entry> entries_;
+    // Parallel arrays indexed by set * ways + way. genOf_ doubles as the
+    // valid bit: 0 means never filled, gen_ (always >= 1) means live.
+    std::vector<std::uint64_t> lines_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint64_t> genOf_;
     std::uint64_t tick_ = 0;
-    std::uint64_t gen_ = 0;
+    std::uint64_t gen_ = 1;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

@@ -5,15 +5,13 @@ namespace grit::mem {
 const PteRecord *
 PageTable::find(sim::PageId page) const
 {
-    auto it = entries_.find(page);
-    return it == entries_.end() ? nullptr : &it->second;
+    return entries_.find(page);
 }
 
 PteRecord *
 PageTable::find(sim::PageId page)
 {
-    auto it = entries_.find(page);
-    return it == entries_.end() ? nullptr : &it->second;
+    return entries_.find(page);
 }
 
 bool

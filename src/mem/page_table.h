@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "mem/pte.h"
+#include "simcore/flat_map.h"
 #include "simcore/types.h"
 
 namespace grit::mem {
@@ -99,11 +99,15 @@ class PageTable
     /** Number of entries (valid or annotation-only). */
     std::size_t size() const { return entries_.size(); }
 
-    /** All records (valid or annotation-only), for cross-layer audits. */
-    const std::unordered_map<sim::PageId, PteRecord> &entries() const
-    {
-        return entries_;
-    }
+    /** Entry storage: open-addressing flat map, deterministic order. */
+    using EntryMap = sim::FlatMap<sim::PageId, PteRecord>;
+
+    /**
+     * All records (valid or annotation-only), for cross-layer audits.
+     * Iteration order is deterministic (a pure function of the
+     * operation sequence), so audit output is reproducible.
+     */
+    const EntryMap &entries() const { return entries_; }
 
     /** Number of entries with the valid bit set. */
     std::size_t validCount() const;
@@ -113,7 +117,7 @@ class PageTable
   private:
     PteRecord &obtain(sim::PageId page);
 
-    std::unordered_map<sim::PageId, PteRecord> entries_;
+    EntryMap entries_;
 };
 
 }  // namespace grit::mem

@@ -11,7 +11,9 @@ Tlb::Tlb(std::string name, unsigned entries, unsigned ways,
       sets_(entries / ways),
       ways_(ways),
       latency_(latency),
-      entries_(entries)
+      pages_(entries, 0),
+      lastUse_(entries, 0),
+      genOf_(entries, 0)
 {
     assert(ways > 0 && entries % ways == 0 && "entries must be ways-aligned");
     assert(sets_ > 0);
@@ -27,11 +29,29 @@ bool
 Tlb::lookup(sim::PageId page)
 {
     ++tick_;
-    Entry *base = &entries_[setIndex(page) * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        Entry &e = base[w];
-        if (live(e) && e.page == page) {
-            e.lastUse = tick_;
+    const std::size_t base = std::size_t{setIndex(page)} * ways_;
+    const std::size_t end = base + ways_;
+    // Blocks of four with a branch-free any-match reduction: the miss
+    // path (every way scanned) costs one branch per block. A matching
+    // but generation-dead entry does not hit; keep scanning.
+    std::size_t i = base;
+    for (; i + 4 <= end; i += 4) {
+        const bool any = (pages_[i] == page) | (pages_[i + 1] == page) |
+                         (pages_[i + 2] == page) |
+                         (pages_[i + 3] == page);
+        if (!any)
+            continue;
+        for (std::size_t j = i; j < i + 4; ++j) {
+            if (pages_[j] == page && live(j)) {
+                lastUse_[j] = tick_;
+                ++hits_;
+                return true;
+            }
+        }
+    }
+    for (; i < end; ++i) {
+        if (pages_[i] == page && live(i)) {
+            lastUse_[i] = tick_;
             ++hits_;
             return true;
         }
@@ -44,36 +64,45 @@ void
 Tlb::insert(sim::PageId page)
 {
     ++tick_;
-    Entry *base = &entries_[setIndex(page) * ways_];
-    Entry *victim = base;
+    const std::size_t base = std::size_t{setIndex(page)} * ways_;
+    std::size_t victim = base;
     for (unsigned w = 0; w < ways_; ++w) {
-        Entry &e = base[w];
-        if (live(e) && e.page == page) {
-            e.lastUse = tick_;  // already present
-            return;
-        }
-        if (!live(e)) {
-            victim = &e;  // prefer an invalid slot
+        const std::size_t i = base + w;
+        if (!live(i)) {
+            victim = i;  // prefer an invalid slot
             break;
         }
-        if (e.lastUse < victim->lastUse)
-            victim = &e;
+        if (pages_[i] == page) {
+            lastUse_[i] = tick_;  // already present
+            return;
+        }
+        if (lastUse_[i] < lastUse_[victim])
+            victim = i;
     }
-    victim->page = page;
-    victim->lastUse = tick_;
-    victim->gen = gen_;
-    victim->valid = true;
+    pages_[victim] = page;
+    lastUse_[victim] = tick_;
+    genOf_[victim] = gen_;
 }
 
 void
 Tlb::invalidate(sim::PageId page)
 {
-    Entry *base = &entries_[setIndex(page) * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        Entry &e = base[w];
-        if (live(e) && e.page == page)
-            e.valid = false;
+    const std::size_t base = std::size_t{setIndex(page)} * ways_;
+    const std::size_t end = base + ways_;
+    std::size_t i = base;
+    for (; i + 4 <= end; i += 4) {
+        const bool any = (pages_[i] == page) | (pages_[i + 1] == page) |
+                         (pages_[i + 2] == page) |
+                         (pages_[i + 3] == page);
+        if (!any)
+            continue;
+        for (std::size_t j = i; j < i + 4; ++j)
+            if (pages_[j] == page && live(j))
+                genOf_[j] = 0;
     }
+    for (; i < end; ++i)
+        if (pages_[i] == page && live(i))
+            genOf_[i] = 0;
 }
 
 void
@@ -86,8 +115,8 @@ std::size_t
 Tlb::occupancy() const
 {
     std::size_t n = 0;
-    for (const Entry &e : entries_)
-        if (live(e))
+    for (std::size_t i = 0; i < genOf_.size(); ++i)
+        if (live(i))
             ++n;
     return n;
 }
@@ -96,9 +125,9 @@ std::vector<sim::PageId>
 Tlb::livePages() const
 {
     std::vector<sim::PageId> out;
-    for (const Entry &e : entries_)
-        if (live(e))
-            out.push_back(e.page);
+    for (std::size_t i = 0; i < genOf_.size(); ++i)
+        if (live(i))
+            out.push_back(pages_[i]);
     return out;
 }
 

@@ -7,6 +7,11 @@
  * generation counter implements whole-TLB shootdowns, which the UVM
  * driver issues on every migration, duplication collapse, and scheme
  * reset.
+ *
+ * Storage is structure-of-arrays: set scans (lookup, insert,
+ * invalidate) touch one contiguous page-id array instead of striding
+ * over padded entry structs, so the scans vectorize and stay inside a
+ * few cache lines even for the fully associative L1.
  */
 
 #ifndef GRIT_MEM_TLB_H_
@@ -59,24 +64,22 @@ class Tlb
     void resetStats() { hits_ = misses_ = 0; }
 
   private:
-    struct Entry
-    {
-        sim::PageId page = 0;
-        std::uint64_t lastUse = 0;
-        std::uint64_t gen = 0;
-        bool valid = false;
-    };
-
     unsigned setIndex(sim::PageId page) const;
-    bool live(const Entry &e) const { return e.valid && e.gen == gen_; }
+    /** Entry @p i is live: stamped with the current generation. */
+    bool live(std::size_t i) const { return genOf_[i] == gen_; }
 
     std::string name_;
     unsigned sets_;
     unsigned ways_;
     sim::Cycle latency_;
-    std::vector<Entry> entries_;
+    // Parallel arrays indexed by set * ways + way. genOf_ doubles as the
+    // valid bit: 0 means never filled, gen_ (always >= 1) means live,
+    // anything older is a flushed-out entry.
+    std::vector<sim::PageId> pages_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint64_t> genOf_;
     std::uint64_t tick_ = 0;
-    std::uint64_t gen_ = 0;
+    std::uint64_t gen_ = 1;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "simcore/event_queue.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <sstream>
 #include <utility>
@@ -8,27 +10,126 @@
 
 namespace grit::sim {
 
+EventQueue::EventQueue()
+    : buckets_(kWindow), occupied_(kWindow / 64, 0)
+{
+}
+
 void
 EventQueue::schedule(Cycle when, EventFn fn, const char *tag)
 {
     assert(fn && "scheduling an empty event");
-    if (when < now_)
-        when = now_;
-    heap_.push(Item{when, nextSeq_++, std::move(fn), tag});
+    if (when < now_) {
+        std::ostringstream what;
+        what << "event '" << (tag ? tag : "untagged")
+             << "' scheduled at cycle " << when
+             << ", which is in the past (now is cycle " << now_ << ")";
+        throw SimException(ErrorCode::kScheduleInPast, what.str(),
+                           "event-queue safety valve");
+    }
+    const std::uint64_t seq = nextSeq_++;
+    ++pending_;
+    if (when < horizon_) {
+        const std::size_t idx = when & kMask;
+        buckets_[idx].items.push_back(Event{fn, tag});
+        markOccupied(idx);
+        ++nearCount_;
+    } else {
+        far_.push_back(FarEvent{when, seq, fn, tag});
+        std::push_heap(far_.begin(), far_.end(), FarLater{});
+    }
+}
+
+void
+EventQueue::refillFromFar()
+{
+    // Near window drained: re-base it at the earliest overflow event
+    // and pull everything inside the new window into buckets. Heap pops
+    // come out in (time, sequence) order, so each bucket's FIFO stays
+    // in sequence order and later direct schedules (higher sequence)
+    // append behind — the determinism contract is preserved.
+    assert(nearCount_ == 0 && !far_.empty());
+    windowBase_ = far_.front().when;
+    horizon_ = windowBase_ + kWindow;
+    while (!far_.empty() && far_.front().when < horizon_) {
+        std::pop_heap(far_.begin(), far_.end(), FarLater{});
+        const FarEvent ev = far_.back();
+        far_.pop_back();
+        const std::size_t idx = ev.when & kMask;
+        buckets_[idx].items.push_back(Event{ev.fn, ev.tag});
+        markOccupied(idx);
+        ++nearCount_;
+    }
+}
+
+Cycle
+EventQueue::firstBucketCycle() const
+{
+    assert(nearCount_ > 0);
+    // Every occupied bucket maps to a unique cycle in
+    // [origin, origin + kWindow); scan the bitmap ring from origin's
+    // residue to find the earliest.
+    const Cycle origin = now_ > windowBase_ ? now_ : windowBase_;
+    const std::size_t start = static_cast<std::size_t>(origin) & kMask;
+    const std::size_t words = kWindow / 64;
+    const std::size_t w0 = start >> 6;
+    const unsigned off = start & 63;
+    std::uint64_t word = occupied_[w0] >> off;
+    if (word != 0)
+        return origin + static_cast<Cycle>(std::countr_zero(word));
+    Cycle dist = 64 - off;
+    for (std::size_t i = 1; i < words; ++i) {
+        word = occupied_[(w0 + i) & (words - 1)];
+        if (word != 0)
+            return origin + dist +
+                   static_cast<Cycle>(std::countr_zero(word));
+        dist += 64;
+    }
+    word = off != 0 ? (occupied_[w0] & ((std::uint64_t{1} << off) - 1))
+                    : 0;
+    assert(word != 0 && "occupied bitmap out of sync");
+    return origin + dist + static_cast<Cycle>(std::countr_zero(word));
+}
+
+const char *
+EventQueue::nextTag() const
+{
+    if (nearCount_ > 0) {
+        const Bucket &b = buckets_[firstBucketCycle() & kMask];
+        return b.items[b.head].tag;
+    }
+    return far_.empty() ? nullptr : far_.front().tag;
+}
+
+Cycle
+EventQueue::nextWhen() const
+{
+    if (nearCount_ > 0)
+        return firstBucketCycle();
+    return far_.empty() ? now_ : far_.front().when;
 }
 
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    if (pending_ == 0)
         return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because pop() immediately destroys the slot.
-    Item item = std::move(const_cast<Item &>(heap_.top()));
-    heap_.pop();
-    assert(item.when >= now_ && "event queue went backwards");
-    now_ = item.when;
-    item.fn();
+    if (nearCount_ == 0)
+        refillFromFar();
+    const Cycle when = firstBucketCycle();
+    Bucket &bucket = buckets_[when & kMask];
+    now_ = when;
+    Event ev = bucket.items[bucket.head++];
+    --nearCount_;
+    --pending_;
+    if (bucket.head == bucket.items.size()) {
+        // Retire the bucket before dispatch: the event may schedule
+        // back into this very cycle, which must append to a clean FIFO.
+        bucket.items.clear();
+        bucket.head = 0;
+        clearOccupied(when & kMask);
+    }
+    ev.fn();
     return true;
 }
 
@@ -42,7 +143,7 @@ EventQueue::run(std::uint64_t limit)
     std::uint64_t executed = 0;
     Cycle lastAdvance = now_;
     std::uint64_t sameCycle = 0;
-    while (executed < limit && !heap_.empty()) {
+    while (executed < limit && pending_ > 0) {
         if (cancelCheck_ && executed % cancelIntervalEvents_ == 0) {
             if (std::optional<SimError> reason = cancelCheck_()) {
                 cancelled_ = true;
@@ -71,18 +172,18 @@ EventQueue::run(std::uint64_t limit)
              << " events executed at cycle " << now_
              << " without simulated time advancing (next pending: '"
              << (nextTag() ? nextTag() : "untagged") << "', "
-             << heap_.size() << " pending)";
+             << pending_ << " pending)";
         diagnostic_ = SimError(ErrorCode::kNoProgress, what.str(),
                                "event-queue watchdog");
         GRIT_LOG(LogLevel::kError, diagnostic_->str());
-    } else if (!heap_.empty() && executed >= limit) {
+    } else if (pending_ > 0 && executed >= limit) {
         limitHit_ = true;
         std::ostringstream what;
         what << "event limit (" << limit << ") hit at cycle " << now_
-             << " with " << heap_.size()
+             << " with " << pending_
              << " events still pending; oldest pending event: '"
              << (nextTag() ? nextTag() : "untagged") << "' at cycle "
-             << heap_.top().when;
+             << nextWhen();
         diagnostic_ = SimError(ErrorCode::kEventLimit, what.str(),
                                "event-queue safety valve");
         GRIT_LOG(LogLevel::kError, diagnostic_->str());
@@ -93,7 +194,16 @@ EventQueue::run(std::uint64_t limit)
 void
 EventQueue::reset()
 {
-    heap_ = {};
+    for (Bucket &bucket : buckets_) {
+        bucket.items.clear();
+        bucket.head = 0;
+    }
+    std::fill(occupied_.begin(), occupied_.end(), 0);
+    far_.clear();
+    nearCount_ = 0;
+    pending_ = 0;
+    windowBase_ = 0;
+    horizon_ = kWindow;
     now_ = 0;
     nextSeq_ = 0;
     limitHit_ = false;

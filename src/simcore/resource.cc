@@ -22,8 +22,12 @@ BandwidthResource::serviceCycles(std::uint64_t bytes) const
 {
     if (bytes == 0)
         return 0;
-    return static_cast<Cycle>(
-        std::ceil(static_cast<double>(bytes) / bytesPerCycle_));
+    if (bytes != memoBytes_) {
+        memoBytes_ = bytes;
+        memoService_ = static_cast<Cycle>(
+            std::ceil(static_cast<double>(bytes) / bytesPerCycle_));
+    }
+    return memoService_;
 }
 
 Cycle

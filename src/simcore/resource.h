@@ -78,6 +78,11 @@ class BandwidthResource
     std::vector<Cycle> channelFree_;
     Cycle busy_ = 0;
     std::uint64_t bytes_ = 0;
+    // Single-entry memo for serviceCycles(): transfers are almost
+    // always one of two sizes (a cache line or a page), and the
+    // floating-point ceil-divide is measurable at millions of acquires.
+    mutable std::uint64_t memoBytes_ = 0;
+    mutable Cycle memoService_ = 0;
 };
 
 /**

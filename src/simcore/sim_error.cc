@@ -12,6 +12,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kTraceLoad:     return "trace-load";
       case ErrorCode::kEventLimit:    return "event-limit";
       case ErrorCode::kNoProgress:    return "no-progress";
+      case ErrorCode::kScheduleInPast: return "schedule-in-past";
       case ErrorCode::kDeadline:      return "deadline";
       case ErrorCode::kInterrupted:   return "interrupted";
       case ErrorCode::kJournal:       return "journal";
@@ -28,7 +29,8 @@ errorCodeFromName(std::string_view name)
          {ErrorCode::kConfigInvalid, ErrorCode::kBadArgument,
           ErrorCode::kChaosSpec, ErrorCode::kTraceLoad,
           ErrorCode::kEventLimit, ErrorCode::kNoProgress,
-          ErrorCode::kDeadline, ErrorCode::kInterrupted,
+          ErrorCode::kScheduleInPast, ErrorCode::kDeadline,
+          ErrorCode::kInterrupted,
           ErrorCode::kJournal, ErrorCode::kInvariant,
           ErrorCode::kInternal}) {
         if (name == errorCodeName(code))

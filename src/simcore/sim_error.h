@@ -30,6 +30,7 @@ enum class ErrorCode {
     kTraceLoad,       //!< workload trace could not be built/loaded
     kEventLimit,      //!< event-queue safety valve tripped
     kNoProgress,      //!< liveness watchdog: simulated time stopped
+    kScheduleInPast,  //!< event scheduled before the current cycle
     kDeadline,        //!< per-run watchdog: wall-clock or event budget
     kInterrupted,     //!< cooperative cancel after SIGINT/SIGTERM
     kJournal,         //!< run journal could not be read/written

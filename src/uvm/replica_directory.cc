@@ -63,8 +63,7 @@ PageInfo::removeRemoteMapper(sim::GpuId gpu)
 const PageInfo *
 ReplicaDirectory::find(sim::PageId page) const
 {
-    auto it = pages_.find(page);
-    return it == pages_.end() ? nullptr : &it->second;
+    return pages_.find(page);
 }
 
 sim::GpuId

@@ -13,9 +13,9 @@
 #define GRIT_UVM_REPLICA_DIRECTORY_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "simcore/flat_map.h"
 #include "simcore/types.h"
 
 namespace grit::sim {
@@ -89,11 +89,15 @@ class ReplicaDirectory
 
     std::size_t size() const { return pages_.size(); }
 
-    /** All page records, for cross-layer audits (read-only). */
-    const std::unordered_map<sim::PageId, PageInfo> &pages() const
-    {
-        return pages_;
-    }
+    /** Page-record storage: open-addressing flat map. */
+    using PageMap = sim::FlatMap<sim::PageId, PageInfo>;
+
+    /**
+     * All page records, for cross-layer audits (read-only). Iteration
+     * order is deterministic (a pure function of the operation
+     * sequence), so audit findings are reproducible run-to-run.
+     */
+    const PageMap &pages() const { return pages_; }
 
     void clear()
     {
@@ -102,7 +106,7 @@ class ReplicaDirectory
     }
 
   private:
-    std::unordered_map<sim::PageId, PageInfo> pages_;
+    PageMap pages_;
     std::uint64_t totalReplicas_ = 0;
     sim::TraceRecorder *trace_ = nullptr;
 };

@@ -1,6 +1,6 @@
 /** @file Tests for the parallel ExperimentEngine and the TraceCache:
- *  thread-count-independent determinism, plan construction, trace
- *  sharing, and the runMatrix compatibility wrapper. */
+ *  thread-count-independent determinism, plan construction, and trace
+ *  sharing. */
 
 #include <gtest/gtest.h>
 
@@ -60,12 +60,14 @@ TEST(ExperimentEngine, ThreadCountDoesNotChangeResults)
     ExperimentEngine::Options serial;
     serial.jobs = 1;
     ExperimentEngine one(serial);
-    const ResultMatrix m1 = one.runMatrix(apps, configs, fastParams());
+    const ResultMatrix m1 =
+        one.run(RunPlan::matrix(apps, configs, fastParams()));
 
     ExperimentEngine::Options parallel;
     parallel.jobs = 4;
     ExperimentEngine four(parallel);
-    const ResultMatrix m4 = four.runMatrix(apps, configs, fastParams());
+    const ResultMatrix m4 =
+        four.run(RunPlan::matrix(apps, configs, fastParams()));
 
     ASSERT_EQ(m1.size(), 2u);
     ASSERT_EQ(m1.size(), m4.size());
@@ -80,20 +82,26 @@ TEST(ExperimentEngine, ThreadCountDoesNotChangeResults)
     }
 }
 
-TEST(ExperimentEngine, MatchesSerialRunMatrixWrapper)
+TEST(ExperimentEngine, RunMatchesResilientExecutor)
 {
+    // run() is a front end over runResilient(); both must produce the
+    // same matrix for the same plan.
     const auto [apps, configs] = smallSweep();
-    const ResultMatrix legacy = runMatrix(apps, configs, fastParams());
+    const RunPlan plan = RunPlan::matrix(apps, configs, fastParams());
 
     ExperimentEngine engine;  // auto jobs
-    const ResultMatrix engined =
-        engine.runMatrix(apps, configs, fastParams());
+    const ResultMatrix direct = engine.run(plan);
 
-    ASSERT_EQ(legacy.size(), engined.size());
-    for (const auto &[row, runs] : legacy)
+    ExperimentEngine resilient;
+    const SweepResult sweep =
+        resilient.runResilient(plan, ResilientOptions{});
+    EXPECT_TRUE(sweep.complete());
+
+    ASSERT_EQ(direct.size(), sweep.matrix.size());
+    for (const auto &[row, runs] : direct)
         for (const auto &[label, result] : runs) {
             SCOPED_TRACE(row + "/" + label);
-            expectSameResult(result, engined.at(row).at(label));
+            expectSameResult(result, sweep.matrix.at(row).at(label));
         }
 }
 
@@ -101,7 +109,7 @@ TEST(ExperimentEngine, SharesTracesAcrossConfigs)
 {
     const auto [apps, configs] = smallSweep();
     ExperimentEngine engine;
-    engine.runMatrix(apps, configs, fastParams());
+    engine.run(RunPlan::matrix(apps, configs, fastParams()));
     // One generation per app; the other config cells reuse it.
     EXPECT_EQ(engine.traceCache().misses(), apps.size());
     EXPECT_EQ(engine.traceCache().hits(),

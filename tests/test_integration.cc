@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.h"
+#include "harness/experiment_engine.h"
 #include "workload/apps.h"
 #include "workload/dnn.h"
 
@@ -146,10 +147,10 @@ TEST(Integration, GritBeatsAccessCounterAndDuplicationOnAverage)
         {"duplication", makeConfig(PolicyKind::kDuplication, 4)},
         {"grit", makeConfig(PolicyKind::kGrit, 4)},
     };
-    const auto matrix = runMatrix(
+    const auto matrix = ExperimentEngine().run(RunPlan::matrix(
         {workload::AppId::kBfs, workload::AppId::kGemm,
          workload::AppId::kFir, workload::AppId::kBs},
-        configs, params);
+        configs, params));
     EXPECT_GT(meanImprovementPct(matrix, "access-counter", "grit"), 0.0);
     EXPECT_GT(meanImprovementPct(matrix, "duplication", "grit"), 0.0);
 }

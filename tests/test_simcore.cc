@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "simcore/event_queue.h"
@@ -44,26 +46,43 @@ TEST(EventQueue, TiesBreakByInsertionOrder)
         EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
-TEST(EventQueue, SchedulingInThePastClampsToNow)
+TEST(EventQueue, SchedulingInThePastThrowsStructuredError)
 {
     EventQueue q;
-    Cycle seen = 0;
+    bool threw = false;
     q.schedule(100, [&] {
-        q.schedule(5, [&] { seen = q.now(); });  // in the past
+        try {
+            q.schedule(5, [] {}, "stale");  // in the past
+        } catch (const SimException &e) {
+            threw = true;
+            EXPECT_EQ(e.code(), ErrorCode::kScheduleInPast);
+            EXPECT_NE(e.error().message.find("stale"),
+                      std::string::npos);
+        }
     });
     q.run();
-    EXPECT_EQ(seen, 100u);
+    EXPECT_TRUE(threw);
 }
+
+/** Self-rescheduling callable: trivially copyable, as EventFn requires. */
+struct Chain
+{
+    EventQueue *q;
+    int *fired;
+    int limit;
+    Cycle step;
+    void operator()() const
+    {
+        if (++*fired < limit)
+            q->scheduleAfter(step, *this, "chain");
+    }
+};
 
 TEST(EventQueue, EventsCanScheduleMoreEvents)
 {
     EventQueue q;
     int fired = 0;
-    std::function<void()> chain = [&] {
-        if (++fired < 5)
-            q.scheduleAfter(10, chain);
-    };
-    q.schedule(0, chain);
+    q.schedule(0, Chain{&q, &fired, 5, 10});
     q.run();
     EXPECT_EQ(fired, 5);
     EXPECT_EQ(q.now(), 40u);
@@ -146,11 +165,17 @@ TEST(EventQueue, CancelCheckStopsCooperativelyBetweenEvents)
 {
     EventQueue q;
     int executed = 0;
-    std::function<void()> chain = [&] {
-        ++executed;
-        q.schedule(q.now() + 1, chain, "chain");
+    struct Forever
+    {
+        EventQueue *q;
+        int *executed;
+        void operator()() const
+        {
+            ++*executed;
+            q->schedule(q->now() + 1, *this, "chain");
+        }
     };
-    q.schedule(0, chain, "chain");
+    q.schedule(0, Forever{&q, &executed}, "chain");
     // Poll every event; trip after the third execution. No event is
     // interrupted mid-flight, so executed stays exactly at the trip.
     q.setCancelCheck(
@@ -191,12 +216,19 @@ TEST(EventQueue, EmptyCancelCheckIsInert)
     EXPECT_FALSE(q.diagnostic().has_value());
 }
 
+/** Reschedules itself at a fixed cycle forever (time never advances). */
+struct Storm
+{
+    EventQueue *q;
+    Cycle at;
+    void operator()() const { q->schedule(at, *this, "storm"); }
+};
+
 TEST(EventQueue, WatchdogTripsOnSameCycleStorm)
 {
     EventQueue q;
     q.setWatchdog(100);
-    std::function<void()> storm = [&] { q.schedule(7, storm, "storm"); };
-    q.schedule(7, storm, "storm");
+    q.schedule(7, Storm{&q, 7}, "storm");
     q.run();
     ASSERT_TRUE(q.stalled());
     EXPECT_FALSE(q.limitHit());
@@ -211,11 +243,7 @@ TEST(EventQueue, WatchdogTolerantOfAdvancingTime)
     EventQueue q;
     q.setWatchdog(4);
     int fired = 0;
-    std::function<void()> chain = [&] {
-        if (++fired < 100)
-            q.scheduleAfter(1, chain, "chain");
-    };
-    q.schedule(0, chain, "chain");
+    q.schedule(0, Chain{&q, &fired, 100, 1}, "chain");
     q.run();
     EXPECT_EQ(fired, 100);
     EXPECT_FALSE(q.stalled());
@@ -226,8 +254,7 @@ TEST(EventQueue, ResetClearsDiagnosticState)
 {
     EventQueue q;
     q.setWatchdog(10);
-    std::function<void()> storm = [&] { q.schedule(3, storm, "storm"); };
-    q.schedule(3, storm, "storm");
+    q.schedule(3, Storm{&q, 3}, "storm");
     q.run();
     ASSERT_TRUE(q.stalled());
     q.reset();
@@ -245,6 +272,87 @@ TEST(EventQueue, NextTagReportsOldestPending)
     q.schedule(5, [] {}, "later");
     q.schedule(1, [] {}, "sooner");
     EXPECT_STREQ(q.nextTag(), "sooner");
+}
+
+TEST(EventQueue, NextWhenReportsOldestTimestamp)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextWhen(), 0u);
+    q.schedule(9, [] {});
+    q.schedule(4, [] {});
+    EXPECT_EQ(q.nextWhen(), 4u);
+}
+
+// Events far beyond the calendar's near window (kWindow cycles) park in
+// the overflow heap and migrate into buckets as the window advances;
+// order and tie-breaking must be indistinguishable from a flat heap.
+
+TEST(EventQueue, FarFutureEventsExecuteInOrder)
+{
+    EventQueue q;
+    std::vector<Cycle> order;
+    const Cycle far = 10 * EventQueue::kWindow;
+    q.schedule(far + 3, [&] { order.push_back(q.now()); });
+    q.schedule(2, [&] { order.push_back(q.now()); });
+    q.schedule(far, [&] { order.push_back(q.now()); });
+    q.schedule(3 * far, [&] { order.push_back(q.now()); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<Cycle>{2, far, far + 3, 3 * far}));
+    EXPECT_EQ(q.now(), 3 * far);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrderAcrossTheWindowBoundary)
+{
+    EventQueue q;
+    std::vector<int> order;
+    const Cycle when = 2 * EventQueue::kWindow + 5;  // starts far
+    for (int i = 0; i < 6; ++i)
+        q.schedule(when, [&order, i] { order.push_back(i); });
+    // Drag the window forward so some duplicates migrate from the far
+    // heap while later ones are scheduled directly into the bucket.
+    q.schedule(EventQueue::kWindow + 1, [&] {
+        q.schedule(when, [&order] { order.push_back(6); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(EventQueue, SparseTimestampsSkipEmptyBuckets)
+{
+    EventQueue q;
+    int fired = 0;
+    for (Cycle c : {Cycle{1}, Cycle{4095}, Cycle{4096}, Cycle{81920},
+                    Cycle{1000000}})
+        q.schedule(c, [&] { ++fired; });
+    EXPECT_EQ(q.run(), 5u);
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(q.now(), 1000000u);
+}
+
+TEST(EventQueue, StressMatchesReferenceHeapOrdering)
+{
+    // Pseudo-random schedule pattern executed once through the calendar
+    // queue and once through a reference (when, seq) sort; the two must
+    // agree exactly — this is the determinism contract.
+    EventQueue q;
+    std::vector<std::pair<Cycle, int>> executed;
+    std::vector<std::pair<Cycle, int>> expected;
+    Rng rng(2024);
+    int id = 0;
+    for (int i = 0; i < 500; ++i) {
+        const Cycle when = rng.below(3 * EventQueue::kWindow);
+        expected.emplace_back(when, id);
+        q.schedule(when, [&executed, &q, id] {
+            executed.emplace_back(q.now(), id);
+        });
+        ++id;
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    q.run();
+    EXPECT_EQ(executed, expected);
 }
 
 // ----------------------------------------------------------------------- Rng

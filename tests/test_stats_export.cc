@@ -210,13 +210,11 @@ TEST(StatsExport, DocumentIsIdenticalForAnyWorkerCount)
     harness::ExperimentEngine::Options wide;
     wide.jobs = 4;
 
-    const std::string doc1 = serialize(
-        harness::ExperimentEngine(serial).runMatrix(apps, configs,
-                                                    params),
-        params);
-    const std::string doc4 = serialize(
-        harness::ExperimentEngine(wide).runMatrix(apps, configs, params),
-        params);
+    const auto plan = harness::RunPlan::matrix(apps, configs, params);
+    const std::string doc1 =
+        serialize(harness::ExperimentEngine(serial).run(plan), params);
+    const std::string doc4 =
+        serialize(harness::ExperimentEngine(wide).run(plan), params);
 
     EXPECT_FALSE(doc1.empty());
     EXPECT_EQ(doc1, doc4);
