@@ -123,6 +123,8 @@ struct BenchArgs
     std::string tracePath;          //!< --trace <path> ("-" = stdout)
     std::string chaosSpec;          //!< --chaos <spec>
     bool audit = false;             //!< --audit
+    std::string topology;           //!< --topology <kind>
+    bool fabricStats = false;       //!< --fabric-stats
     std::string journalPath;        //!< --journal <path>
     bool resume = false;            //!< --resume (with --journal)
     double deadlineSec = 0.0;       //!< --deadline <seconds>
@@ -145,6 +147,11 @@ struct BenchArgs
                  "deterministic fault injection (docs/ROBUSTNESS.md)");
         cli.flag("--audit", &audit,
                  "run cross-layer invariant audits during simulation");
+        cli.flag("--topology", &topology, "KIND",
+                 "interconnect topology: all-to-all, ring, switch, "
+                 "chiplet (docs/TOPOLOGY.md)");
+        cli.flag("--fabric-stats", &fabricStats,
+                 "export per-link fabric.* counters into results");
         cli.flag("--journal", &journalPath, "PATH",
                  "crash-safe sweep journal for --resume");
         cli.flag("--resume", &resume,
@@ -180,17 +187,30 @@ struct BenchArgs
 };
 
 /**
- * Apply `--chaos <spec>` and `--audit` to @p config. A malformed spec
- * throws sim::SimException (kChaosSpec) — guardedMain shows the user
- * the structured diagnostic, not a crash.
+ * Apply the config-shaping flags — `--chaos <spec>`, `--audit`,
+ * `--topology <kind>`, `--fabric-stats` — to @p config. A malformed
+ * chaos spec throws sim::SimException (kChaosSpec) and an unknown
+ * topology name kBadArgument — guardedMain shows the user the
+ * structured diagnostic, not a crash.
  */
 inline void
-applyChaos(const BenchArgs &args, harness::SystemConfig &config)
+applyOverrides(const BenchArgs &args, harness::SystemConfig &config)
 {
     if (!args.chaosSpec.empty())
         config.chaos = sim::ChaosSpec::parse(args.chaosSpec);
     if (args.audit)
         config.audit = true;
+    if (!args.topology.empty()) {
+        const auto kind = ic::topologyKindFromName(args.topology);
+        if (!kind)
+            throw sim::SimException(
+                sim::ErrorCode::kBadArgument,
+                "--topology: unknown topology \"" + args.topology +
+                    "\" (expected all-to-all, ring, switch, or chiplet)");
+        config.fabric.kind = *kind;
+    }
+    if (args.fabricStats)
+        config.fabricStats = true;
 }
 
 /**

@@ -54,7 +54,7 @@ run(const grit::bench::BenchArgs &args, const std::string &appName,
     harness::SystemConfig config = harness::makeConfig(*kind, 4);
     config.timeline = true;
     config.timelineIntervalCycles = stats::kDefaultTimelineIntervalCycles;
-    grit::bench::applyChaos(args, config);
+    grit::bench::applyOverrides(args, config);
     const auto trace = grit::bench::makeTrace(args);
     config.trace = trace.get();
 

@@ -18,7 +18,7 @@ run(const grit::bench::BenchArgs &args)
     auto configs = grit::bench::mainConfigs();
     // `--chaos` / `--audit` apply to every policy in the lineup.
     for (auto &labeled : configs)
-        grit::bench::applyChaos(args, labeled.config);
+        grit::bench::applyOverrides(args, labeled.config);
     const auto matrix = grit::bench::runSweep(
         grit::bench::allApps(), configs, grit::bench::benchParams(), args);
 

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Topology sensitivity sweep: the page-placement schemes (first-touch,
+ * GPS, Griffin-DPC, GRIT) across every interconnect topology the fabric
+ * layer models (all-to-all, ring, switch, chiplet — docs/TOPOLOGY.md).
+ *
+ * Each run exports the per-link `fabric.*` counters so the JSON
+ * document shows where the bytes actually flowed — e.g. ring hop
+ * amplification or switch port serialization — next to the end-to-end
+ * cycle counts. `--topology KIND` restricts the sweep to one topology.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+/** The placement schemes compared on every topology. */
+constexpr grit::harness::PolicyKind kSchemes[] = {
+    grit::harness::PolicyKind::kFirstTouch,
+    grit::harness::PolicyKind::kGps,
+    grit::harness::PolicyKind::kGriffinDpc,
+    grit::harness::PolicyKind::kGrit,
+};
+
+int
+run(const grit::bench::BenchArgs &args)
+{
+    using namespace grit;
+
+    // `--topology` narrows the sweep; by default all kinds run.
+    std::vector<ic::TopologyKind> kinds;
+    if (!args.topology.empty()) {
+        const auto kind = ic::topologyKindFromName(args.topology);
+        if (!kind)
+            throw sim::SimException(
+                sim::ErrorCode::kBadArgument,
+                "--topology: unknown topology \"" + args.topology +
+                    "\" (expected all-to-all, ring, switch, or chiplet)");
+        kinds.push_back(*kind);
+    } else {
+        kinds.assign(std::begin(ic::kAllTopologyKinds),
+                     std::end(ic::kAllTopologyKinds));
+    }
+
+    std::vector<harness::LabeledConfig> configs;
+    for (ic::TopologyKind kind : kinds) {
+        for (harness::PolicyKind scheme : kSchemes) {
+            harness::LabeledConfig labeled{
+                std::string(ic::topologyKindName(kind)) + "/" +
+                    harness::policyKindName(scheme),
+                harness::makeConfig(scheme)};
+            labeled.config.fabric.kind = kind;
+            labeled.config.fabricStats = true;
+            grit::bench::applyOverrides(args, labeled.config);
+            configs.push_back(std::move(labeled));
+        }
+    }
+
+    const auto matrix = grit::bench::runSweep(
+        grit::bench::allApps(), configs, grit::bench::benchParams(), args);
+
+    std::cout << "Topology sensitivity: placement schemes across "
+                 "interconnect topologies\n";
+    for (ic::TopologyKind kind : kinds) {
+        const std::string topo = ic::topologyKindName(kind);
+        std::vector<std::string> labels;
+        for (harness::PolicyKind scheme : kSchemes)
+            labels.push_back(topo + "/" +
+                             harness::policyKindName(scheme));
+        std::cout << "\n== " << topo << " ==\n";
+        grit::bench::printSpeedupTable(matrix, labels.front(), labels,
+                                       "speedup, higher is better");
+    }
+
+    // Cross-topology robustness: how much of GRIT's advantage over
+    // first-touch survives on each fabric.
+    std::cout << "\nGRIT mean improvement over first-touch, per "
+                 "topology:\n";
+    for (ic::TopologyKind kind : kinds) {
+        const std::string topo = ic::topologyKindName(kind);
+        std::cout << "  " << topo << ": "
+                  << harness::TextTable::pct(harness::meanImprovementPct(
+                         matrix, topo + "/first-touch", topo + "/grit"))
+                  << "\n";
+    }
+
+    grit::bench::maybeWriteJson(
+        args, "fig_topology",
+        "Topology sensitivity: schemes x interconnect topologies",
+        grit::bench::benchParams(), matrix);
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    grit::bench::BenchArgs args(
+        "fig_topology",
+        "Topology sensitivity: schemes x interconnect topologies");
+    return grit::bench::guardedMain(argc, argv, args,
+                                    [&] { return run(args); });
+}

@@ -101,6 +101,36 @@ SystemConfig::validate() const
         bad("NVLink latency must be positive", "fabric.nvlinkLatency");
     if (fabric.pcieLatency == 0)
         bad("PCIe latency must be positive", "fabric.pcieLatency");
+    // Topology-specific parameters are validated only for the selected
+    // kind: an unused model's knobs cannot invalidate a config.
+    if (fabric.kind == ic::TopologyKind::kSwitch) {
+        if (fabric.switchRadix == 0)
+            bad("the switch needs at least one crossbar port",
+                "fabric.switchRadix");
+        if (fabric.switchGBs <= 0.0)
+            bad("switch port bandwidth must be positive",
+                "fabric.switchGBs");
+        if (fabric.switchLatency == 0)
+            bad("switch traversal latency must be positive",
+                "fabric.switchLatency");
+    }
+    if (fabric.kind == ic::TopologyKind::kChiplet) {
+        if (fabric.gpusPerChiplet == 0)
+            bad("a chiplet needs at least one GPU",
+                "fabric.gpusPerChiplet");
+        if (fabric.chipletGBs <= 0.0)
+            bad("intra-chiplet bandwidth must be positive",
+                "fabric.chipletGBs");
+        if (fabric.chipletLatency == 0)
+            bad("intra-chiplet latency must be positive",
+                "fabric.chipletLatency");
+        if (fabric.interposerGBs <= 0.0)
+            bad("interposer bandwidth must be positive",
+                "fabric.interposerGBs");
+        if (fabric.interposerLatency == 0)
+            bad("interposer latency must be positive",
+                "fabric.interposerLatency");
+    }
 
     if (policy == PolicyKind::kGrit) {
         if (grit.faultThreshold == 0)

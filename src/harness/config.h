@@ -18,7 +18,7 @@
 #include "baselines/tree_prefetcher.h"
 #include "core/grit_policy.h"
 #include "gpu/gpu.h"
-#include "interconnect/fabric.h"
+#include "interconnect/topology.h"
 #include "simcore/fault_injector.h"
 #include "simcore/sim_error.h"
 #include "simcore/types.h"
@@ -65,6 +65,12 @@ struct SystemConfig
 
     gpu::GpuConfig gpu{};
     uvm::UvmConfig uvm{};
+    /**
+     * Interconnect model: fabric.kind selects the topology (all-to-all
+     * by default; ring, switch, chiplet — docs/TOPOLOGY.md) and the
+     * rest are its parameters. Simulator builds the concrete model via
+     * ic::makeTopology.
+     */
     ic::FabricConfig fabric{};
     core::GritConfig grit{};
     baselines::GriffinConfig griffin{};
@@ -103,6 +109,14 @@ struct SystemConfig
 
     /** Run cross-layer invariant audits (sim::InvariantAuditor). */
     bool audit = false;
+
+    /**
+     * Export per-link fabric accounting (`fabric.*` counters: bytes
+     * and busy cycles per link, message/control-plane totals) into the
+     * run's counter set. Off by default so classic documents — and the
+     * determinism goldens — stay byte-identical.
+     */
+    bool fabricStats = false;
 
     /**
      * Period of in-run audits; 0 audits only at end of run. Only

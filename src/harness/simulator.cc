@@ -104,7 +104,7 @@ Simulator::Simulator(const SystemConfig &config,
 
     ic::FabricConfig fabric_config = config_.fabric;
     fabric_config.numGpus = config_.numGpus;
-    fabric_ = std::make_unique<ic::Fabric>(fabric_config);
+    fabric_ = ic::makeTopology(fabric_config);
 
     std::vector<gpu::Gpu *> gpu_views;
     for (unsigned g = 0; g < config_.numGpus; ++g) {
@@ -485,6 +485,23 @@ Simulator::run(bool salvage_partial)
     if (auditor_) {
         stats_.counter("audit.audits").inc(auditor_->audits());
         stats_.counter("audit.violations").inc(auditor_->violations());
+    }
+    if (config_.fabricStats) {
+        // Opt-in per-link fabric accounting (docs/TOPOLOGY.md): the
+        // aggregates plus every link's bytes/busy-cycles. Counter names
+        // embed the topology's deterministic link names, so the counter
+        // set itself documents the routed fabric.
+        stats_.counter("fabric.nvlink_bytes").inc(fabric_->nvlinkBytes());
+        stats_.counter("fabric.pcie_bytes").inc(fabric_->pcieBytes());
+        stats_.counter("fabric.messages").inc(fabric_->messages());
+        stats_.counter("fabric.message_bytes")
+            .inc(fabric_->messageBytes());
+        for (const ic::LinkStat &link : fabric_->linkStats()) {
+            stats_.counter("fabric." + link.name + ".bytes")
+                .inc(link.bytes);
+            stats_.counter("fabric." + link.name + ".busy_cycles")
+                .inc(link.busyCycles);
+        }
     }
     result.counters = stats_.items();
     result.timeline = timeline_;

@@ -183,7 +183,7 @@ class Simulator
     stats::Counter *staleReplaysCtr_ = nullptr;
     stats::Counter *remoteAccessesCtr_ = nullptr;
     stats::LatencyBreakdown breakdown_;
-    std::unique_ptr<ic::Fabric> fabric_;
+    std::unique_ptr<ic::Topology> fabric_;
     std::vector<std::unique_ptr<gpu::Gpu>> gpus_;
     std::unique_ptr<uvm::UvmDriver> driver_;
     std::unique_ptr<policy::PlacementPolicy> policy_;

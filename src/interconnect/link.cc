@@ -4,8 +4,9 @@
 
 namespace grit::ic {
 
-Link::Link(std::string name, double gb_per_s, sim::Cycle latency)
-    : pipe_(std::move(name), gb_per_s), latency_(latency)
+Link::Link(std::string name, double gb_per_s, sim::Cycle latency,
+           unsigned channels)
+    : pipe_(std::move(name), gb_per_s, channels), latency_(latency)
 {
 }
 

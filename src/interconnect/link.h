@@ -26,8 +26,14 @@ class Link
      * @param name       diagnostic name.
      * @param gb_per_s   sustained bandwidth in GB/s.
      * @param latency    propagation + protocol latency in cycles.
+     * @param channels   independent full-rate pipe channels. The
+     *                   default absorbs the latency-chain timestamp
+     *                   skew (see sim::BandwidthResource); pass 1 for
+     *                   a strictly serializing pipe such as a switch
+     *                   output port.
      */
-    Link(std::string name, double gb_per_s, sim::Cycle latency);
+    Link(std::string name, double gb_per_s, sim::Cycle latency,
+         unsigned channels = 16);
 
     /**
      * Send @p bytes entering the pipe no earlier than @p now.

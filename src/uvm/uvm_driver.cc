@@ -30,7 +30,7 @@ coldKind(policy::FaultAction action)
 
 }  // namespace
 
-UvmDriver::UvmDriver(const UvmConfig &config, ic::Fabric &fabric,
+UvmDriver::UvmDriver(const UvmConfig &config, ic::Topology &fabric,
                      std::vector<gpu::Gpu *> gpus, stats::StatSet &stats,
                      stats::LatencyBreakdown &breakdown)
     : config_(config),

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "gpu/gpu.h"
-#include "interconnect/fabric.h"
+#include "interconnect/topology.h"
 #include "mem/page_table.h"
 #include "policy/policy.h"
 #include "simcore/resource.h"
@@ -104,12 +104,12 @@ class UvmDriver
   public:
     /**
      * @param config  cost model.
-     * @param fabric  interconnect (shared with the GPUs).
+     * @param fabric  interconnect topology (shared with the GPUs).
      * @param gpus    non-owning views of all GPUs, indexed by GpuId.
      * @param stats   run-wide counters.
      * @param breakdown run-wide latency breakdown (Fig. 3 categories).
      */
-    UvmDriver(const UvmConfig &config, ic::Fabric &fabric,
+    UvmDriver(const UvmConfig &config, ic::Topology &fabric,
               std::vector<gpu::Gpu *> gpus, stats::StatSet &stats,
               stats::LatencyBreakdown &breakdown);
 
@@ -204,7 +204,7 @@ class UvmDriver
 
     gpu::Gpu &gpuAt(sim::GpuId id);
     unsigned numGpus() const { return static_cast<unsigned>(gpus_.size()); }
-    ic::Fabric &fabric() { return fabric_; }
+    ic::Topology &fabric() { return fabric_; }
     const UvmConfig &config() const { return config_; }
     stats::StatSet &stats() { return stats_; }
     stats::LatencyBreakdown &breakdown() { return breakdown_; }
@@ -274,7 +274,7 @@ class UvmDriver
     void timelineRecord(stats::TimelineKind kind, sim::Cycle now);
 
     UvmConfig config_;
-    ic::Fabric &fabric_;
+    ic::Topology &fabric_;
     std::vector<gpu::Gpu *> gpus_;
     stats::StatSet &stats_;
     stats::LatencyBreakdown &breakdown_;

@@ -1,0 +1,45 @@
+# Self-consistency determinism check: run one bench binary twice with
+# different engine arguments (e.g. --jobs 1 vs --jobs 4) and require the
+# two --json documents to be byte-identical. Unlike golden_check.cmake
+# this needs no committed reference, so it covers sweeps whose output is
+# expected to evolve (new benches) while still proving worker-count
+# independence. Usage:
+#   cmake -DBIN=<binary> -DARGS="<shared args>"
+#         -DVARIANT_A="<args>" -DVARIANT_B="<args>" -DOUT=<stem>
+#         -P selfsame_check.cmake
+if(NOT DEFINED BIN OR NOT DEFINED VARIANT_A OR NOT DEFINED VARIANT_B
+   OR NOT DEFINED OUT)
+    message(FATAL_ERROR
+            "selfsame_check.cmake needs -DBIN, -DVARIANT_A, -DVARIANT_B, "
+            "-DOUT")
+endif()
+
+# Keep runtimes test-sized, same pins as golden_check.cmake.
+set(ENV{GRIT_FOOTPRINT_DIVISOR} 128)
+set(ENV{GRIT_INTENSITY} 0.2)
+
+separate_arguments(shared_list UNIX_COMMAND "${ARGS}")
+foreach(variant A B)
+    separate_arguments(variant_list UNIX_COMMAND "${VARIANT_${variant}}")
+    execute_process(COMMAND ${BIN} ${shared_list} ${variant_list}
+                            --json ${OUT}.${variant}.json
+                    RESULT_VARIABLE code
+                    OUTPUT_QUIET
+                    ERROR_VARIABLE err)
+    if(NOT code EQUAL 0)
+        message(FATAL_ERROR
+                "exit ${code} from: ${BIN} ${ARGS} ${VARIANT_${variant}}\n"
+                "stderr:\n${err}")
+    endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${OUT}.A.json ${OUT}.B.json
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "the two variants produced different JSON documents:\n"
+            "  A (${VARIANT_A}): ${OUT}.A.json\n"
+            "  B (${VARIANT_B}): ${OUT}.B.json\n"
+            "Sweep results must be bit-identical at any worker count.")
+endif()

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "gpu/gpu.h"
-#include "interconnect/fabric.h"
+#include "interconnect/topology.h"
 #include "policy/policy.h"
 #include "stats/counters.h"
 #include "stats/latency_breakdown.h"
@@ -34,7 +34,7 @@ class MiniSystem
     {
         ic::FabricConfig fabric_config;
         fabric_config.numGpus = num_gpus;
-        fabric = std::make_unique<ic::Fabric>(fabric_config);
+        fabric = ic::makeTopology(fabric_config);
 
         gpu::GpuConfig gpu_config;
         gpu_config.lanes = 4;  // keep L1 TLB count small
@@ -61,7 +61,7 @@ class MiniSystem
 
     stats::StatSet stats;
     stats::LatencyBreakdown breakdown;
-    std::unique_ptr<ic::Fabric> fabric;
+    std::unique_ptr<ic::Topology> fabric;
     std::vector<std::unique_ptr<gpu::Gpu>> gpus;
     std::unique_ptr<uvm::UvmDriver> driver;
     std::unique_ptr<policy::PlacementPolicy> policy;
