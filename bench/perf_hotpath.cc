@@ -6,6 +6,13 @@
  * directory churn — plus one end-to-end Figure-17 smoke cell (GEMM
  * under GRIT).
  *
+ * Also here: the million-page scale cell (docs/PERFORMANCE.md,
+ * "Scaling footprints") — the SCALE workload streamed through
+ * GeneratedTraceStreams into the simulator with every one of its ~10^6
+ * pages resident at once, stressing the flat_map page tables and the
+ * calendar queue at production footprint. Peak RSS is recorded so CI
+ * can assert the streamed path stays memory-bounded.
+ *
  * Unlike every other bench binary this one measures *host* performance,
  * not simulated metrics, so its numbers vary run to run and machine to
  * machine; the simulation results it produces along the way remain
@@ -20,14 +27,19 @@
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/pa_table.h"
+#include "harness/simulator.h"
 #include "mem/page_table.h"
 #include "simcore/event_queue.h"
 #include "uvm/replica_directory.h"
+#include "workload/generators.h"
+#include "workload/trace_stream.h"
 
 namespace {
 
@@ -196,6 +208,61 @@ benchEndToEnd(std::uint64_t *accesses, double *accessRate)
             "events/sec"};
 }
 
+/** What the million-page cell produced besides its Sample. */
+struct ScaleCellStats
+{
+    std::uint64_t pages = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t batched = 0;
+    double accessRate = 0.0;
+};
+
+/**
+ * Million-page scale cell: every page of a ~10^6-page footprint is
+ * resident at once (memoryFraction 0 disables capacity eviction, so
+ * the flat_map page tables grow to full size), replayed from bounded
+ * GeneratedTraceStreams — peak trace memory is a few chunks per GPU,
+ * never the whole multi-million-access trace.
+ */
+Sample
+benchMillionPages(bool quick, ScaleCellStats *stats)
+{
+    grit::workload::ScaleParams sp;
+    sp.pages = 1u << 20;
+    sp.randomPerGpu = quick ? (1u << 17) : (1u << 19);
+    sp.sharedPerGpu = quick ? (1u << 13) : (1u << 15);
+
+    auto config = grit::harness::makeConfig(
+        grit::harness::PolicyKind::kGrit, sp.numGpus);
+    config.memoryFraction = 0.0;
+
+    grit::workload::StreamedWorkload sw;
+    sw.meta = grit::workload::scaleWorkloadShell(sp);
+    grit::workload::CountingSink counting(sp.numGpus);
+    grit::workload::generateScaleTrace(sp, counting);
+    sw.accesses = counting.counts();
+    for (unsigned g = 0; g < sp.numGpus; ++g) {
+        sw.streams.push_back(
+            std::make_unique<grit::workload::GeneratedTraceStream>(
+                [sp](grit::workload::TraceSink &sink) {
+                    grit::workload::generateScaleTrace(sp, sink);
+                },
+                g, /*chunk_accesses=*/65536));
+    }
+
+    grit::harness::Simulator simulator(config, std::move(sw));
+    const auto start = std::chrono::steady_clock::now();
+    const grit::harness::RunResult result = simulator.run();
+    const double sec = secondsSince(start);
+
+    stats->pages = sp.pages;
+    stats->accesses = result.accesses;
+    stats->batched = result.accessesBatched;
+    stats->accessRate =
+        sec > 0.0 ? static_cast<double>(result.accesses) / sec : 0.0;
+    return {"million_pages", result.eventsExecuted, sec, "events/sec"};
+}
+
 std::string
 fmtRate(double rate)
 {
@@ -216,6 +283,8 @@ run(const grit::bench::BenchArgs &args, bool quick)
     std::uint64_t e2eAccesses = 0;
     double e2eAccessRate = 0.0;
     samples.push_back(benchEndToEnd(&e2eAccesses, &e2eAccessRate));
+    ScaleCellStats scale_stats;
+    samples.push_back(benchMillionPages(quick, &scale_stats));
     const std::uint64_t rssBytes = peakRssBytes();
 
     std::cout << "Hot-path throughput ("
@@ -228,6 +297,10 @@ run(const grit::bench::BenchArgs &args, bool quick)
                       fmtRate(s.rate()) + " " + s.unit});
     table.print(std::cout);
     std::cout << "\nend-to-end accesses/sec: " << fmtRate(e2eAccessRate)
+              << "\nmillion-page cell: " << scale_stats.pages
+              << " pages, " << scale_stats.accesses << " accesses ("
+              << fmtRate(scale_stats.accessRate) << " accesses/sec, "
+              << scale_stats.batched << " batched inline)"
               << "\npeak RSS: " << rssBytes / (1024 * 1024) << " MiB\n";
 
     grit::harness::NamedTable json;
@@ -241,6 +314,16 @@ run(const grit::bench::BenchArgs &args, bool quick)
                          std::to_string(e2eAccesses), "",
                          TextTable::fmt(e2eAccessRate, 1),
                          "accesses/sec"});
+    json.rows.push_back({"million_pages_footprint",
+                         std::to_string(scale_stats.pages), "", "",
+                         "pages"});
+    json.rows.push_back({"million_pages_accesses",
+                         std::to_string(scale_stats.accesses), "",
+                         TextTable::fmt(scale_stats.accessRate, 1),
+                         "accesses/sec"});
+    json.rows.push_back({"million_pages_batched",
+                         std::to_string(scale_stats.batched), "", "",
+                         "accesses"});
     json.rows.push_back(
         {"peak_rss", std::to_string(rssBytes), "", "", "bytes"});
     grit::bench::maybeWriteJsonTables(

@@ -84,6 +84,16 @@ struct SystemConfig
     std::uint64_t maxEvents = 0;
 
     /**
+     * Run a lane's next access inline inside its predecessor's event
+     * whenever no other pending event could interleave (strictly
+     * earlier next-event timestamp). Event-queue pressure then scales
+     * with page transitions — fault storms and drain tails — instead of
+     * raw accesses. Results are bit-identical either way; the flag
+     * exists so tests can prove that.
+     */
+    bool batchAccesses = true;
+
+    /**
      * Page-event timeline recorder (Chrome trace export); nullptr
      * disables tracing. Non-owning; the recorder is not thread-safe, so
      * never share one across concurrently running simulators.

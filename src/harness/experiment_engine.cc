@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -103,6 +105,31 @@ ExperimentEngine::applyCacheBudget()
         }
     }
     cache_.setByteBudget(budget);
+}
+
+void
+ExperimentEngine::applyStreaming()
+{
+    streamTraces_ = options_.streamTraces;
+    if (!streamTraces_) {
+        if (const char *env = std::getenv("GRIT_STREAM_TRACES"))
+            streamTraces_ = std::string_view(env) != "0";
+    }
+    chunkAccesses_ = options_.traceChunkAccesses;
+    if (chunkAccesses_ == 0) {
+        if (const char *env = std::getenv("GRIT_TRACE_CHUNK")) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0)
+                chunkAccesses_ = v;
+            else
+                GRIT_LOG(sim::LogLevel::kWarn,
+                         "ignoring invalid GRIT_TRACE_CHUNK value \""
+                             << env << "\"");
+        }
+    }
+    if (chunkAccesses_ == 0)
+        chunkAccesses_ = 65536;
 }
 
 ResultMatrix
@@ -218,16 +245,26 @@ ExperimentEngine::runResilient(const RunPlan &plan,
             bool salvaged = false;
             try {
                 workload::WorkloadHandle w = cell.workload;
-                if (!w) {
-                    w = options_.shareTraces
-                            ? cache_.get(cell.app, cell.params)
-                            : std::make_shared<
-                                  const workload::Workload>(
-                                  workload::makeWorkload(cell.app,
-                                                         cell.params));
+                std::unique_ptr<Simulator> simulator;
+                if (!w && streamTraces_) {
+                    // Bounded-memory replay: chunks come from the shared
+                    // chunk LRU (same byte budget as whole traces) and
+                    // regenerate deterministically on eviction.
+                    simulator = std::make_unique<Simulator>(
+                        config, cache_.openWorkload(cell.app, cell.params,
+                                                    chunkAccesses_));
+                } else {
+                    if (!w) {
+                        w = options_.shareTraces
+                                ? cache_.get(cell.app, cell.params)
+                                : std::make_shared<
+                                      const workload::Workload>(
+                                      workload::makeWorkload(cell.app,
+                                                             cell.params));
+                    }
+                    simulator = std::make_unique<Simulator>(config, *w);
                 }
-                Simulator simulator(config, *w);
-                result = simulator.run(options.salvagePartial);
+                result = simulator->run(options.salvagePartial);
                 if (result.partial) {
                     error = result.error
                                 ? *result.error

@@ -163,12 +163,32 @@ class ExperimentEngine
          * invalid = unbounded).
          */
         std::uint64_t traceCacheBytes = 0;
+        /**
+         * Replay app-generated cells from bounded-memory chunk streams
+         * (TraceCache::openWorkload) instead of materialized traces.
+         * Results are bit-identical; peak memory stops scaling with
+         * footprint (docs/PERFORMANCE.md, "Scaling footprints"). When
+         * false, the GRIT_STREAM_TRACES environment variable (set to
+         * anything but "0") enables it. Cells carrying a prebuilt
+         * workload handle always run materialized.
+         */
+        bool streamTraces = false;
+        /**
+         * Accesses per streamed chunk; 0 = the GRIT_TRACE_CHUNK
+         * environment variable, else 65536.
+         */
+        std::uint64_t traceChunkAccesses = 0;
     };
 
-    ExperimentEngine() { applyCacheBudget(); }
+    ExperimentEngine()
+    {
+        applyCacheBudget();
+        applyStreaming();
+    }
     explicit ExperimentEngine(const Options &options) : options_(options)
     {
         applyCacheBudget();
+        applyStreaming();
     }
 
     /**
@@ -205,8 +225,13 @@ class ExperimentEngine
     /** Resolve Options::traceCacheBytes (env fallback) into the cache. */
     void applyCacheBudget();
 
+    /** Resolve the streaming options (env fallbacks) into members. */
+    void applyStreaming();
+
     Options options_;
     workload::TraceCache cache_;
+    bool streamTraces_ = false;
+    std::uint64_t chunkAccesses_ = 0;
 };
 
 }  // namespace grit::harness

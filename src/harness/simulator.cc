@@ -16,6 +16,13 @@ namespace grit::harness {
 
 namespace {
 
+/**
+ * Cap on inline access continuations per event (batchAccesses): keeps
+ * cancel/watchdog checks — which run between events — responsive even
+ * when one lane could legally run the whole drain tail inline.
+ */
+constexpr unsigned kMaxInlineBurst = 64;
+
 std::unique_ptr<policy::PlacementPolicy>
 makePolicy(const SystemConfig &config)
 {
@@ -56,35 +63,55 @@ Simulator::Simulator(const SystemConfig &config,
                      const workload::Workload &workload)
     : config_(config), workload_(workload)
 {
-    sim::throwIfInvalid(config.validate(), "SystemConfig");
-    if (workload.numGpus() != config.numGpus) {
+    init();
+}
+
+Simulator::Simulator(const SystemConfig &config,
+                     workload::StreamedWorkload workload)
+    : config_(config),
+      streamed_(std::make_unique<workload::StreamedWorkload>(
+          std::move(workload))),
+      workload_(streamed_->meta)
+{
+    init();
+}
+
+void
+Simulator::init()
+{
+    sim::throwIfInvalid(config_.validate(), "SystemConfig");
+    const unsigned workload_gpus =
+        streamed_ != nullptr
+            ? static_cast<unsigned>(streamed_->streams.size())
+            : workload_.numGpus();
+    if (workload_gpus != config_.numGpus) {
         throw sim::SimException(sim::SimError(
             sim::ErrorCode::kConfigInvalid,
             "workload was generated for " +
-                std::to_string(workload.numGpus()) +
+                std::to_string(workload_gpus) +
                 " GPUs but the config expects " +
-                std::to_string(config.numGpus),
-            "workload " + workload.name));
+                std::to_string(config_.numGpus),
+            "workload " + workload_.name));
     }
 
-    // Decode byte addresses into (page, line) at the configured page
-    // size; the 2 MB study reuses 4 KB-generated traces unchanged.
+    // Byte addresses decode into (page, line) at the configured page
+    // size as accesses are issued (nextAccess); the 2 MB study reuses
+    // 4 KB-generated traces unchanged.
     const std::uint64_t page_size = config_.pageSize;
-    const unsigned lines_per_page =
-        static_cast<unsigned>(page_size / sim::kLineSize);
-    decoded_.resize(config_.numGpus);
+    pageSize_ = page_size;
+    linesPerPage_ = static_cast<unsigned>(page_size / sim::kLineSize);
+    cursors_.resize(config_.numGpus);
     for (unsigned g = 0; g < config_.numGpus; ++g) {
-        decoded_[g].reserve(workload.traces[g].size());
-        for (const workload::Access &a : workload.traces[g]) {
-            LaneAccess la;
-            la.page = a.addr / page_size;
-            la.line = static_cast<unsigned>((a.addr / sim::kLineSize) %
-                                            lines_per_page);
-            la.write = a.write;
-            decoded_[g].push_back(la);
+        GpuCursor &cur = cursors_[g];
+        if (streamed_ != nullptr) {
+            cur.stream = streamed_->streams[g].get();
+            cur.total = streamed_->accesses[g];
+        } else {
+            cur.trace = &workload_.traces[g];
+            cur.total = workload_.traces[g].size();
         }
+        totalAccesses_ += cur.total;
     }
-    cursor_.assign(config_.numGpus, 0);
 
     // Per-GPU DRAM capacity: memoryFraction of the footprint, split
     // evenly (Table I's 70 % oversubscription model).
@@ -92,7 +119,7 @@ Simulator::Simulator(const SystemConfig &config,
     gpu_config.pageSize = page_size;
     if (config_.memoryFraction > 0.0) {
         const std::uint64_t footprint_pages =
-            (workload.footprintBytes() + page_size - 1) / page_size;
+            (workload_.footprintBytes() + page_size - 1) / page_size;
         const double per_gpu = config_.memoryFraction *
                                static_cast<double>(footprint_pages) /
                                config_.numGpus;
@@ -159,10 +186,37 @@ Simulator::~Simulator() = default;
 bool
 Simulator::drained() const
 {
-    for (unsigned g = 0; g < config_.numGpus; ++g) {
-        if (cursor_[g] < decoded_[g].size())
+    for (const GpuCursor &cur : cursors_) {
+        if (cur.pos < cur.total)
             return false;
     }
+    return true;
+}
+
+bool
+Simulator::nextAccess(unsigned g, LaneAccess &out)
+{
+    GpuCursor &cur = cursors_[g];
+    if (cur.pos >= cur.total)
+        return false;
+    workload::Access a;
+    if (cur.trace != nullptr) {
+        a = (*cur.trace)[static_cast<std::size_t>(cur.pos)];
+    } else {
+        if (cur.chunk == nullptr ||
+            cur.chunkPos >= cur.chunk->accesses.size()) {
+            cur.chunk = cur.stream->next();
+            cur.chunkPos = 0;
+            if (cur.chunk == nullptr)
+                return false;  // stream ended short of its count
+        }
+        a = cur.chunk->accesses[cur.chunkPos++];
+    }
+    ++cur.pos;
+    out.page = a.addr / pageSize_;
+    out.line = static_cast<unsigned>((a.addr / sim::kLineSize) %
+                                     linesPerPage_);
+    out.write = a.write;
     return true;
 }
 
@@ -208,25 +262,49 @@ Simulator::runAudit()
     }
 }
 
-void
-Simulator::laneStep(unsigned g, unsigned lane)
+bool
+Simulator::canInline(sim::Cycle next_at) const
 {
-    std::size_t &cur = cursor_[g];
-    if (cur >= decoded_[g].size())
-        return;  // this GPU has drained; the lane retires
-    const LaneAccess access = decoded_[g][cur++];
-    if (accessesCtr_ == nullptr)
-        accessesCtr_ = &stats_.counter("sim.accesses");
-    accessesCtr_->inc();
-    beginAccess(g, lane, access, 0);
+    // Strict `<`: the queue runs same-cycle events in FIFO order, so an
+    // already-pending event with timestamp == next_at would execute
+    // before the continuation. Inlining is only exact when nothing else
+    // could run first.
+    return config_.batchAccesses &&
+           (queue_.empty() || next_at < queue_.nextWhen());
 }
 
 void
+Simulator::runLane(unsigned g, unsigned lane, sim::Cycle now)
+{
+    for (unsigned burst = 0;; ++burst) {
+        LaneAccess access;
+        if (!nextAccess(g, access))
+            return;  // this GPU has drained; the lane retires
+        if (accessesCtr_ == nullptr)
+            accessesCtr_ = &stats_.counter("sim.accesses");
+        accessesCtr_->inc();
+        const std::optional<sim::Cycle> done =
+            beginAccess(g, lane, access, 0, now);
+        if (!done)
+            return;  // faulted; the replay event owns this lane now
+        const sim::Cycle next_at = *done + config_.gpu.laneIssueInterval;
+        if (burst + 1 >= kMaxInlineBurst || !canInline(next_at)) {
+            queue_.schedule(
+                next_at,
+                [this, g, lane] { runLane(g, lane, queue_.now()); },
+                "lane-step");
+            return;
+        }
+        accessesBatched_ += 1;
+        now = next_at;
+    }
+}
+
+std::optional<sim::Cycle>
 Simulator::beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
-                       unsigned attempt)
+                       unsigned attempt, sim::Cycle now)
 {
     gpu::Gpu &gpu = *gpus_[g];
-    const sim::Cycle now = queue_.now();
 
     if (attempt > 0) {
         // Fault replay: the GMMU replays the access with the
@@ -247,10 +325,7 @@ Simulator::beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
         }
         const sim::Cycle done = finishAccess(g, now, loc, a);
         finish_ = std::max(finish_, done);
-        queue_.schedule(done + config_.gpu.laneIssueInterval,
-                        [this, g, lane] { laneStep(g, lane); },
-                        "lane-step");
-        return;
+        return done;
     }
 
     const gpu::TranslateOutcome out =
@@ -279,13 +354,31 @@ Simulator::beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
                                       fo.completion - out.readyAt);
         }
         // The replay is a fresh event so every resource it touches
-        // sees monotonic timestamps.
+        // sees monotonic timestamps. Once it completes, the lane may
+        // continue inline under the same exactness guard — fault-storm
+        // phases (every other lane parked at a far-future replay time)
+        // are exactly where batching pays off.
         const LaneAccess access = a;
         queue_.schedule(
             replay_at,
-            [this, g, lane, access] { beginAccess(g, lane, access, 1); },
+            [this, g, lane, access] {
+                const sim::Cycle done = *beginAccess(
+                    g, lane, access, 1, queue_.now());
+                const sim::Cycle next_at =
+                    done + config_.gpu.laneIssueInterval;
+                if (canInline(next_at)) {
+                    accessesBatched_ += 1;
+                    runLane(g, lane, next_at);
+                } else {
+                    queue_.schedule(next_at,
+                                    [this, g, lane] {
+                                        runLane(g, lane, queue_.now());
+                                    },
+                                    "lane-step");
+                }
+            },
             "fault-replay");
-        return;
+        return std::nullopt;
     }
 
     const sim::GpuId loc = out.rec != nullptr
@@ -293,8 +386,7 @@ Simulator::beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
                                : static_cast<sim::GpuId>(g);
     const sim::Cycle done = finishAccess(g, out.readyAt, loc, a);
     finish_ = std::max(finish_, done);
-    queue_.schedule(done + config_.gpu.laneIssueInterval,
-                    [this, g, lane] { laneStep(g, lane); }, "lane-step");
+    return done;
 }
 
 sim::Cycle
@@ -374,10 +466,12 @@ Simulator::run(bool salvage_partial)
     // Seed every lane of every GPU.
     for (unsigned g = 0; g < config_.numGpus; ++g) {
         const unsigned lanes = std::min<std::uint64_t>(
-            config_.gpu.lanes, decoded_[g].size());
+            config_.gpu.lanes, cursors_[g].total);
         for (unsigned lane = 0; lane < lanes; ++lane)
             queue_.schedule(
-                0, [this, g, lane] { laneStep(g, lane); }, "lane-seed");
+                0,
+                [this, g, lane] { runLane(g, lane, queue_.now()); },
+                "lane-seed");
     }
 
     if (injector_ && injector_->pressureConfigured()) {
@@ -396,7 +490,7 @@ Simulator::run(bool salvage_partial)
 
     std::uint64_t limit = config_.maxEvents;
     if (limit == 0) {
-        limit = 16 * (workload_.totalAccesses() + 1024);
+        limit = 16 * (totalAccesses_ + 1024);
     }
     bool budget_binding = false;
     if (config_.eventBudget != 0 && config_.eventBudget < limit) {
@@ -462,6 +556,7 @@ Simulator::run(bool salvage_partial)
 
     RunResult result;
     result.eventsExecuted = events_executed;
+    result.accessesBatched = accessesBatched_;
     result.cycles = finish_;
     result.accesses = stats_.get("sim.accesses");
     result.localFaults = stats_.get("uvm.local_faults");

@@ -30,6 +30,7 @@
 #include "stats/latency_breakdown.h"
 #include "stats/timeline.h"
 #include "workload/trace.h"
+#include "workload/trace_stream.h"
 
 namespace grit::harness {
 
@@ -89,6 +90,15 @@ struct RunResult
      */
     std::uint64_t eventsExecuted = 0;
 
+    /**
+     * Accesses that completed inline inside a predecessor's event
+     * (SystemConfig::batchAccesses): issued without their own lane-step
+     * event because no other event could have interleaved. Like
+     * eventsExecuted this is a host-side throughput metric and is NOT
+     * serialized; results are bit-identical with batching on or off.
+     */
+    std::uint64_t accessesBatched = 0;
+
     /** Eviction pressure per thousand accesses (GPS comparison). */
     double oversubscriptionRate() const;
 };
@@ -106,6 +116,17 @@ class Simulator
      */
     Simulator(const SystemConfig &config,
               const workload::Workload &workload);
+
+    /**
+     * Streaming variant: replay from bounded-memory chunk streams
+     * instead of materialized traces. @p workload (moved in) carries
+     * the metadata shell, one TraceStream per GPU, and the exact
+     * per-GPU access counts; the replayed access sequence — and thus
+     * every result — is bit-identical to the materialized constructor
+     * for the same (app, params).
+     */
+    Simulator(const SystemConfig &config,
+              workload::StreamedWorkload workload);
     ~Simulator();
 
     Simulator(const Simulator &) = delete;
@@ -140,8 +161,42 @@ class Simulator
         bool write;
     };
 
-    /** Advance lane @p lane of GPU @p g to its next access. */
-    void laneStep(unsigned g, unsigned lane);
+    /**
+     * Per-GPU access source: a cursor over either the materialized
+     * trace or a chunk stream, decoding (page, line) on the fly so the
+     * simulator never holds more than one chunk per GPU.
+     */
+    struct GpuCursor
+    {
+        const workload::GpuTrace *trace = nullptr;  //!< materialized
+        workload::TraceStream *stream = nullptr;    //!< streaming
+        workload::ChunkHandle chunk;   //!< chunk being consumed
+        std::size_t chunkPos = 0;      //!< index into chunk->accesses
+        std::uint64_t pos = 0;         //!< accesses consumed
+        std::uint64_t total = 0;       //!< accesses this GPU will issue
+    };
+
+    /** Wiring shared by both constructors (validate, build components). */
+    void init();
+
+    /** Pop GPU @p g's next access into @p out; false once drained. */
+    bool nextAccess(unsigned g, LaneAccess &out);
+
+    /**
+     * Issue accesses for (g, lane) starting at @p now. Consecutive
+     * completions are executed inline (no lane-step event) while no
+     * other pending event could interleave — see canInline().
+     */
+    void runLane(unsigned g, unsigned lane, sim::Cycle now);
+
+    /**
+     * True when an access completing with its successor due at
+     * @p next_at may continue inline: batching is enabled and the next
+     * pending event runs strictly later (same-cycle FIFO order means an
+     * equal-timestamp event would have run first, so `<` is required
+     * for bit-identical results).
+     */
+    bool canInline(sim::Cycle next_at) const;
 
     /** True once every GPU's access stream is fully issued. */
     bool drained() const;
@@ -156,11 +211,16 @@ class Simulator
     void runAudit();
 
     /**
-     * Translate (attempt @p attempt); faults schedule a retry event at
-     * the fault resolution time so resource timestamps stay monotonic.
+     * Translate (attempt @p attempt) at cycle @p now and, when the
+     * access completes, return its completion time. A fresh fault
+     * (attempt 0) schedules the replay event at the fault resolution
+     * time — so resource timestamps stay monotonic — and returns
+     * nullopt: the replay event owns the lane from then on.
      */
-    void beginAccess(unsigned g, unsigned lane, const LaneAccess &a,
-                     unsigned attempt);
+    std::optional<sim::Cycle> beginAccess(unsigned g, unsigned lane,
+                                          const LaneAccess &a,
+                                          unsigned attempt,
+                                          sim::Cycle now);
 
     /**
      * Data path after translation (or fault replay): access the line
@@ -170,6 +230,9 @@ class Simulator
                             const LaneAccess &a);
 
     SystemConfig config_;
+    /** Owned streamed source; null on the materialized path. Declared
+        before workload_, which binds to streamed_->meta when set. */
+    std::unique_ptr<workload::StreamedWorkload> streamed_;
     const workload::Workload &workload_;
 
     sim::EventQueue queue_;
@@ -195,9 +258,12 @@ class Simulator
     /** Per-run event timeline, engaged when the config samples one. */
     std::optional<stats::IntervalSampler> timeline_;
 
-    /** Pre-decoded per-GPU access streams. */
-    std::vector<std::vector<LaneAccess>> decoded_;
-    std::vector<std::size_t> cursor_;  //!< shared per-GPU work cursor
+    /** Per-GPU shared work cursors (CU work distribution). */
+    std::vector<GpuCursor> cursors_;
+    std::uint64_t totalAccesses_ = 0;
+    std::uint64_t pageSize_ = 0;
+    unsigned linesPerPage_ = 0;
+    std::uint64_t accessesBatched_ = 0;
     sim::Cycle finish_ = 0;
     std::array<std::uint64_t, 4> schemeAccesses_{};
     std::uint64_t peakReplicas_ = 0;

@@ -42,7 +42,6 @@ shell(AppId app, const WorkloadParams &params)
     w.paperFootprintMB = meta.paperFootprintMB;
     w.footprintPages4k = static_cast<std::uint64_t>(
         meta.paperFootprintMB) * 256 / params.footprintDivisor;
-    (void)params;
     return w;
 }
 
@@ -53,13 +52,12 @@ shell(AppId app, const WorkloadParams &params)
  * private and hot, mostly read (Figs. 4 and 9: BFS is read-dominant and
  * most accesses land on the dominant page class).
  */
-Workload
-makeBfs(const WorkloadParams &params)
+void
+genBfs(const WorkloadParams &params, std::uint64_t pages,
+       TraceSink &sink)
 {
-    Workload w = shell(AppId::kBfs, params);
-    TraceBuilder tb(params.numGpus, params.seed ^ 0xBF5ULL);
+    TraceBuilder tb(params.numGpus, params.seed ^ 0xBF5ULL, sink);
     RegionAllocator ra;
-    const std::uint64_t pages = w.footprintPages4k;
     const Region graph = ra.alloc(pages * 7 / 10);
     const Region frontier = ra.alloc(pages - graph.pages);
 
@@ -87,8 +85,6 @@ makeBfs(const WorkloadParams &params)
             tb.randomAccesses(g, queue, 500, /*write_prob=*/0.5);
         }
     }
-    w.traces = tb.take();
-    return w;
 }
 
 /**
@@ -98,13 +94,13 @@ makeBfs(const WorkloadParams &params)
  * read-write pattern where write collapses devastate duplication and
  * on-touch ping-pongs (Fig. 1: access-counter wins).
  */
-Workload
-makeBs(const WorkloadParams &params)
+void
+genBs(const WorkloadParams &params, std::uint64_t pages,
+      TraceSink &sink)
 {
-    Workload w = shell(AppId::kBs, params);
-    TraceBuilder tb(params.numGpus, params.seed ^ 0xB17ULL);
+    TraceBuilder tb(params.numGpus, params.seed ^ 0xB17ULL, sink);
     RegionAllocator ra;
-    const Region array = ra.alloc(w.footprintPages4k);
+    const Region array = ra.alloc(pages);
 
     const unsigned stages = iters(14, params.intensity);
     for (unsigned s = 0; s < stages; ++s) {
@@ -122,8 +118,6 @@ makeBs(const WorkloadParams &params)
             tb.randomAccesses(g, array, 400, /*write_prob=*/0.40);
         }
     }
-    w.traces = tb.take();
-    return w;
 }
 
 /**
@@ -132,18 +126,18 @@ makeBs(const WorkloadParams &params)
  * producer-consumer sharing of Fig. 5(a) with only two faults per page,
  * which keeps GRIT on the initial on-touch scheme (Section VI-A).
  */
-Workload
-makeC2d(const WorkloadParams &params)
+void
+genC2d(const WorkloadParams &params, std::uint64_t pages,
+       TraceSink &sink)
 {
-    Workload w = shell(AppId::kC2d, params);
-    TraceBuilder tb(params.numGpus, params.seed ^ 0xC2DULL);
+    TraceBuilder tb(params.numGpus, params.seed ^ 0xC2DULL, sink);
     RegionAllocator ra;
 
     const unsigned layers = 8;
     std::vector<Region> acts;
     acts.reserve(layers);
     for (unsigned l = 0; l < layers; ++l)
-        acts.push_back(ra.alloc(w.footprintPages4k / layers));
+        acts.push_back(ra.alloc(pages / layers));
 
     const unsigned passes = iters(1, params.intensity);
     for (unsigned pass = 0; pass < passes; ++pass) {
@@ -171,8 +165,6 @@ makeC2d(const WorkloadParams &params)
             }
         }
     }
-    w.traces = tb.take();
-    return w;
 }
 
 /**
@@ -181,13 +173,12 @@ makeC2d(const WorkloadParams &params)
  * on-touch migration optimal; the 70 % memory oversubscription causes
  * spills whose re-migration dominates the other schemes.
  */
-Workload
-makeFir(const WorkloadParams &params)
+void
+genFir(const WorkloadParams &params, std::uint64_t pages,
+       TraceSink &sink)
 {
-    Workload w = shell(AppId::kFir, params);
-    TraceBuilder tb(params.numGpus, params.seed ^ 0xF18ULL);
+    TraceBuilder tb(params.numGpus, params.seed ^ 0xF18ULL, sink);
     RegionAllocator ra;
-    const std::uint64_t pages = w.footprintPages4k;
     const Region input = ra.alloc(pages * 3 / 5);
     const Region output = ra.alloc(pages - input.pages);
 
@@ -200,8 +191,6 @@ makeFir(const WorkloadParams &params)
                      /*write_prob=*/1.0);
         }
     }
-    w.traces = tb.take();
-    return w;
 }
 
 /**
@@ -211,13 +200,12 @@ makeFir(const WorkloadParams &params)
  * private read-write, in large consecutive runs — ideal for
  * Neighboring-Aware Prediction.
  */
-Workload
-makeGemm(const WorkloadParams &params)
+void
+genGemm(const WorkloadParams &params, std::uint64_t pages,
+        TraceSink &sink)
 {
-    Workload w = shell(AppId::kGemm, params);
-    TraceBuilder tb(params.numGpus, params.seed ^ 0x6E33ULL);
+    TraceBuilder tb(params.numGpus, params.seed ^ 0x6E33ULL, sink);
     RegionAllocator ra;
-    const std::uint64_t pages = w.footprintPages4k;
     const Region a = ra.alloc(pages / 4);
     const Region b = ra.alloc(pages / 4);
     const Region c = ra.alloc(pages - a.pages - b.pages);
@@ -241,21 +229,18 @@ makeGemm(const WorkloadParams &params)
                      /*write_prob=*/0.5);
         }
     }
-    w.traces = tb.take();
-    return w;
 }
 
 /**
  * MM (AMDAPPSDK): matrix multiplication with a strided (scatter-gather)
  * inner access pattern over the shared inputs; otherwise GEMM-shaped.
  */
-Workload
-makeMm(const WorkloadParams &params)
+void
+genMm(const WorkloadParams &params, std::uint64_t pages,
+      TraceSink &sink)
 {
-    Workload w = shell(AppId::kMm, params);
-    TraceBuilder tb(params.numGpus, params.seed ^ 0x3434ULL);
+    TraceBuilder tb(params.numGpus, params.seed ^ 0x3434ULL, sink);
     RegionAllocator ra;
-    const std::uint64_t pages = w.footprintPages4k;
     const Region a = ra.alloc(pages / 4);
     const Region b = ra.alloc(pages / 4);
     const Region c = ra.alloc(pages - a.pages - b.pages);
@@ -277,8 +262,6 @@ makeMm(const WorkloadParams &params)
                      /*write_prob=*/0.5);
         }
     }
-    w.traces = tb.take();
-    return w;
 }
 
 /**
@@ -286,13 +269,12 @@ makeMm(const WorkloadParams &params)
  * (Fig. 4), but the kernel window re-reads input pages heavily and a
  * two-page halo is shared with the neighboring GPU.
  */
-Workload
-makeSc(const WorkloadParams &params)
+void
+genSc(const WorkloadParams &params, std::uint64_t pages,
+      TraceSink &sink)
 {
-    Workload w = shell(AppId::kSc, params);
-    TraceBuilder tb(params.numGpus, params.seed ^ 0x5CULL);
+    TraceBuilder tb(params.numGpus, params.seed ^ 0x5CULL, sink);
     RegionAllocator ra;
-    const std::uint64_t pages = w.footprintPages4k;
     const Region input = ra.alloc(pages * 7 / 10);
     const Region output = ra.alloc(pages - input.pages);
 
@@ -313,8 +295,6 @@ makeSc(const WorkloadParams &params)
                      /*write_prob=*/1.0);
         }
     }
-    w.traces = tb.take();
-    return w;
 }
 
 /**
@@ -324,13 +304,13 @@ makeSc(const WorkloadParams &params)
  * shared (99 % per Section VI-A), alternating all-shared and
  * producer-consumer phases (Figs. 5(b) and 8).
  */
-Workload
-makeSt(const WorkloadParams &params)
+void
+genSt(const WorkloadParams &params, std::uint64_t pages,
+      TraceSink &sink)
 {
-    Workload w = shell(AppId::kSt, params);
-    TraceBuilder tb(params.numGpus, params.seed ^ 0x57ULL);
+    TraceBuilder tb(params.numGpus, params.seed ^ 0x57ULL, sink);
     RegionAllocator ra;
-    const Region grid = ra.alloc(w.footprintPages4k);
+    const Region grid = ra.alloc(pages);
 
     const unsigned total = iters(30, params.intensity);
     const unsigned read_only = total / 4;
@@ -359,8 +339,6 @@ makeSt(const WorkloadParams &params)
                 tb.touchLines(g, next.firstPage + i, 8, false);
         }
     }
-    w.traces = tb.take();
-    return w;
 }
 
 }  // namespace
@@ -387,22 +365,40 @@ appFromName(const std::string &name)
 }
 
 Workload
-makeWorkload(AppId app, const WorkloadParams &params)
+workloadShell(AppId app, const WorkloadParams &params)
 {
     assert(params.numGpus > 0);
     assert(params.footprintDivisor > 0);
+    return shell(app, params);
+}
+
+void
+generateTrace(AppId app, const WorkloadParams &params, TraceSink &sink)
+{
+    assert(params.numGpus > 0);
+    assert(params.footprintDivisor > 0);
+    const std::uint64_t pages = shell(app, params).footprintPages4k;
     switch (app) {
-      case AppId::kBfs:  return makeBfs(params);
-      case AppId::kBs:   return makeBs(params);
-      case AppId::kC2d:  return makeC2d(params);
-      case AppId::kFir:  return makeFir(params);
-      case AppId::kGemm: return makeGemm(params);
-      case AppId::kMm:   return makeMm(params);
-      case AppId::kSc:   return makeSc(params);
-      case AppId::kSt:   return makeSt(params);
+      case AppId::kBfs:  genBfs(params, pages, sink);  return;
+      case AppId::kBs:   genBs(params, pages, sink);   return;
+      case AppId::kC2d:  genC2d(params, pages, sink);  return;
+      case AppId::kFir:  genFir(params, pages, sink);  return;
+      case AppId::kGemm: genGemm(params, pages, sink); return;
+      case AppId::kMm:   genMm(params, pages, sink);   return;
+      case AppId::kSc:   genSc(params, pages, sink);   return;
+      case AppId::kSt:   genSt(params, pages, sink);   return;
     }
     assert(false && "unknown application");
-    return Workload{};
+}
+
+Workload
+makeWorkload(AppId app, const WorkloadParams &params)
+{
+    Workload w = workloadShell(app, params);
+    VectorSink sink(params.numGpus);
+    generateTrace(app, params, sink);
+    w.traces = sink.take();
+    return w;
 }
 
 }  // namespace grit::workload

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "workload/trace.h"
+#include "workload/trace_stream.h"
 
 namespace grit::workload {
 
@@ -69,7 +70,23 @@ struct WorkloadParams
     bool operator==(const WorkloadParams &) const = default;
 };
 
-/** Generate the trace for @p app. */
+/**
+ * Metadata shell for @p app under @p params: everything but the
+ * traces (name, suite, pattern, scaled footprint). Cheap — no
+ * generation happens.
+ */
+Workload workloadShell(AppId app, const WorkloadParams &params = {});
+
+/**
+ * Emit @p app's full multi-GPU trace into @p sink, in generation
+ * order. The streaming back end of makeWorkload: identical RNG draws,
+ * bit-identical accesses, but the caller chooses where they land
+ * (materialize, count, or chunk — workload/trace_stream.h).
+ */
+void generateTrace(AppId app, const WorkloadParams &params,
+                   TraceSink &sink);
+
+/** Generate the trace for @p app (materialized). */
 Workload makeWorkload(AppId app, const WorkloadParams &params = {});
 
 }  // namespace grit::workload

@@ -45,7 +45,7 @@ dnnModelName(DnnModel model)
 }
 
 Workload
-makeDnnWorkload(DnnModel model, const WorkloadParams &params)
+dnnWorkloadShell(DnnModel model, const WorkloadParams &params)
 {
     assert(params.numGpus > 0);
     const DnnGeometry geo = geometry(model);
@@ -58,17 +58,28 @@ makeDnnWorkload(DnnModel model, const WorkloadParams &params)
     w.paperFootprintMB = geo.paperFootprintMB;
     w.footprintPages4k = static_cast<std::uint64_t>(geo.paperFootprintMB) *
                          256 / params.footprintDivisor;
+    return w;
+}
 
-    TraceBuilder tb(params.numGpus, params.seed ^ 0xD77ULL);
+void
+generateDnnTrace(DnnModel model, const WorkloadParams &params,
+                 TraceSink &sink)
+{
+    assert(params.numGpus > 0);
+    const DnnGeometry geo = geometry(model);
+    const std::uint64_t footprint_pages =
+        dnnWorkloadShell(model, params).footprintPages4k;
+
+    TraceBuilder tb(params.numGpus, params.seed ^ 0xD77ULL, sink);
     RegionAllocator ra;
 
     // Partition the footprint between weights (+gradients), the
     // inter-layer activation buffers, and a read-shared region
     // (normalization statistics, embedding tables, and the input batch
     // consulted by every pipeline stage).
-    const std::uint64_t shared_pages =
-        std::max<std::uint64_t>(8, w.footprintPages4k / geo.sharedDenominator);
-    const std::uint64_t rest = w.footprintPages4k - shared_pages;
+    const std::uint64_t shared_pages = std::max<std::uint64_t>(
+        8, footprint_pages / geo.sharedDenominator);
+    const std::uint64_t rest = footprint_pages - shared_pages;
     const std::uint64_t act_pages = static_cast<std::uint64_t>(
         static_cast<double>(rest) / (1.0 + geo.weightRatio));
     const std::uint64_t weight_pages = rest - act_pages;
@@ -114,7 +125,15 @@ makeDnnWorkload(DnnModel model, const WorkloadParams &params)
             tb.sweep(g, acts[l], /*per_page=*/2, /*write_prob=*/1.0);
         }
     }
-    w.traces = tb.take();
+}
+
+Workload
+makeDnnWorkload(DnnModel model, const WorkloadParams &params)
+{
+    Workload w = dnnWorkloadShell(model, params);
+    VectorSink sink(params.numGpus);
+    generateDnnTrace(model, params, sink);
+    w.traces = sink.take();
     return w;
 }
 

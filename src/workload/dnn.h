@@ -25,6 +25,18 @@ enum class DnnModel { kVgg16, kResNet18 };
 /** Printable model name. */
 const char *dnnModelName(DnnModel model);
 
+/** Metadata shell for @p model under @p params (traces empty). */
+Workload dnnWorkloadShell(DnnModel model,
+                          const WorkloadParams &params = {});
+
+/**
+ * Emit @p model's training trace into @p sink, in generation order
+ * (the streaming back end of makeDnnWorkload — bit-identical
+ * accesses; see workload/trace_stream.h).
+ */
+void generateDnnTrace(DnnModel model, const WorkloadParams &params,
+                      TraceSink &sink);
+
 /** Generate a model-parallel training trace for @p model. */
 Workload makeDnnWorkload(DnnModel model, const WorkloadParams &params = {});
 

@@ -1,5 +1,6 @@
 #include "workload/generators.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace grit::workload {
@@ -25,9 +26,26 @@ RegionAllocator::alloc(std::uint64_t pages)
 }
 
 TraceBuilder::TraceBuilder(unsigned num_gpus, std::uint64_t seed)
-    : gpus_(num_gpus), rng_(seed), traces_(num_gpus)
+    : gpus_(num_gpus),
+      rng_(seed),
+      owned_(std::make_unique<VectorSink>(num_gpus)),
+      sink_(owned_.get())
 {
     assert(num_gpus > 0);
+}
+
+TraceBuilder::TraceBuilder(unsigned num_gpus, std::uint64_t seed,
+                           TraceSink &sink)
+    : gpus_(num_gpus), rng_(seed), sink_(&sink)
+{
+    assert(num_gpus > 0);
+}
+
+std::vector<GpuTrace>
+TraceBuilder::take()
+{
+    assert(owned_ != nullptr && "take() requires materializing mode");
+    return owned_->take();
 }
 
 void
@@ -36,7 +54,7 @@ TraceBuilder::touch(unsigned gpu, sim::PageId page, bool write)
     assert(gpu < gpus_);
     const unsigned line = static_cast<unsigned>(
         rng_.below(sim::kPageSize4K / sim::kLineSize));
-    traces_[gpu].push_back(Access{pageLineAddr(page, line), write});
+    sink_->emit(gpu, Access{pageLineAddr(page, line), write});
 }
 
 void
@@ -47,7 +65,7 @@ TraceBuilder::touchLines(unsigned gpu, sim::PageId page, unsigned count,
         static_cast<unsigned>(sim::kPageSize4K / sim::kLineSize);
     for (unsigned i = 0; i < count; ++i) {
         const unsigned line = i % lines_per_page;
-        traces_[gpu].push_back(Access{pageLineAddr(page, line), write});
+        sink_->emit(gpu, Access{pageLineAddr(page, line), write});
     }
 }
 
@@ -84,6 +102,61 @@ TraceBuilder::stridedPass(unsigned gpu, const Region &region,
         for (unsigned i = 0; i < per_page; ++i)
             touch(gpu, p, rng_.chance(write_prob));
     }
+}
+
+Workload
+scaleWorkloadShell(const ScaleParams &params)
+{
+    Workload w;
+    w.name = "SCALE";
+    w.fullName = "Production-scale synthetic footprint";
+    w.suite = "grit-bench";
+    w.pattern = "Adjacent+Random";
+    w.paperFootprintMB =
+        static_cast<unsigned>(params.pages * sim::kPageSize4K / (1 << 20));
+    w.footprintPages4k = params.pages;
+    return w;
+}
+
+void
+generateScaleTrace(const ScaleParams &params, TraceSink &sink)
+{
+    assert(params.numGpus > 0 && params.pages >= params.numGpus);
+    TraceBuilder tb(params.numGpus, params.seed ^ 0x5CA1EULL, sink);
+    RegionAllocator ra;
+    const std::uint64_t shared_pages =
+        std::max<std::uint64_t>(1, params.pages / 64);
+    const Region shared = ra.alloc(shared_pages);
+    const Region slab = ra.alloc(params.pages - shared_pages);
+
+    // Residency sweep: every page of every private slice is touched, so
+    // the page tables and replica directory reach full-footprint size.
+    for (unsigned g = 0; g < params.numGpus; ++g)
+        tb.sweep(g, slab.slice(g, params.numGpus), params.sweepPerPage,
+                 /*write_prob=*/0.3);
+    // Steady state: random re-touches of the private slice plus shared
+    // read traffic, interleaved per GPU in modest rounds so the lanes
+    // of all GPUs stay concurrently active.
+    const unsigned rounds = 8;
+    for (unsigned r = 0; r < rounds; ++r) {
+        for (unsigned g = 0; g < params.numGpus; ++g) {
+            tb.randomAccesses(g, slab.slice(g, params.numGpus),
+                              params.randomPerGpu / rounds,
+                              /*write_prob=*/0.2);
+            tb.randomAccesses(g, shared, params.sharedPerGpu / rounds,
+                              /*write_prob=*/0.0);
+        }
+    }
+}
+
+Workload
+makeScaleWorkload(const ScaleParams &params)
+{
+    Workload w = scaleWorkloadShell(params);
+    VectorSink sink(params.numGpus);
+    generateScaleTrace(params, sink);
+    w.traces = sink.take();
+    return w;
 }
 
 }  // namespace grit::workload

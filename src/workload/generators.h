@@ -13,12 +13,14 @@
 #define GRIT_WORKLOAD_GENERATORS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "simcore/rng.h"
 #include "simcore/types.h"
 #include "workload/trace.h"
+#include "workload/trace_stream.h"
 
 namespace grit::workload {
 
@@ -54,15 +56,28 @@ class RegionAllocator
     sim::PageId next_ = 0;
 };
 
-/** Accumulates the per-GPU access streams of one workload. */
+/**
+ * Emits the per-GPU access streams of one workload.
+ *
+ * The pattern helpers draw from one shared RNG in global generation
+ * order, so the emitted interleaving is deterministic regardless of
+ * where the accesses land: into owned per-GPU vectors (the default,
+ * collected with take()) or into an external TraceSink (the streaming
+ * path — see workload/trace_stream.h). Both modes perform identical
+ * RNG draws, so they produce bit-identical traces.
+ */
 class TraceBuilder
 {
   public:
     /**
+     * Materializing mode: accumulate into owned vectors.
      * @param num_gpus GPUs in the system.
      * @param seed     deterministic RNG seed.
      */
     TraceBuilder(unsigned num_gpus, std::uint64_t seed);
+
+    /** Streaming mode: forward every access to @p sink. */
+    TraceBuilder(unsigned num_gpus, std::uint64_t seed, TraceSink &sink);
 
     unsigned numGpus() const { return static_cast<unsigned>(gpus_); }
 
@@ -99,14 +114,48 @@ class TraceBuilder
 
     sim::Rng &rng() { return rng_; }
 
-    /** Move the accumulated streams out. */
-    std::vector<GpuTrace> take() { return std::move(traces_); }
+    /** Move the accumulated streams out (materializing mode only). */
+    std::vector<GpuTrace> take();
 
   private:
     std::size_t gpus_;
     sim::Rng rng_;
-    std::vector<GpuTrace> traces_;
+    std::unique_ptr<VectorSink> owned_;  //!< materializing mode only
+    TraceSink *sink_;                    //!< never null
 };
+
+/**
+ * Production-scale synthetic workload for the million-page
+ * `perf_hotpath` cell (docs/WORKLOADS.md): per-GPU private slices are
+ * swept sequentially (every page becomes resident, stressing the
+ * flat_map page tables at full footprint) and re-touched uniformly at
+ * random (calendar-queue churn), while a small shared region adds
+ * cross-GPU read traffic through the replica directory.
+ */
+struct ScaleParams
+{
+    /** Total resident footprint in 4 KB pages. */
+    std::uint64_t pages = 1u << 20;
+    unsigned numGpus = 4;
+    std::uint64_t seed = 1;
+    /** Sequential touches per page during the residency sweep. */
+    unsigned sweepPerPage = 2;
+    /** Uniform random re-touches per GPU within its own slice. */
+    std::uint64_t randomPerGpu = 1u << 19;
+    /** Random reads per GPU of the shared region (1/64 of pages). */
+    std::uint64_t sharedPerGpu = 1u << 15;
+
+    bool operator==(const ScaleParams &) const = default;
+};
+
+/** Metadata shell of the scale workload (traces empty). */
+Workload scaleWorkloadShell(const ScaleParams &params);
+
+/** Emit the scale workload's trace into @p sink. */
+void generateScaleTrace(const ScaleParams &params, TraceSink &sink);
+
+/** Materialized scale workload (tests; prefer streaming at size). */
+Workload makeScaleWorkload(const ScaleParams &params);
 
 }  // namespace grit::workload
 

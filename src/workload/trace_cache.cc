@@ -37,6 +37,20 @@ TraceCache::KeyHash::operator()(const Key &key) const
     return static_cast<std::size_t>(h);
 }
 
+std::size_t
+TraceCache::ChunkKeyHash::operator()(const ChunkKey &key) const
+{
+    std::uint64_t h = static_cast<std::uint64_t>(key.app);
+    h = mix(h, key.params.numGpus);
+    h = mix(h, key.params.footprintDivisor);
+    h = mix(h, key.params.seed);
+    h = mix(h, std::bit_cast<std::uint64_t>(key.params.intensity));
+    h = mix(h, key.gpu);
+    h = mix(h, key.chunkAccesses);
+    h = mix(h, key.chunk);
+    return static_cast<std::size_t>(h);
+}
+
 WorkloadHandle
 TraceCache::get(AppId app, const WorkloadParams &params)
 {
@@ -74,7 +88,7 @@ TraceCache::get(AppId app, const WorkloadParams &params)
                 it->second.bytes = workloadBytes(*handle);
                 it->second.ready = true;
                 totalBytes_ += it->second.bytes;
-                evictLocked(key);
+                evictLocked(&key, nullptr);
             }
         } catch (...) {
             // Don't cache the failure: drop the slot so a later call can
@@ -92,23 +106,187 @@ TraceCache::get(AppId app, const WorkloadParams &params)
 }
 
 void
-TraceCache::evictLocked(const Key &protect)
+TraceCache::evictLocked(const Key *protect, const ChunkKey *protect_chunk)
 {
     while (byteBudget_ != 0 && totalBytes_ > byteBudget_) {
         auto victim = map_.end();
         for (auto it = map_.begin(); it != map_.end(); ++it) {
-            if (!it->second.ready || it->first == protect)
+            if (!it->second.ready ||
+                (protect != nullptr && it->first == *protect))
                 continue;
             if (victim == map_.end() ||
                 it->second.lastUse < victim->second.lastUse)
                 victim = it;
         }
-        if (victim == map_.end())
+        auto chunk_victim = chunks_.end();
+        for (auto it = chunks_.begin(); it != chunks_.end(); ++it) {
+            if (protect_chunk != nullptr && it->first == *protect_chunk)
+                continue;
+            if (chunk_victim == chunks_.end() ||
+                it->second.lastUse < chunk_victim->second.lastUse)
+                chunk_victim = it;
+        }
+        // One LRU clock across both pools: evict whichever candidate
+        // is globally least recently used.
+        const bool have_trace = victim != map_.end();
+        const bool have_chunk = chunk_victim != chunks_.end();
+        if (!have_trace && !have_chunk)
             break;  // nothing evictable (in-flight or protected only)
-        totalBytes_ -= victim->second.bytes;
-        evictions_.fetch_add(1);
-        map_.erase(victim);
+        if (have_trace &&
+            (!have_chunk ||
+             victim->second.lastUse < chunk_victim->second.lastUse)) {
+            totalBytes_ -= victim->second.bytes;
+            evictions_.fetch_add(1);
+            map_.erase(victim);
+        } else {
+            totalBytes_ -= chunk_victim->second.bytes;
+            evictions_.fetch_add(1);
+            chunks_.erase(chunk_victim);
+        }
     }
+}
+
+ChunkHandle
+TraceCache::chunkLookup(const ChunkKey &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = chunks_.find(key);
+    if (it == chunks_.end()) {
+        misses_.fetch_add(1);
+        return nullptr;
+    }
+    it->second.lastUse = ++tick_;
+    hits_.fetch_add(1);
+    return it->second.chunk;
+}
+
+void
+TraceCache::chunkInsert(const ChunkKey &key, const ChunkHandle &chunk)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = chunks_.try_emplace(key);
+    if (!inserted) {
+        it->second.lastUse = ++tick_;  // raced another consumer
+        return;
+    }
+    it->second.chunk = chunk;
+    it->second.bytes = chunkBytes(*chunk);
+    it->second.lastUse = ++tick_;
+    totalBytes_ += it->second.bytes;
+    evictLocked(nullptr, &key);
+}
+
+std::vector<std::uint64_t>
+TraceCache::accessCounts(AppId app, const WorkloadParams &params)
+{
+    const Key key{app, params};
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = counts_.find(key);
+        if (it != counts_.end())
+            return it->second;
+    }
+    // Counting pass outside the lock: cheap (RNG + arithmetic, no
+    // storage) and deterministic, so a racing duplicate is harmless.
+    CountingSink sink(params.numGpus);
+    generateTrace(app, params, sink);
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_.try_emplace(key, sink.counts()).first->second;
+}
+
+/**
+ * The consumer-side stream handed out by openStream(): consult the
+ * shared chunk LRU first; on a miss, align a private generator stream
+ * to the requested boundary, pull the chunk, and publish it for other
+ * consumers.
+ */
+class TraceCache::CachedStream : public TraceStream
+{
+  public:
+    CachedStream(TraceCache &cache, AppId app, WorkloadParams params,
+                 unsigned gpu, std::uint64_t chunk_accesses)
+        : cache_(cache),
+          app_(app),
+          params_(params),
+          gpu_(gpu),
+          chunkAccesses_(chunk_accesses)
+    {
+    }
+
+    ChunkHandle
+    next() override
+    {
+        const ChunkKey key{app_, params_, gpu_, chunkAccesses_, pos_};
+        ChunkHandle chunk = cache_.chunkLookup(key);
+        if (chunk == nullptr) {
+            chunk = pullFromSource(pos_);
+            if (chunk == nullptr)
+                return nullptr;
+            cache_.chunkInsert(key, chunk);
+        }
+        ++pos_;
+        return chunk;
+    }
+
+    void seek(std::uint64_t chunk) override { pos_ = chunk; }
+
+    std::uint64_t chunkAccesses() const override { return chunkAccesses_; }
+
+  private:
+    ChunkHandle
+    pullFromSource(std::uint64_t chunk)
+    {
+        if (source_ == nullptr || sourcePos_ > chunk) {
+            const AppId app = app_;
+            const WorkloadParams params = params_;
+            source_ = std::make_unique<GeneratedTraceStream>(
+                [app, params](TraceSink &sink) {
+                    generateTrace(app, params, sink);
+                },
+                gpu_, chunkAccesses_, /*max_buffered=*/4,
+                /*first_chunk=*/chunk);
+            sourcePos_ = chunk;
+        } else if (sourcePos_ < chunk) {
+            // The gap was served from the cache; fast-forward the
+            // generator (forward seek discards, never regenerates).
+            source_->seek(chunk);
+            sourcePos_ = chunk;
+        }
+        ChunkHandle c = source_->next();
+        if (c != nullptr)
+            ++sourcePos_;
+        return c;
+    }
+
+    TraceCache &cache_;
+    AppId app_;
+    WorkloadParams params_;
+    unsigned gpu_;
+    std::uint64_t chunkAccesses_;
+    std::uint64_t pos_ = 0;        //!< next chunk to yield
+    std::unique_ptr<GeneratedTraceStream> source_;
+    std::uint64_t sourcePos_ = 0;  //!< source's next chunk
+};
+
+std::unique_ptr<TraceStream>
+TraceCache::openStream(AppId app, const WorkloadParams &params,
+                       unsigned gpu, std::uint64_t chunk_accesses)
+{
+    return std::make_unique<CachedStream>(*this, app, params, gpu,
+                                          chunk_accesses);
+}
+
+StreamedWorkload
+TraceCache::openWorkload(AppId app, const WorkloadParams &params,
+                         std::uint64_t chunk_accesses)
+{
+    StreamedWorkload sw;
+    sw.meta = workloadShell(app, params);
+    sw.accesses = accessCounts(app, params);
+    sw.streams.reserve(params.numGpus);
+    for (unsigned g = 0; g < params.numGpus; ++g)
+        sw.streams.push_back(openStream(app, params, g, chunk_accesses));
+    return sw;
 }
 
 void
@@ -116,13 +294,8 @@ TraceCache::setByteBudget(std::uint64_t bytes)
 {
     std::lock_guard<std::mutex> lock(mu_);
     byteBudget_ = bytes;
-    if (byteBudget_ != 0 && totalBytes_ > byteBudget_) {
-        // Shrink immediately; protect nothing (no insertion in flight
-        // from this thread). A protect key that cannot match any entry
-        // keeps evictLocked() generic.
-        const Key none{static_cast<AppId>(~0u), WorkloadParams{}};
-        evictLocked(none);
-    }
+    if (byteBudget_ != 0 && totalBytes_ > byteBudget_)
+        evictLocked(nullptr, nullptr);  // shrink immediately, protect nothing
 }
 
 std::uint64_t
@@ -151,6 +324,8 @@ TraceCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
+    chunks_.clear();
+    counts_.clear();
     totalBytes_ = 0;
 }
 

@@ -16,6 +16,14 @@
  * outstanding WorkloadHandles keep their trace alive, so running
  * simulators never dangle; a later get() for an evicted key simply
  * regenerates it.
+ *
+ * Streaming mode (openWorkload/openStream) caches fixed-size
+ * TraceChunks instead of whole traces: the unit of retention — and of
+ * LRU eviction under the same shared byte budget — is one chunk, so a
+ * sweep over million-page footprints keeps only the chunks its
+ * consumers are actually near. Chunk misses are regenerated
+ * deterministically (replay-from-boundary), so eviction can never
+ * change results, only cost regeneration time.
  */
 
 #ifndef GRIT_WORKLOAD_TRACE_CACHE_H_
@@ -30,6 +38,7 @@
 
 #include "workload/apps.h"
 #include "workload/trace.h"
+#include "workload/trace_stream.h"
 
 namespace grit::workload {
 
@@ -59,6 +68,29 @@ class TraceCache
     WorkloadHandle get(AppId app, const WorkloadParams &params);
 
     /**
+     * Open a chunk-cached stream of @p gpu's trace for (app, params).
+     * Sequentially consumed chunks are looked up in the shared chunk
+     * LRU first; misses are produced by a private GeneratedTraceStream
+     * and inserted for other consumers. Deterministic and byte-bounded
+     * like every other entry; safe to consume from any thread, but one
+     * stream object belongs to one consumer.
+     */
+    std::unique_ptr<TraceStream> openStream(AppId app,
+                                            const WorkloadParams &params,
+                                            unsigned gpu,
+                                            std::uint64_t chunk_accesses);
+
+    /**
+     * Streamed view of the whole workload: the metadata shell, one
+     * chunk-cached stream per GPU, and the exact per-GPU access counts
+     * (from a memoized counting pass) the simulator needs to seed
+     * lanes and derive event limits identically to the materialized
+     * path.
+     */
+    StreamedWorkload openWorkload(AppId app, const WorkloadParams &params,
+                                  std::uint64_t chunk_accesses);
+
+    /**
      * Cap resident trace bytes; LRU entries are evicted beyond it.
      * 0 (the default) disables the cap. The entry being inserted is
      * never evicted by its own insertion, so a single oversized trace
@@ -72,13 +104,13 @@ class TraceCache
     /** Resident bytes of fully generated cached traces. */
     std::uint64_t bytes() const;
 
-    /** Entries dropped by the byte budget. */
+    /** Entries (whole traces or chunks) dropped by the byte budget. */
     std::uint64_t evictions() const { return evictions_.load(); }
 
     /** Requests served from an already-generated (or in-flight) entry. */
     std::uint64_t hits() const { return hits_.load(); }
 
-    /** Requests that triggered a trace generation. */
+    /** Requests that triggered a (re)generation. */
     std::uint64_t misses() const { return misses_.load(); }
 
     /** Distinct traces currently cached. */
@@ -108,11 +140,51 @@ class TraceCache
         bool ready = false;         //!< generation finished
     };
 
-    /** Evict LRU ready entries past the budget; @p protect survives. */
-    void evictLocked(const Key &protect);
+    struct ChunkKey
+    {
+        AppId app;
+        WorkloadParams params;
+        unsigned gpu = 0;
+        std::uint64_t chunkAccesses = 0;
+        std::uint64_t chunk = 0;
+        bool operator==(const ChunkKey &) const = default;
+    };
+
+    struct ChunkKeyHash
+    {
+        std::size_t operator()(const ChunkKey &key) const;
+    };
+
+    struct ChunkEntry
+    {
+        ChunkHandle chunk;
+        std::uint64_t bytes = 0;
+        std::uint64_t lastUse = 0;  //!< shared LRU tick with Entry
+    };
+
+    class CachedStream;
+
+    /**
+     * Evict LRU ready entries — whole traces and chunks share one
+     * budget and one LRU clock — until the budget holds; @p protect /
+     * @p protect_chunk (either may be null) survive.
+     */
+    void evictLocked(const Key *protect, const ChunkKey *protect_chunk);
+
+    /** Cached chunk for @p key, or nullptr (bumps LRU + hit/miss). */
+    ChunkHandle chunkLookup(const ChunkKey &key);
+
+    /** Insert @p chunk under @p key (no-op if present), then evict. */
+    void chunkInsert(const ChunkKey &key, const ChunkHandle &chunk);
+
+    /** Memoized counting pass for (app, params). */
+    std::vector<std::uint64_t> accessCounts(AppId app,
+                                            const WorkloadParams &params);
 
     mutable std::mutex mu_;
     std::unordered_map<Key, Entry, KeyHash> map_;
+    std::unordered_map<ChunkKey, ChunkEntry, ChunkKeyHash> chunks_;
+    std::unordered_map<Key, std::vector<std::uint64_t>, KeyHash> counts_;
     std::uint64_t byteBudget_ = 0;
     std::uint64_t totalBytes_ = 0;
     std::uint64_t tick_ = 0;

@@ -13,6 +13,19 @@ endif()
 set(ENV{GRIT_FOOTPRINT_DIVISOR} 128)
 set(ENV{GRIT_INTENSITY} 0.2)
 
+# Optional extra NAME=VALUE environment settings (CMake list), used by
+# the streaming variants to prove GRIT_STREAM_TRACES=1 replays produce
+# byte-identical JSON.
+if(DEFINED EXTRA_ENV)
+    foreach(kv IN LISTS EXTRA_ENV)
+        string(FIND "${kv}" "=" eq)
+        string(SUBSTRING "${kv}" 0 ${eq} k)
+        math(EXPR after "${eq} + 1")
+        string(SUBSTRING "${kv}" ${after} -1 v)
+        set(ENV{${k}} "${v}")
+    endforeach()
+endif()
+
 separate_arguments(cmd_list UNIX_COMMAND "${CMD}")
 execute_process(COMMAND ${cmd_list} --json ${OUT}
                 RESULT_VARIABLE code
