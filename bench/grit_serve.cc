@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The simulation-service daemon: listen on a Unix socket, answer
+ * grit-service requests (docs/SERVICE.md), serve completed cells from
+ * the content-addressed result store, and execute misses on the
+ * experiment engine behind a bounded fair-share admission queue.
+ *
+ * Usage: grit_serve --socket PATH [--store PATH] [--workers N]
+ *                   [--queue N] [--json PATH]
+ *
+ * Lifecycle: runs until SIGINT/SIGTERM, then drains — stops admitting
+ * (clients see "service-draining"), finishes every admitted cell,
+ * persists the store, writes the `--json` service-counters document,
+ * and exits 0. A kill -9 instead loses nothing durable: every stored
+ * result was fsync'd before its client was acknowledged, so a
+ * restarted daemon serves the same cells byte-identically from the
+ * store (the service_smoke ctest proves this).
+ *
+ * Exit codes: 0 clean drain, 2 structured configuration error.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.h"
+#include "service/server.h"
+#include "stats/result_sink.h"
+
+static void
+writeServiceJson(const std::string &path,
+                 const grit::service::ServiceCounters &c)
+{
+    const auto params = grit::bench::benchParams();
+    auto file = grit::bench::openOutput(path);
+    std::ostream &os = file ? *file : std::cout;
+    grit::stats::ResultSink sink(os);
+    sink.begin("grit_serve", "Simulation service counters");
+    sink.writeParams(params.footprintDivisor, params.intensity,
+                     params.seed);
+    sink.beginRuns();
+    sink.endRuns();
+    sink.writeServiceStats(c.requests, c.hits, c.misses, c.deduped,
+                           c.executed, c.rejectedOverload,
+                           c.rejectedDraining, c.badRequests, c.failures,
+                           c.storeEntries);
+    sink.end();
+    os << '\n';
+    if (file)
+        std::cerr << "results: " << path << "\n";
+}
+
+int
+main(int argc, char **argv)
+{
+    using namespace grit;
+
+    harness::Cli cli("grit_serve",
+                     "persistent simulation daemon with a "
+                     "content-addressed result store");
+    std::string socketPath;
+    std::string storePath;
+    unsigned workers = 2;
+    std::uint64_t queueCapacity = 64;
+    std::string jsonPath;
+    cli.flag("--socket", &socketPath, "PATH",
+             "Unix socket to listen on (required)");
+    cli.flag("--store", &storePath, "PATH",
+             "crash-safe result store (empty = no persistence)");
+    cli.flag("--workers", &workers, "N",
+             "executor threads draining the admission queue");
+    cli.flag("--queue", &queueCapacity, "N",
+             "admission-queue bound; beyond it requests are shed");
+    cli.flag("--json", &jsonPath, "PATH",
+             "write the service-counters grit-results document at "
+             "drain (\"-\" = stdout)");
+
+    grit::bench::installSignalHandlers();
+    try {
+        if (!cli.parse(argc, argv))
+            return grit::bench::kExitFull;  // --help
+        if (socketPath.empty())
+            throw sim::SimException(sim::ErrorCode::kBadArgument,
+                                    "--socket <path> is required",
+                                    "grit_serve");
+        if (queueCapacity == 0)
+            throw sim::SimException(sim::ErrorCode::kBadArgument,
+                                    "--queue must be at least 1",
+                                    "grit_serve");
+
+        service::Server::Options options;
+        options.socketPath = socketPath;
+        options.storePath = storePath;
+        options.workers = workers;
+        options.queueCapacity =
+            static_cast<std::size_t>(queueCapacity);
+        service::Server server(std::move(options));
+        server.start();
+        std::cerr << "grit_serve: listening on " << socketPath;
+        if (!storePath.empty())
+            std::cerr << " (store " << storePath << ", "
+                      << server.store().size() << " cached result(s))";
+        std::cerr << "\n";
+
+        while (grit::bench::cancelSignal() == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        std::cerr << "grit_serve: draining on signal "
+                  << grit::bench::cancelSignal() << "\n";
+        server.stop();
+        if (!jsonPath.empty())
+            writeServiceJson(jsonPath, server.counters());
+        return grit::bench::kExitFull;
+    } catch (const sim::SimException &e) {
+        std::cerr << e.error().str() << "\n";
+        return grit::bench::kExitUsage;
+    } catch (const std::exception &e) {
+        std::cerr << "error [internal]: " << e.what() << "\n";
+        return grit::bench::kExitUsage;
+    }
+}

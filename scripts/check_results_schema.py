@@ -32,6 +32,8 @@ ERROR_CODES = [
     "deadline",
     "interrupted",
     "journal",
+    "service-overloaded",
+    "service-draining",
     "internal",
 ]
 
@@ -39,6 +41,8 @@ ERROR_CODES = [
 RUN_SCALARS = {
     "cycles": int,
     "accesses": int,
+    "accesses_batched": int,  # optional: predates streamed replay
+
     "local_faults": int,
     "protection_faults": int,
     "total_faults": int,
@@ -46,6 +50,24 @@ RUN_SCALARS = {
     "peak_replicas": int,
     "oversubscription_rate": (int, float),
 }
+
+# RUN_SCALARS keys a document may omit (introduced after version 2
+# shipped; version-2 documents stay purely additive).
+OPTIONAL_RUN_SCALARS = {"accesses_batched"}
+
+# The simulation-service counters section (docs/SERVICE.md).
+SERVICE_KEYS = [
+    "requests",
+    "hits",
+    "misses",
+    "deduped",
+    "executed",
+    "rejected_overload",
+    "rejected_draining",
+    "bad_requests",
+    "failures",
+    "store_entries",
+]
 
 BREAKDOWN_KEYS = [
     "local",
@@ -126,6 +148,8 @@ def check_run(run, where):
     expect_type(run.get("row"), str, f"{where}.row")
     expect_type(run.get("label"), str, f"{where}.label")
     for key, types in RUN_SCALARS.items():
+        if key in OPTIONAL_RUN_SCALARS and key not in run:
+            continue
         expect(key in run, where, f"missing metric {key!r}")
         expect_type(run[key], types, f"{where}.{key}")
     schemes = run.get("scheme_accesses")
@@ -191,6 +215,16 @@ def check_sweep(sweep, where):
            where, "unexpected sweep keys")
 
 
+def check_service(service, where):
+    expect(isinstance(service, dict), where, "service must be an object")
+    expect(list(service.keys()) == SERVICE_KEYS, where,
+           f"keys must be {SERVICE_KEYS}, got {list(service.keys())}")
+    for key in SERVICE_KEYS:
+        expect_type(service[key], int, f"{where}.{key}")
+        expect(service[key] >= 0, f"{where}.{key}",
+               "counters must be non-negative")
+
+
 def check_table(table, where):
     expect(isinstance(table, dict), where, "table must be an object")
     expect_type(table.get("name"), str, f"{where}.name")
@@ -235,11 +269,13 @@ def check_document(doc, where):
     known = {"schema", "version", "generator", "title", "params", "runs",
              "tables"}
     if version >= 2:
-        known |= {"failures", "sweep"}
+        known |= {"failures", "sweep", "service"}
         for i, failure in enumerate(doc.get("failures", [])):
             check_failure(failure, f"{where}.failures[{i}]")
         if "sweep" in doc:
             check_sweep(doc["sweep"], f"{where}.sweep")
+        if "service" in doc:
+            check_service(doc["service"], f"{where}.service")
     extra = set(doc) - known
     expect(not extra, where, f"unknown top-level keys: {sorted(extra)}")
 

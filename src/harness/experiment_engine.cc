@@ -110,11 +110,14 @@ ExperimentEngine::applyCacheBudget()
 void
 ExperimentEngine::applyStreaming()
 {
-    streamTraces_ = options_.streamTraces;
-    if (!streamTraces_) {
-        if (const char *env = std::getenv("GRIT_STREAM_TRACES"))
-            streamTraces_ = std::string_view(env) != "0";
-    }
+    // Streaming is the default for app-generated cells; the
+    // GRIT_STREAM_TRACES environment variable opts a process out
+    // ("0") and Options::streamTraces forces it back on regardless.
+    streamTraces_ = true;
+    if (const char *env = std::getenv("GRIT_STREAM_TRACES"))
+        streamTraces_ = std::string_view(env) != "0";
+    if (options_.streamTraces)
+        streamTraces_ = true;
     chunkAccesses_ = options_.traceChunkAccesses;
     if (chunkAccesses_ == 0) {
         if (const char *env = std::getenv("GRIT_TRACE_CHUNK")) {

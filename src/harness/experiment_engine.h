@@ -167,10 +167,12 @@ class ExperimentEngine
          * Replay app-generated cells from bounded-memory chunk streams
          * (TraceCache::openWorkload) instead of materialized traces.
          * Results are bit-identical; peak memory stops scaling with
-         * footprint (docs/PERFORMANCE.md, "Scaling footprints"). When
-         * false, the GRIT_STREAM_TRACES environment variable (set to
-         * anything but "0") enables it. Cells carrying a prebuilt
-         * workload handle always run materialized.
+         * footprint (docs/PERFORMANCE.md, "Scaling footprints").
+         * Streaming is the DEFAULT: setting the GRIT_STREAM_TRACES
+         * environment variable to "0" opts a process back into
+         * materialized replay, and true here forces streaming even
+         * then. Cells carrying a prebuilt workload handle always run
+         * materialized.
          */
         bool streamTraces = false;
         /**

@@ -11,6 +11,7 @@ writeRunResult(stats::ResultSink &sink, const RunResult &result)
 {
     sink.scalar("cycles", result.cycles);
     sink.scalar("accesses", result.accesses);
+    sink.scalar("accesses_batched", result.accessesBatched);
     sink.scalar("local_faults", result.localFaults);
     sink.scalar("protection_faults", result.protectionFaults);
     sink.scalar("total_faults", result.totalFaults());

@@ -63,6 +63,8 @@ journalFail(const std::string &message, const std::string &context = {})
     throw sim::SimException(sim::ErrorCode::kJournal, message, context);
 }
 
+}  // namespace
+
 void
 writeErrorJson(stats::JsonWriter &w, const sim::SimError &error)
 {
@@ -86,8 +88,6 @@ errorFromJson(const stats::JsonValue &v)
     error.context = v.at("context").asString();
     return error;
 }
-
-}  // namespace
 
 std::uint64_t
 configDigest(const SystemConfig &config)
@@ -231,6 +231,7 @@ writeRunResultJson(stats::JsonWriter &w, const RunResult &result)
     w.beginObject();
     w.key("cycles").value(result.cycles);
     w.key("accesses").value(result.accesses);
+    w.key("accesses_batched").value(result.accessesBatched);
     w.key("local_faults").value(result.localFaults);
     w.key("protection_faults").value(result.protectionFaults);
     w.key("evictions").value(result.evictions);
@@ -281,6 +282,7 @@ runResultFromJson(const stats::JsonValue &v)
         RunResult r;
         r.cycles = v.at("cycles").asUint64();
         r.accesses = v.at("accesses").asUint64();
+        r.accessesBatched = v.at("accesses_batched").asUint64();
         r.localFaults = v.at("local_faults").asUint64();
         r.protectionFaults = v.at("protection_faults").asUint64();
         r.evictions = v.at("evictions").asUint64();
@@ -332,11 +334,9 @@ runResultFromJson(const stats::JsonValue &v)
     }
 }
 
-std::string
-journalLine(const JournalEntry &entry)
+void
+writeJournalEntryJson(stats::JsonWriter &w, const JournalEntry &entry)
 {
-    std::ostringstream os;
-    stats::JsonWriter w(os);
     w.beginObject();
     w.key("fp").value(entry.fingerprint);
     w.key("row").value(entry.row);
@@ -352,14 +352,21 @@ journalLine(const JournalEntry &entry)
         writeErrorJson(w, *entry.error);
     }
     w.endObject();
+}
+
+std::string
+journalLine(const JournalEntry &entry)
+{
+    std::ostringstream os;
+    stats::JsonWriter w(os);
+    writeJournalEntryJson(w, entry);
     return os.str();
 }
 
 JournalEntry
-journalEntryFromLine(const std::string &line)
+journalEntryFromJson(const stats::JsonValue &v)
 {
     try {
-        const stats::JsonValue v = stats::JsonValue::parse(line);
         JournalEntry entry;
         entry.fingerprint = v.at("fp").asString();
         entry.row = v.at("row").asString();
@@ -381,6 +388,18 @@ journalEntryFromLine(const std::string &line)
     } catch (const std::runtime_error &e) {
         if (dynamic_cast<const sim::SimException *>(&e))
             throw;
+        journalFail(std::string("malformed journal entry: ") + e.what());
+    }
+}
+
+JournalEntry
+journalEntryFromLine(const std::string &line)
+{
+    try {
+        return journalEntryFromJson(stats::JsonValue::parse(line));
+    } catch (const std::runtime_error &e) {
+        if (dynamic_cast<const sim::SimException *>(&e))
+            throw;
         journalFail(std::string("malformed journal line: ") + e.what());
     }
 }
@@ -396,17 +415,19 @@ RunJournal::open(const std::string &path, const std::string &generator,
     if (resume)
         loadExisting(generator);
 
-    const auto mode = resume ? std::ios::app : std::ios::trunc;
-    out_.open(path, std::ios::out | mode);
+    // The writing stream is ALWAYS append-mode: O_APPEND places every
+    // physical write at end-of-file, so two handles on the same path
+    // (a resumed sweep racing a straggler worker) interleave at line
+    // granularity instead of overwriting each other through stale
+    // stream positions. A fresh (non-resume) open truncates first,
+    // through a throwaway stream.
+    const bool fresh = !resume || entries_.empty();
+    if (fresh)
+        std::ofstream(path, std::ios::out | std::ios::trunc);
+    out_.open(path, std::ios::out | std::ios::app);
     if (!out_)
         journalFail("cannot open journal for writing", path);
-    if (!resume || entries_.empty()) {
-        // Fresh file (or resume of a journal that never got entries
-        // past the header — rewrite it so the header is guaranteed).
-        if (resume) {
-            out_.close();
-            out_.open(path, std::ios::out | std::ios::trunc);
-        }
+    if (fresh) {
         std::ostringstream os;
         stats::JsonWriter w(os);
         w.beginObject();
@@ -489,11 +510,15 @@ RunJournal::find(const std::string &fingerprint) const
 void
 RunJournal::append(const JournalEntry &entry)
 {
-    const std::string line = journalLine(entry);
+    std::string line = journalLine(entry);
+    line.push_back('\n');
     std::lock_guard<std::mutex> lock(mutex_);
     if (!out_.is_open())
         journalFail("append to a journal that was never opened", path_);
-    out_ << line << '\n';
+    // One write + flush per record: under the append-mode stream the
+    // whole line lands at end-of-file in a single physical append, so
+    // concurrent writers interleave records, never bytes.
+    out_.write(line.data(), static_cast<std::streamsize>(line.size()));
     out_.flush();
     auto owned = std::make_unique<JournalEntry>(entry);
     index_[owned->fingerprint] = owned.get();

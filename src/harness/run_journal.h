@@ -13,9 +13,12 @@
  * merged output is byte-identical to an uninterrupted sweep.
  *
  * File layout: a header line
- *   {"schema":"grit-run-journal","version":1,"generator":"<binary>"}
+ *   {"schema":"grit-run-journal","version":2,"generator":"<binary>"}
  * followed by one entry object per line. A truncated final line (the
- * signature of a crash mid-append) is ignored on load.
+ * signature of a crash mid-append) is ignored on load. Version 2 added
+ * the "accesses_batched" run field; version-1 journals are rejected on
+ * resume (re-running the sweep is cheaper than replaying a record that
+ * silently zeroes a now-exported metric).
  */
 
 #ifndef GRIT_HARNESS_RUN_JOURNAL_H_
@@ -78,6 +81,16 @@ void writeRunResultJson(stats::JsonWriter &w, const RunResult &result);
 /** Inverse of writeRunResultJson. @throws SimException (kJournal). */
 RunResult runResultFromJson(const stats::JsonValue &v);
 
+/** {"code","message","context"} object (shared with src/service). */
+void writeErrorJson(stats::JsonWriter &w, const sim::SimError &error);
+/** Inverse of writeErrorJson. @throws SimException (kJournal). */
+sim::SimError errorFromJson(const stats::JsonValue &v);
+
+/** Entry object serialization (shared with the service protocol). */
+void writeJournalEntryJson(stats::JsonWriter &w, const JournalEntry &entry);
+/** Inverse of writeJournalEntryJson. @throws SimException (kJournal). */
+JournalEntry journalEntryFromJson(const stats::JsonValue &v);
+
 /** Serialize @p entry as one journal line (no trailing newline). */
 std::string journalLine(const JournalEntry &entry);
 /** Parse one journal line. @throws SimException (kJournal). */
@@ -91,7 +104,7 @@ class RunJournal
 {
   public:
     static constexpr const char *kSchemaName = "grit-run-journal";
-    static constexpr unsigned kSchemaVersion = 1;
+    static constexpr unsigned kSchemaVersion = 2;
 
     /**
      * Open @p path for appending. With @p resume, an existing file is

@@ -93,9 +93,13 @@ struct RunResult
     /**
      * Accesses that completed inline inside a predecessor's event
      * (SystemConfig::batchAccesses): issued without their own lane-step
-     * event because no other event could have interleaved. Like
-     * eventsExecuted this is a host-side throughput metric and is NOT
-     * serialized; results are bit-identical with batching on or off.
+     * event because no other event could have interleaved. A host-side
+     * throughput metric like eventsExecuted, but — unlike it —
+     * serialized as "accesses_batched" in the grit-results schema and
+     * the run journal (v2): the value is a pure function of the cell
+     * (config + workload), so it stays byte-identical across worker
+     * counts and streamed/materialized replay. Simulation results are
+     * bit-identical with batching on or off.
      */
     std::uint64_t accessesBatched = 0;
 

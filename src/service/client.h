@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Thin client of the simulation service: one request/response round
+ * trip per call over the daemon's Unix socket, with retry + capped
+ * exponential backoff for connect failures and "service-overloaded"
+ * shedding.
+ *
+ * Backoff jitter is deterministic — derived from (request key,
+ * attempt) through the repo's standard splitmix64 mixer, never from
+ * wall clock or a global RNG — so a retry schedule is reproducible
+ * in tests and two clients hammering the same server still spread
+ * out (their keys differ).
+ */
+
+#ifndef GRIT_SERVICE_CLIENT_H_
+#define GRIT_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace grit::service {
+
+/**
+ * Backoff delay (milliseconds) before retry @p attempt (1-based) of
+ * the request identified by @p key: base * 2^(attempt-1), capped at
+ * @p cap_ms, the upper half jittered deterministically from
+ * (key, attempt). Exposed for tests.
+ */
+std::uint64_t backoffDelayMs(const std::string &key, unsigned attempt,
+                             std::uint64_t base_ms,
+                             std::uint64_t cap_ms);
+
+/** The service client. Not thread-safe; one instance per thread. */
+class Client
+{
+  public:
+    struct Options
+    {
+        std::string socketPath;
+        /** Extra attempts after the first (0 = fail fast). */
+        unsigned retries = 0;
+        std::uint64_t backoffBaseMs = 50;
+        std::uint64_t backoffCapMs = 2000;
+    };
+
+    explicit Client(Options options) : options_(std::move(options)) {}
+
+    /**
+     * Send @p request, wait for the response line. Retries (with
+     * backoff) when the daemon is unreachable or answers
+     * "service-overloaded"; any other response — including
+     * "service-draining" and run failures — returns immediately.
+     * @throws sim::SimException (kInternal) when every attempt failed
+     *         to reach the daemon, (kBadArgument) on a malformed
+     *         response line.
+     */
+    Response submit(const Request &request);
+
+  private:
+    /** One connect/send/receive cycle; @throws on socket failure. */
+    Response roundTrip(const Request &request);
+
+    Options options_;
+};
+
+}  // namespace grit::service
+
+#endif  // GRIT_SERVICE_CLIENT_H_

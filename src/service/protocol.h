@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Wire protocol of the simulation service: newline-delimited JSON
+ * request/response lines exchanged over a Unix stream socket.
+ *
+ * One request line maps to exactly one response line; the grammar,
+ * error-code vocabulary, and overload/drain semantics are documented
+ * in docs/SERVICE.md. Serialization reuses the run journal's lossless
+ * RunResult/SimError encoders, so a run outcome round-trips through
+ * the wire byte-identically — grit_submit can emit the same
+ * grit-results document a local run would have produced, whether the
+ * cell was executed, deduplicated, or served from the result store.
+ */
+
+#ifndef GRIT_SERVICE_PROTOCOL_H_
+#define GRIT_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "harness/experiment_engine.h"
+#include "harness/run_journal.h"
+#include "simcore/sim_error.h"
+#include "workload/apps.h"
+
+namespace grit::service {
+
+/** Schema identifier stamped into every request and response line. */
+inline constexpr const char *kSchemaName = "grit-service";
+/** Bump on any incompatible wire-format change. */
+inline constexpr unsigned kSchemaVersion = 1;
+
+/** The run a client wants executed (or served from the store). */
+struct RunRequest
+{
+    /** Fair-share queueing key; every client id gets equal turns. */
+    std::string client;
+    /** Table II application abbreviation ("GEMM", "BFS", ...). */
+    std::string app;
+    /** Placement policy name ("grit", "on-touch", ...). */
+    std::string policy;
+    unsigned numGpus = 4;
+    workload::WorkloadParams params;
+    /**
+     * Per-request wall-clock deadline (seconds); 0 keeps the config
+     * default. Enforced by the engine's cooperative watchdog; an
+     * over-deadline run comes back status "failed" with salvaged
+     * partial counters. Not part of the cell fingerprint: a cached
+     * complete result satisfies any deadline.
+     */
+    double deadlineSec = 0.0;
+    /** Per-request executed-event budget; 0 keeps the config's. */
+    std::uint64_t eventBudget = 0;
+    /** Chaos fault-injection spec (fingerprinted; "" = none). */
+    std::string chaos;
+    /** Run cross-layer invariant audits during the simulation. */
+    bool audit = false;
+};
+
+/** One parsed request line. */
+struct Request
+{
+    /** "run", "stats", or "ping". */
+    std::string op;
+    /** Populated when op == "run". */
+    RunRequest run;
+};
+
+/** Snapshot of the server's service.* counters ("stats" op). */
+struct ServiceCounters
+{
+    std::uint64_t requests = 0;   //!< run requests received
+    std::uint64_t hits = 0;       //!< served from the result store
+    std::uint64_t misses = 0;     //!< required execution (or dedupe)
+    std::uint64_t deduped = 0;    //!< attached to an in-flight cell
+    std::uint64_t executed = 0;   //!< cells actually simulated
+    std::uint64_t rejectedOverload = 0;  //!< shed: queue full
+    std::uint64_t rejectedDraining = 0;  //!< shed: server draining
+    std::uint64_t badRequests = 0;       //!< malformed/unknown input
+    std::uint64_t failures = 0;   //!< executions that ended "failed"
+    std::uint64_t storeEntries = 0;  //!< results persisted
+};
+
+/** One response line. */
+struct Response
+{
+    /**
+     * "ok": the request succeeded (for "run": entry.status is "ok");
+     * "failed": the run executed but was quarantined (entry carries
+     * the diagnostic and any salvaged partial counters);
+     * "error": the request itself was refused — error.code is one of
+     * the stable kebab-case names (docs/SERVICE.md), notably
+     * "service-overloaded" and "service-draining".
+     */
+    std::string status;
+    bool cached = false;   //!< served from the result store
+    bool deduped = false;  //!< shared an in-flight execution
+    /** The run outcome (status "ok"/"failed" on a "run" request). */
+    std::optional<harness::JournalEntry> entry;
+    /** The refusal diagnostic (status "error"). */
+    std::optional<sim::SimError> error;
+    /** Counter snapshot ("stats" requests). */
+    std::optional<ServiceCounters> service;
+};
+
+/** Serialize @p request as one wire line (no trailing newline). */
+std::string requestLine(const Request &request);
+
+/**
+ * Parse one request line.
+ * @throws sim::SimException (kBadArgument) on malformed JSON, an
+ *         unknown op, or a schema/version mismatch.
+ */
+Request requestFromLine(const std::string &line);
+
+/** Serialize @p response as one wire line (no trailing newline). */
+std::string responseLine(const Response &response);
+
+/** Parse one response line. @throws sim::SimException (kBadArgument). */
+Response responseFromLine(const std::string &line);
+
+/**
+ * Resolve a run request into the engine cell it describes (row = app
+ * abbreviation, label = policy name, config = makeConfig + chaos +
+ * audit). The cell's runFingerprint() is the content address of the
+ * result. @throws sim::SimException (kBadArgument) for unknown
+ * app/policy names, (kChaosSpec) for a malformed chaos spec.
+ */
+harness::RunCell cellFromRequest(const RunRequest &request);
+
+}  // namespace grit::service
+
+#endif  // GRIT_SERVICE_PROTOCOL_H_

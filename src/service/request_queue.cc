@@ -1,0 +1,78 @@
+#include "service/request_queue.h"
+
+namespace grit::service {
+
+Admission
+FairShareQueue::push(const std::string &client, std::uint64_t job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return Admission::kClosed;
+        if (size_ >= capacity_)
+            return Admission::kFull;
+        Lane *lane = nullptr;
+        for (Lane &l : lanes_)
+            if (l.client == client) {
+                lane = &l;
+                break;
+            }
+        if (lane == nullptr) {
+            lanes_.push_back(Lane{client, {}});
+            lane = &lanes_.back();
+        }
+        lane->jobs.push_back(job);
+        ++size_;
+    }
+    cv_.notify_one();
+    return Admission::kAdmitted;
+}
+
+std::optional<std::uint64_t>
+FairShareQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return size_ > 0 || closed_; });
+    if (size_ == 0)
+        return std::nullopt;  // closed and drained
+    // Serve the next non-empty lane at or after the cursor; advance
+    // the cursor past it so each client gets one turn per cycle.
+    for (std::size_t step = 0; step < lanes_.size(); ++step) {
+        const std::size_t i = (cursor_ + step) % lanes_.size();
+        Lane &lane = lanes_[i];
+        if (lane.jobs.empty())
+            continue;
+        const std::uint64_t job = lane.jobs.front();
+        lane.jobs.pop_front();
+        --size_;
+        cursor_ = (i + 1) % lanes_.size();
+        return job;
+    }
+    return std::nullopt;  // unreachable: size_ > 0 implies a lane
+}
+
+void
+FairShareQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+FairShareQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::size_t
+FairShareQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+}
+
+}  // namespace grit::service

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bounded fair-share admission queue of the simulation service.
+ *
+ * Jobs (cells to execute, identified by server-assigned ids) are
+ * queued per client and dispensed round-robin over clients in
+ * first-seen order, so one client submitting a large sweep cannot
+ * starve another's single request. The queue is bounded: push()
+ * refuses beyond the capacity (the server sheds the request with a
+ * structured "service-overloaded" error instead of letting latency
+ * grow without bound) and refuses after close() (drain: the server
+ * answers "service-draining"). pop() blocks while the queue is open
+ * and empty, drains remaining jobs after close(), then reports
+ * exhaustion — exactly the worker-loop termination the graceful
+ * SIGTERM path needs.
+ */
+
+#ifndef GRIT_SERVICE_REQUEST_QUEUE_H_
+#define GRIT_SERVICE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace grit::service {
+
+/** Outcome of an admission attempt. */
+enum class Admission
+{
+    kAdmitted,  //!< queued; a worker will pick it up
+    kFull,      //!< bounded queue at capacity — shed the request
+    kClosed,    //!< queue closed (draining) — no new admissions
+};
+
+/** The bounded round-robin queue. Thread-safe. */
+class FairShareQueue
+{
+  public:
+    explicit FairShareQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Try to queue @p job under @p client's lane. */
+    Admission push(const std::string &client, std::uint64_t job);
+
+    /**
+     * Next job, round-robin across clients; blocks while open and
+     * empty. After close(), drains what is queued and then returns
+     * nullopt forever.
+     */
+    std::optional<std::uint64_t> pop();
+
+    /** Stop admitting; queued jobs still drain through pop(). */
+    void close();
+
+    bool closed() const;
+
+    /** Jobs currently queued (all clients). */
+    std::size_t size() const;
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct Lane
+    {
+        std::string client;
+        std::deque<std::uint64_t> jobs;
+    };
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t capacity_;
+    std::size_t size_ = 0;
+    /** Lanes in first-seen client order (kept after they empty). */
+    std::vector<Lane> lanes_;
+    /** Next lane pop() serves (round-robin cursor). */
+    std::size_t cursor_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace grit::service
+
+#endif  // GRIT_SERVICE_REQUEST_QUEUE_H_

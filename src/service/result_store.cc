@@ -1,0 +1,211 @@
+#include "service/result_store.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "simcore/log.h"
+#include "stats/json_value.h"
+#include "stats/json_writer.h"
+
+namespace grit::service {
+
+namespace {
+
+[[noreturn]] void
+storeFail(const std::string &message, const std::string &context = {})
+{
+    throw sim::SimException(sim::ErrorCode::kJournal, message, context);
+}
+
+std::string
+headerLine()
+{
+    std::ostringstream os;
+    stats::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(ResultStore::kSchemaName);
+    w.key("version").value(std::uint64_t{ResultStore::kSchemaVersion});
+    w.endObject();
+    return os.str();
+}
+
+}  // namespace
+
+ResultStore::~ResultStore()
+{
+    close();
+}
+
+bool
+ResultStore::isOpen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fd_ >= 0;
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+}
+
+const harness::JournalEntry *
+ResultStore::find(const std::string &fingerprint) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(fingerprint);
+    return it == index_.end() ? nullptr : it->second;
+}
+
+void
+ResultStore::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    path_ = path;
+    entries_.clear();
+    index_.clear();
+
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0)
+        storeFail(std::string("cannot open result store: ") +
+                      std::strerror(errno),
+                  path);
+    loadLocked();
+}
+
+void
+ResultStore::loadLocked()
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        storeFail("cannot scan result store", path_);
+    std::string line;
+    std::uint64_t goodBytes = 0;  // offset past the last intact record
+    bool sawHeader = false;
+
+    while (std::getline(in, line)) {
+        const bool terminated = !in.eof();  // getline consumed a '\n'
+        if (!terminated)
+            break;  // torn tail: no newline, crash mid-append
+        if (!sawHeader) {
+            try {
+                const stats::JsonValue header =
+                    stats::JsonValue::parse(line);
+                if (header.at("schema").asString() != kSchemaName)
+                    storeFail("not a result store (schema mismatch)",
+                              path_);
+                if (header.at("version").asUint64() != kSchemaVersion)
+                    storeFail(
+                        "unsupported result-store version " +
+                            std::to_string(
+                                header.at("version").asUint64()),
+                        path_);
+            } catch (const std::runtime_error &e) {
+                if (dynamic_cast<const sim::SimException *>(&e))
+                    throw;
+                storeFail(std::string("malformed store header: ") +
+                              e.what(),
+                          path_);
+            }
+            sawHeader = true;
+            goodBytes += line.size() + 1;
+            continue;
+        }
+        if (line.empty()) {
+            goodBytes += 1;
+            continue;
+        }
+        harness::JournalEntry entry;
+        try {
+            entry = harness::journalEntryFromLine(line);
+        } catch (const sim::SimException &e) {
+            // An unparseable terminated line means real corruption,
+            // not a torn append — but the recovery is the same: keep
+            // everything before it, drop it and whatever follows.
+            GRIT_LOG(sim::LogLevel::kWarn,
+                     "result store " + path_ +
+                         ": dropping unreadable tail (" +
+                         e.error().message + ")");
+            break;
+        }
+        goodBytes += line.size() + 1;
+        auto owned = std::make_unique<harness::JournalEntry>(
+            std::move(entry));
+        index_[owned->fingerprint] = owned.get();
+        entries_.push_back(std::move(owned));
+    }
+    in.close();
+
+    if (!sawHeader) {
+        // Fresh (or torn-before-header) file: start it over.
+        if (::ftruncate(fd_, 0) != 0)
+            storeFail(std::string("cannot reset result store: ") +
+                          std::strerror(errno),
+                      path_);
+        const std::string header = headerLine() + "\n";
+        if (::write(fd_, header.data(), header.size()) !=
+                static_cast<ssize_t>(header.size()) ||
+            ::fsync(fd_) != 0)
+            storeFail(std::string("cannot write store header: ") +
+                          std::strerror(errno),
+                      path_);
+        return;
+    }
+
+    // Truncate away any torn tail so the next append starts on a
+    // clean line boundary instead of concatenating onto torn bytes.
+    if (::ftruncate(fd_, static_cast<off_t>(goodBytes)) != 0)
+        storeFail(std::string("cannot truncate torn tail: ") +
+                      std::strerror(errno),
+                  path_);
+}
+
+void
+ResultStore::put(const harness::JournalEntry &entry)
+{
+    if (entry.status != "ok" || !entry.hasResult ||
+        entry.result.partial)
+        storeFail("only complete 'ok' results may be stored",
+                  entry.row + "/" + entry.label);
+    const std::string line = harness::journalLine(entry) + "\n";
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0)
+        storeFail("put into a store that was never opened", path_);
+    if (index_.count(entry.fingerprint) != 0)
+        return;  // content-addressed: an identical record already holds
+    if (::write(fd_, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size()))
+        storeFail(std::string("store append failed: ") +
+                      std::strerror(errno),
+                  path_);
+    if (::fsync(fd_) != 0)
+        storeFail(std::string("store fsync failed: ") +
+                      std::strerror(errno),
+                  path_);
+    auto owned = std::make_unique<harness::JournalEntry>(entry);
+    index_[owned->fingerprint] = owned.get();
+    entries_.push_back(std::move(owned));
+}
+
+void
+ResultStore::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+}  // namespace grit::service

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Crash-safe, content-addressed store of completed run results.
+ *
+ * The persistence layer behind the simulation service: every completed
+ * ("ok", non-partial) cell is appended as one self-contained JSONL
+ * record keyed by its runFingerprint() and fsync'd before the server
+ * acknowledges it, so a kill -9 loses at most the record being
+ * written. Startup rebuilds the in-memory index by scanning the file;
+ * a torn final line — the signature of a crash mid-append — is dropped
+ * and the file truncated back to the last intact record, so the next
+ * append can never concatenate onto torn bytes.
+ *
+ * Only complete results are ever stored: failures and salvaged
+ * partials are returned to the requesting client but never persisted,
+ * so a transient failure cannot poison the cache for future requests.
+ *
+ * File layout: a header line
+ *   {"schema":"grit-result-store","version":1}
+ * followed by one run-journal entry object per line (the same
+ * serialization the --journal file uses, so records are individually
+ * parseable and byte-identical across server restarts).
+ */
+
+#ifndef GRIT_SERVICE_RESULT_STORE_H_
+#define GRIT_SERVICE_RESULT_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/run_journal.h"
+
+namespace grit::service {
+
+/** The append-only result store. Thread-safe. */
+class ResultStore
+{
+  public:
+    static constexpr const char *kSchemaName = "grit-result-store";
+    static constexpr unsigned kSchemaVersion = 1;
+
+    ResultStore() = default;
+    ~ResultStore();
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * Open (creating if absent) the store at @p path: validate the
+     * header, index every intact record, truncate a torn tail.
+     * @throws sim::SimException (kJournal) when the file cannot be
+     *         opened or belongs to a different schema/version.
+     */
+    void open(const std::string &path);
+
+    bool isOpen() const;
+    const std::string &path() const { return path_; }
+
+    /** Records indexed (later duplicates win, like a journal resume). */
+    std::size_t size() const;
+
+    /** Stored outcome for @p fingerprint; nullptr when absent. */
+    const harness::JournalEntry *find(const std::string &fingerprint) const;
+
+    /**
+     * Append @p entry (one write + fsync) and index it. Rejects
+     * anything but a complete "ok" result — the store must never
+     * serve a failure or a partial as a cache hit.
+     * @throws sim::SimException (kJournal) on I/O failure or an
+     *         ineligible entry.
+     */
+    void put(const harness::JournalEntry &entry);
+
+    /** Close the backing file (open() may be called again). */
+    void close();
+
+  private:
+    void loadLocked();
+
+    mutable std::mutex mutex_;
+    int fd_ = -1;
+    std::string path_;
+    std::vector<std::unique_ptr<harness::JournalEntry>> entries_;
+    std::unordered_map<std::string, const harness::JournalEntry *> index_;
+};
+
+}  // namespace grit::service
+
+#endif  // GRIT_SERVICE_RESULT_STORE_H_

@@ -1,0 +1,348 @@
+#include "service/server.h"
+
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "harness/run_journal.h"
+#include "service/socket.h"
+#include "simcore/log.h"
+
+namespace grit::service {
+
+Server::Server(Options options)
+    : options_(std::move(options)), queue_(options_.queueCapacity)
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (!options_.storePath.empty())
+        store_.open(options_.storePath);
+    for (unsigned i = 0; i < std::max(1u, options_.workers); ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    if (!options_.socketPath.empty()) {
+        listenFd_ = listenUnix(options_.socketPath);
+        acceptThread_ = std::jthread(
+            [this](std::stop_token st) { acceptLoop(st); });
+    }
+}
+
+void
+Server::beginDrain()
+{
+    draining_.store(true, std::memory_order_relaxed);
+    queue_.close();
+}
+
+void
+Server::stop()
+{
+    bool expected = false;
+    if (!stopped_.compare_exchange_strong(expected, true))
+        return;
+    beginDrain();
+    if (acceptThread_.joinable()) {
+        acceptThread_.request_stop();
+        acceptThread_.join();
+    }
+    // Workers drain every admitted cell, so each waiting client gets
+    // its response before we cut the remaining idle connections.
+    for (std::jthread &worker : workers_)
+        if (worker.joinable())
+            worker.join();
+    workers_.clear();
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const int fd : connFds_)
+            ::shutdown(fd, SHUT_RD);  // unblock readLine
+    }
+    connections_.clear();  // jthread joins
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(options_.socketPath.c_str());
+        listenFd_ = -1;
+    }
+    store_.close();
+}
+
+ServiceCounters
+Server::counters() const
+{
+    ServiceCounters c;
+    c.requests = requests_.load(std::memory_order_relaxed);
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.deduped = deduped_.load(std::memory_order_relaxed);
+    c.executed = executed_.load(std::memory_order_relaxed);
+    c.rejectedOverload =
+        rejectedOverload_.load(std::memory_order_relaxed);
+    c.rejectedDraining =
+        rejectedDraining_.load(std::memory_order_relaxed);
+    c.badRequests = badRequests_.load(std::memory_order_relaxed);
+    c.failures = failures_.load(std::memory_order_relaxed);
+    // The index survives close(), so the drain-time counters document
+    // still reports how many results the store holds on disk.
+    c.storeEntries = store_.size();
+    return c;
+}
+
+Response
+Server::handle(const Request &request)
+{
+    if (request.op == "ping") {
+        Response response;
+        response.status = "ok";
+        return response;
+    }
+    if (request.op == "stats") {
+        Response response;
+        response.status = "ok";
+        response.service = counters();
+        return response;
+    }
+    return handleRun(request.run);
+}
+
+Response
+Server::errorResponse(const sim::SimError &error)
+{
+    Response response;
+    response.status = "error";
+    response.error = error;
+    return response;
+}
+
+Response
+Server::handleRun(const RunRequest &request)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    harness::RunCell cell;
+    try {
+        cell = cellFromRequest(request);
+    } catch (const sim::SimException &e) {
+        badRequests_.fetch_add(1, std::memory_order_relaxed);
+        return errorResponse(e.error());
+    }
+    const std::string fingerprint = harness::runFingerprint(cell);
+
+    // The store is consulted even while draining: a cached result
+    // costs no execution, so refusing it would only hurt clients.
+    if (store_.isOpen()) {
+        if (const harness::JournalEntry *hit = store_.find(fingerprint)) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            Response response;
+            response.status = "ok";
+            response.cached = true;
+            response.entry = *hit;
+            return response;
+        }
+    }
+
+    std::shared_ptr<Job> job;
+    bool attached = false;
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        const auto it = inflight_.find(fingerprint);
+        if (it != inflight_.end()) {
+            job = it->second;
+            attached = true;
+        } else {
+            job = std::make_shared<Job>();
+            job->fingerprint = fingerprint;
+            job->cell = std::move(cell);
+            job->deadlineSec = request.deadlineSec;
+            job->eventBudget = request.eventBudget;
+            // Index before push: a worker may pop the id immediately,
+            // and its completion erases the in-flight slot.
+            inflight_[fingerprint] = job;
+            jobs_.push_back(job);
+            const std::uint64_t id = jobs_.size() - 1;
+            const Admission admission =
+                queue_.push(request.client, id);
+            if (admission != Admission::kAdmitted) {
+                inflight_.erase(fingerprint);
+                jobs_.pop_back();
+                if (admission == Admission::kFull) {
+                    rejectedOverload_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    return errorResponse(sim::SimError(
+                        sim::ErrorCode::kServiceOverloaded,
+                        "admission queue full (capacity " +
+                            std::to_string(queue_.capacity()) +
+                            "); retry with backoff",
+                        "grit-service"));
+                }
+                rejectedDraining_.fetch_add(1,
+                                            std::memory_order_relaxed);
+                return errorResponse(
+                    sim::SimError(sim::ErrorCode::kServiceDraining,
+                                  "server is draining; no new "
+                                  "admissions",
+                                  "grit-service"));
+            }
+        }
+    }
+    if (attached)
+        deduped_.fetch_add(1, std::memory_order_relaxed);
+    else
+        misses_.fetch_add(1, std::memory_order_relaxed);
+
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->cv.wait(lock, [&job] { return job->done; });
+
+    Response response;
+    response.status = job->entry.status == "ok" ? "ok" : "failed";
+    response.deduped = attached;
+    response.entry = job->entry;
+    return response;
+}
+
+void
+Server::workerLoop()
+{
+    while (const std::optional<std::uint64_t> id = queue_.pop()) {
+        std::shared_ptr<Job> job;
+        {
+            std::lock_guard<std::mutex> lock(jobsMutex_);
+            job = jobs_[*id];
+        }
+        execute(*job);
+    }
+}
+
+void
+Server::execute(Job &job)
+{
+    if (options_.executionGate)
+        options_.executionGate(job.fingerprint);
+
+    harness::JournalEntry entry;
+    entry.fingerprint = job.fingerprint;
+    entry.row = job.cell.row;
+    entry.label = job.cell.label;
+    try {
+        harness::RunPlan plan;
+        plan.addCell(job.cell.row, job.cell.label, job.cell.config,
+                     job.cell.app, job.cell.params);
+        harness::ResilientOptions options;
+        options.salvagePartial = true;
+        options.wallDeadlineSec = job.deadlineSec;
+        options.eventBudget = job.eventBudget;
+        const harness::SweepResult sweep =
+            engine_.runResilient(plan, options);
+
+        const auto rowIt = sweep.matrix.find(job.cell.row);
+        const harness::RunResult *result = nullptr;
+        if (rowIt != sweep.matrix.end()) {
+            const auto cellIt = rowIt->second.find(job.cell.label);
+            if (cellIt != rowIt->second.end())
+                result = &cellIt->second;
+        }
+        if (sweep.failures.empty() && result != nullptr) {
+            entry.status = "ok";
+            entry.attempts = 1;
+            entry.hasResult = true;
+            entry.result = *result;
+        } else if (!sweep.failures.empty()) {
+            const harness::FailureRecord &f = sweep.failures.front();
+            entry.status = "failed";
+            entry.attempts = f.attempts;
+            entry.error = f.error;
+            if (f.salvaged && result != nullptr) {
+                entry.hasResult = true;
+                entry.result = *result;
+            }
+        } else {
+            entry.status = "failed";
+            entry.error = sim::SimError(
+                sim::ErrorCode::kInternal,
+                "cell neither completed nor failed", "grit-service");
+        }
+    } catch (const sim::SimException &e) {
+        entry.status = "failed";
+        entry.error = e.error();
+    } catch (const std::exception &e) {
+        entry.status = "failed";
+        entry.error = sim::SimError(sim::ErrorCode::kInternal, e.what(),
+                                    "grit-service");
+    }
+
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (entry.status != "ok")
+        failures_.fetch_add(1, std::memory_order_relaxed);
+
+    // Persist before acknowledging: a client that saw "ok" must find
+    // the result cached across any later crash. Failures are never
+    // stored — a transient fault must not poison the cache.
+    if (entry.status == "ok" && store_.isOpen()) {
+        try {
+            store_.put(entry);
+        } catch (const std::exception &e) {
+            GRIT_LOG(sim::LogLevel::kWarn,
+                     "result store append failed for "
+                         << entry.row << "/" << entry.label << ": "
+                         << e.what());
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        inflight_.erase(job.fingerprint);
+    }
+    {
+        std::lock_guard<std::mutex> lock(job.mutex);
+        job.done = true;
+        job.entry = std::move(entry);
+    }
+    job.cv.notify_all();
+}
+
+void
+Server::acceptLoop(const std::stop_token &st)
+{
+    while (!st.stop_requested()) {
+        const int fd = acceptWithTimeout(listenFd_, 100);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connFds_.insert(fd);
+        connections_.emplace_back([this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+Server::serveConnection(int fd)
+{
+    std::string line;
+    while (readLine(fd, line)) {
+        Response response;
+        try {
+            response = handle(requestFromLine(line));
+        } catch (const sim::SimException &e) {
+            badRequests_.fetch_add(1, std::memory_order_relaxed);
+            response = errorResponse(e.error());
+        } catch (const std::exception &e) {
+            response = errorResponse(
+                sim::SimError(sim::ErrorCode::kInternal, e.what(),
+                              "grit-service"));
+        }
+        if (!writeLine(fd, responseLine(response)))
+            break;
+    }
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connFds_.erase(fd);
+    }
+    ::close(fd);
+}
+
+}  // namespace grit::service

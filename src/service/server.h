@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The simulation-service daemon core: accepts grit-service requests,
+ * serves completed cells from the content-addressed ResultStore,
+ * deduplicates identical in-flight cells onto a single execution, and
+ * schedules misses onto ExperimentEngine workers through a bounded
+ * fair-share admission queue.
+ *
+ * End-to-end fault handling (docs/SERVICE.md):
+ *  - per-request deadlines/event budgets ride the engine's cooperative
+ *    watchdogs; an over-budget run returns status "failed" with
+ *    salvaged partial counters, per the grit-results v2 contract;
+ *  - a full admission queue sheds the request with a structured
+ *    "service-overloaded" error — never a silent hang;
+ *  - drain (SIGTERM / stop()) stops admitting ("service-draining"),
+ *    finishes everything already admitted, persists the store, and
+ *    only then returns;
+ *  - every stored result was fsync'd before the requester saw it, so
+ *    a kill -9 server restarts into a warm, byte-identical cache.
+ *
+ * The class is usable fully in-process (tests drive handle() directly)
+ * or as a socket daemon (start() spawns the accept loop).
+ */
+
+#ifndef GRIT_SERVICE_SERVER_H_
+#define GRIT_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/experiment_engine.h"
+#include "service/protocol.h"
+#include "service/request_queue.h"
+#include "service/result_store.h"
+
+namespace grit::service {
+
+/** The daemon core. One instance per process. */
+class Server
+{
+  public:
+    struct Options
+    {
+        /** Unix socket to listen on; empty = in-process only. */
+        std::string socketPath;
+        /** Result-store file; empty = no persistence (memory only). */
+        std::string storePath;
+        /** Executor threads draining the admission queue. */
+        unsigned workers = 1;
+        /** Admission-queue bound; beyond it requests are shed. */
+        std::size_t queueCapacity = 64;
+        /**
+         * Test hook: called (with the cell fingerprint) on the worker
+         * thread immediately before a cell executes. Lets tests hold
+         * an execution open to provoke dedupe/overload windows
+         * deterministically. Null in production.
+         */
+        std::function<void(const std::string &)> executionGate;
+    };
+
+    explicit Server(Options options);
+    ~Server();
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Open the store, bind the socket (when configured), and launch
+     * the worker pool and accept loop.
+     * @throws sim::SimException on store/socket failure.
+     */
+    void start();
+
+    /**
+     * Stop admitting new work: run requests that cannot be served
+     * from the store are refused with "service-draining". Idempotent.
+     */
+    void beginDrain();
+
+    /**
+     * Graceful shutdown: drain, finish every admitted cell, answer
+     * every waiting client, close the socket and the store. Safe to
+     * call twice; the destructor calls it.
+     */
+    void stop();
+
+    bool draining() const
+    {
+        return draining_.load(std::memory_order_relaxed);
+    }
+
+    /** Process one request (the socket loop and tests both use this). */
+    Response handle(const Request &request);
+
+    /** Snapshot of the service.* counters. */
+    ServiceCounters counters() const;
+
+    const ResultStore &store() const { return store_; }
+    const std::string &socketPath() const { return options_.socketPath; }
+
+  private:
+    /** One admitted cell; waiters block on cv until done. */
+    struct Job
+    {
+        std::string fingerprint;
+        harness::RunCell cell;
+        double deadlineSec = 0.0;
+        std::uint64_t eventBudget = 0;
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        harness::JournalEntry entry;
+    };
+
+    Response handleRun(const RunRequest &request);
+    Response errorResponse(const sim::SimError &error);
+    void workerLoop();
+    void execute(Job &job);
+    void acceptLoop(const std::stop_token &st);
+    void serveConnection(int fd);
+
+    Options options_;
+    ResultStore store_;
+    FairShareQueue queue_;
+    harness::ExperimentEngine engine_;
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopped_{false};
+
+    /** service.* counters (relaxed atomics; exactness per counter). */
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> deduped_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> rejectedOverload_{0};
+    std::atomic<std::uint64_t> rejectedDraining_{0};
+    std::atomic<std::uint64_t> badRequests_{0};
+    std::atomic<std::uint64_t> failures_{0};
+
+    std::mutex jobsMutex_;
+    std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
+    std::vector<std::shared_ptr<Job>> jobs_;  //!< by queue id
+
+    int listenFd_ = -1;
+    std::mutex connMutex_;
+    std::set<int> connFds_;
+    std::vector<std::jthread> connections_;
+    std::vector<std::jthread> workers_;
+    std::jthread acceptThread_;
+};
+
+}  // namespace grit::service
+
+#endif  // GRIT_SERVICE_SERVER_H_

@@ -1,0 +1,128 @@
+#include "service/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "simcore/sim_error.h"
+
+namespace grit::service {
+
+namespace {
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw sim::SimException(
+            sim::ErrorCode::kBadArgument,
+            "socket path exceeds the " +
+                std::to_string(sizeof(addr.sun_path) - 1) +
+                "-byte sun_path limit",
+            path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+}  // namespace
+
+int
+listenUnix(const std::string &path)
+{
+    const sockaddr_un addr = unixAddress(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw sim::SimException(sim::ErrorCode::kInternal,
+                                std::string("socket: ") +
+                                    std::strerror(errno),
+                                path);
+    ::unlink(path.c_str());  // stale socket from a killed daemon
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, SOMAXCONN) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw sim::SimException(sim::ErrorCode::kInternal,
+                                std::string("bind/listen: ") +
+                                    std::strerror(err),
+                                path);
+    }
+    return fd;
+}
+
+int
+acceptWithTimeout(int listen_fd, int timeout_ms)
+{
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0)
+        return -1;
+    return ::accept(listen_fd, nullptr, nullptr);
+}
+
+int
+connectUnix(const std::string &path)
+{
+    const sockaddr_un addr = unixAddress(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        return -1;
+    }
+    return fd;
+}
+
+bool
+readLine(int fd, std::string &out)
+{
+    out.clear();
+    char c = 0;
+    while (true) {
+        const ssize_t n = ::read(fd, &c, 1);
+        if (n == 1) {
+            if (c == '\n')
+                return true;
+            out.push_back(c);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;  // EOF or hard error mid-line
+    }
+}
+
+bool
+writeAll(int fd, std::string_view data)
+{
+    while (!data.empty()) {
+        const ssize_t n = ::write(fd, data.data(), data.size());
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+bool
+writeLine(int fd, std::string_view line)
+{
+    std::string framed(line);
+    framed.push_back('\n');
+    return writeAll(fd, framed);
+}
+
+}  // namespace grit::service

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Thin Unix-domain-socket helpers for the simulation service.
+ *
+ * The service speaks newline-delimited JSON over a local stream
+ * socket (docs/SERVICE.md); these helpers wrap the POSIX calls with
+ * structured errors so daemon and client code stays readable. All
+ * functions are blocking except acceptWithTimeout, which the accept
+ * loop uses to poll its shutdown flag.
+ */
+
+#ifndef GRIT_SERVICE_SOCKET_H_
+#define GRIT_SERVICE_SOCKET_H_
+
+#include <string>
+#include <string_view>
+
+namespace grit::service {
+
+/**
+ * Bind and listen on a Unix stream socket at @p path. A stale socket
+ * file left by a killed daemon is unlinked first (connecting to it
+ * fails, so it cannot belong to a live server we would shadow).
+ * @throws sim::SimException (kBadArgument) when @p path exceeds the
+ *         sun_path limit, (kInternal) on bind/listen failure.
+ */
+int listenUnix(const std::string &path);
+
+/**
+ * Accept one connection, waiting at most @p timeout_ms.
+ * @return the connected fd, or -1 on timeout / transient error.
+ */
+int acceptWithTimeout(int listen_fd, int timeout_ms);
+
+/** Connect to the Unix socket at @p path; -1 on failure (sets errno). */
+int connectUnix(const std::string &path);
+
+/**
+ * Read one '\n'-terminated line (newline stripped) from @p fd.
+ * Unbuffered single-byte reads: correctness over throughput — one
+ * request/response line per connection turn makes this a non-issue.
+ * @return false on EOF or error before any newline.
+ */
+bool readLine(int fd, std::string &out);
+
+/** Write all of @p data, retrying short writes; false on error. */
+bool writeAll(int fd, std::string_view data);
+
+/** writeAll of @p line plus the terminating newline. */
+bool writeLine(int fd, std::string_view line);
+
+}  // namespace grit::service
+
+#endif  // GRIT_SERVICE_SOCKET_H_

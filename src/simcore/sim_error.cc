@@ -17,6 +17,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kInterrupted:   return "interrupted";
       case ErrorCode::kJournal:       return "journal";
       case ErrorCode::kInvariant:     return "invariant";
+      case ErrorCode::kServiceOverloaded: return "service-overloaded";
+      case ErrorCode::kServiceDraining:   return "service-draining";
       case ErrorCode::kInternal:      return "internal";
     }
     return "?";
@@ -32,6 +34,7 @@ errorCodeFromName(std::string_view name)
           ErrorCode::kScheduleInPast, ErrorCode::kDeadline,
           ErrorCode::kInterrupted,
           ErrorCode::kJournal, ErrorCode::kInvariant,
+          ErrorCode::kServiceOverloaded, ErrorCode::kServiceDraining,
           ErrorCode::kInternal}) {
         if (name == errorCodeName(code))
             return code;

@@ -35,6 +35,8 @@ enum class ErrorCode {
     kInterrupted,     //!< cooperative cancel after SIGINT/SIGTERM
     kJournal,         //!< run journal could not be read/written
     kInvariant,       //!< cross-layer invariant audit violation
+    kServiceOverloaded,  //!< admission queue full; request shed
+    kServiceDraining,    //!< server draining; no new admissions
     kInternal,        //!< invariant the simulator itself broke
 };
 

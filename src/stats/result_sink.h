@@ -117,6 +117,20 @@ class ResultSink
                          std::uint64_t cache_bytes,
                          std::uint64_t cache_byte_budget);
 
+    /**
+     * v2: the optional top-level "service" counters object, emitted
+     * by the simulation-service daemon (docs/SERVICE.md) when it
+     * reports its lifetime statistics at drain.
+     */
+    void writeServiceStats(std::uint64_t requests, std::uint64_t hits,
+                           std::uint64_t misses, std::uint64_t deduped,
+                           std::uint64_t executed,
+                           std::uint64_t rejected_overload,
+                           std::uint64_t rejected_draining,
+                           std::uint64_t bad_requests,
+                           std::uint64_t failures,
+                           std::uint64_t store_entries);
+
     void beginTables();
     void endTables();
 

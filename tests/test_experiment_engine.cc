@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "harness/experiment.h"
 #include "harness/experiment_engine.h"
 #include "workload/trace_cache.h"
@@ -107,10 +109,29 @@ TEST(ExperimentEngine, RunMatchesResilientExecutor)
 
 TEST(ExperimentEngine, SharesTracesAcrossConfigs)
 {
+    // Streamed replay (the default): the unit of sharing is the chunk.
+    // Each cell opens one stream per GPU; the workload is small enough
+    // to fit one chunk, so the first config generates apps x gpus
+    // chunks and every other config's streams hit the chunk LRU.
     const auto [apps, configs] = smallSweep();
+    const std::size_t gpus = configs.front().config.numGpus;
     ExperimentEngine engine;
     engine.run(RunPlan::matrix(apps, configs, fastParams()));
-    // One generation per app; the other config cells reuse it.
+    EXPECT_EQ(engine.traceCache().misses(), apps.size() * gpus);
+    EXPECT_EQ(engine.traceCache().hits(),
+              apps.size() * gpus * (configs.size() - 1));
+}
+
+TEST(ExperimentEngine, SharesMaterializedTracesAcrossConfigs)
+{
+    // GRIT_STREAM_TRACES=0 opts back into materialized replay, where
+    // the unit of sharing is the whole trace: one generation per app;
+    // the other config cells reuse it.
+    const auto [apps, configs] = smallSweep();
+    ::setenv("GRIT_STREAM_TRACES", "0", 1);
+    ExperimentEngine engine;
+    ::unsetenv("GRIT_STREAM_TRACES");
+    engine.run(RunPlan::matrix(apps, configs, fastParams()));
     EXPECT_EQ(engine.traceCache().misses(), apps.size());
     EXPECT_EQ(engine.traceCache().hits(),
               apps.size() * (configs.size() - 1));

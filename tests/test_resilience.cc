@@ -9,9 +9,11 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/experiment.h"
@@ -291,6 +293,105 @@ TEST(RunJournalFile, AppendReopenResumeAndTornTail)
     RunJournal fresh;
     fresh.open(path.str(), "test_resilience", /*resume=*/false);
     EXPECT_EQ(fresh.size(), 0u);
+}
+
+TEST(RunJournalFile, ConcurrentAppendsFromManyThreads)
+{
+    // Parallel sweep workers journal through one shared RunJournal;
+    // every line must land intact (no interleaved bytes) and every
+    // record must survive a resume.
+    TempPath path("grit_journal_threads.jsonl");
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kPerThread = 50;
+    {
+        RunJournal journal;
+        journal.open(path.str(), "test_resilience", /*resume=*/false);
+        std::vector<std::thread> writers;
+        for (unsigned t = 0; t < kThreads; ++t)
+            writers.emplace_back([&journal, t] {
+                for (unsigned i = 0; i < kPerThread; ++i) {
+                    JournalEntry entry;
+                    std::ostringstream fp;
+                    fp << std::hex << std::setw(8) << std::setfill('0')
+                       << t << std::setw(8) << i;
+                    entry.fingerprint = fp.str();
+                    entry.row = "GEMM";
+                    entry.label = "w" + std::to_string(t);
+                    entry.status = "ok";
+                    entry.hasResult = true;
+                    entry.result.cycles = t * 1000ull + i;
+                    journal.append(entry);
+                }
+            });
+        for (std::thread &w : writers)
+            w.join();
+        EXPECT_EQ(journal.size(), kThreads * kPerThread);
+    }
+
+    RunJournal reloaded;
+    reloaded.open(path.str(), "test_resilience", /*resume=*/true);
+    ASSERT_EQ(reloaded.size(), kThreads * kPerThread);
+    for (unsigned t = 0; t < kThreads; ++t)
+        for (unsigned i = 0; i < kPerThread; ++i) {
+            std::ostringstream fp;
+            fp << std::hex << std::setw(8) << std::setfill('0') << t
+               << std::setw(8) << i;
+            const JournalEntry *found = reloaded.find(fp.str());
+            ASSERT_NE(found, nullptr) << fp.str();
+            EXPECT_EQ(found->result.cycles, t * 1000ull + i);
+        }
+}
+
+TEST(RunJournalFile, TwoWritersOnePathInterleaveAtLineGranularity)
+{
+    // Two journal handles on the same file — the multi-process analogue
+    // of a resumed sweep racing a straggler. Appends go through
+    // append-mode streams, so lines interleave whole, never torn, and
+    // a torn tail left by a third (crashed) writer is still tolerated.
+    TempPath path("grit_journal_two_writers.jsonl");
+    RunJournal first;
+    first.open(path.str(), "test_resilience", /*resume=*/false);
+    RunJournal second;
+    second.open(path.str(), "test_resilience", /*resume=*/true);
+
+    constexpr unsigned kPerWriter = 100;
+    auto writeVia = [](RunJournal &journal, const std::string &prefix) {
+        for (unsigned i = 0; i < kPerWriter; ++i) {
+            JournalEntry entry;
+            std::ostringstream fp;
+            fp << prefix << std::hex << std::setw(8)
+               << std::setfill('0') << i;
+            entry.fingerprint = fp.str();
+            entry.row = "BFS";
+            entry.label = prefix;
+            entry.status = "ok";
+            entry.hasResult = true;
+            entry.result.cycles = i + 1;
+            journal.append(entry);
+        }
+    };
+    std::thread a([&] { writeVia(first, "aaaaaaaa"); });
+    std::thread b([&] { writeVia(second, "bbbbbbbb"); });
+    a.join();
+    b.join();
+
+    {
+        std::ofstream torn(path.str(), std::ios::app);
+        torn << "{\"fingerprint\":\"cccccccc";
+    }
+
+    RunJournal reloaded;
+    reloaded.open(path.str(), "test_resilience", /*resume=*/true);
+    EXPECT_EQ(reloaded.size(), 2 * kPerWriter);
+    for (unsigned i = 0; i < kPerWriter; ++i) {
+        std::ostringstream a_fp, b_fp;
+        a_fp << "aaaaaaaa" << std::hex << std::setw(8)
+             << std::setfill('0') << i;
+        b_fp << "bbbbbbbb" << std::hex << std::setw(8)
+             << std::setfill('0') << i;
+        ASSERT_NE(reloaded.find(a_fp.str()), nullptr) << a_fp.str();
+        ASSERT_NE(reloaded.find(b_fp.str()), nullptr) << b_fp.str();
+    }
 }
 
 // --------------------------------------------------------- resume merges
