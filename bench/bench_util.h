@@ -83,6 +83,8 @@ signalHandler(int sig)
 /**
  * Install the SIGINT/SIGTERM drain handlers. Idempotent; guardedMain
  * calls it, so bench binaries inherit graceful shutdown for free.
+ * SIGPIPE is ignored: a peer hanging up mid-write must come back as
+ * EPIPE from the socket layer, never terminate the process.
  */
 inline void
 installSignalHandlers()
@@ -90,6 +92,7 @@ installSignalHandlers()
     cancelFlag().store(0, std::memory_order_relaxed);  // touch eagerly
     std::signal(SIGINT, &detail::signalHandler);
     std::signal(SIGTERM, &detail::signalHandler);
+    std::signal(SIGPIPE, SIG_IGN);
 }
 
 /** Workload parameters for bench runs (env-overridable). */

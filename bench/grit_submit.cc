@@ -149,7 +149,12 @@ run(int argc, char **argv)
 
     std::cout << "status " << entry.status << "\nfingerprint "
               << entry.fingerprint << "\ncached " << (response.cached ? 1 : 0)
-              << "\ndeduped " << (response.deduped ? 1 : 0) << "\n";
+              << "\ndeduped " << (response.deduped ? 1 : 0)
+              << "\npersisted " << (response.persisted ? 1 : 0) << "\n";
+    if (entry.status == "ok" && !response.persisted)
+        std::cerr << "warning: result not persisted by the daemon "
+                     "(no store, or the store append failed) — a "
+                     "restarted daemon will re-execute this cell\n";
     if (entry.error)
         std::cout << "error " << entry.error->str() << "\n";
     if (entry.hasResult) {

@@ -157,6 +157,7 @@ responseLine(const Response &response)
     w.key("status").value(response.status);
     w.key("cached").value(response.cached);
     w.key("deduped").value(response.deduped);
+    w.key("persisted").value(response.persisted);
     if (response.entry) {
         w.key("entry");
         harness::writeJournalEntryJson(w, *response.entry);
@@ -185,6 +186,9 @@ responseFromLine(const std::string &line)
             wireFail("unknown status \"" + response.status + "\"");
         response.cached = v.at("cached").asBool();
         response.deduped = v.at("deduped").asBool();
+        // Lenient: absent in pre-persisted wire lines; defaults false.
+        if (const stats::JsonValue *persisted = v.find("persisted"))
+            response.persisted = persisted->asBool();
         if (const stats::JsonValue *entry = v.find("entry"))
             response.entry = harness::journalEntryFromJson(*entry);
         if (const stats::JsonValue *error = v.find("error"))

@@ -96,6 +96,14 @@ struct Response
     std::string status;
     bool cached = false;   //!< served from the result store
     bool deduped = false;  //!< shared an in-flight execution
+    /**
+     * The entry is durably in the result store (fsync'd append or a
+     * store hit). False when the server runs without a store, for
+     * failed/partial outcomes (never stored), and — crucially — when
+     * the store append itself failed: the client still gets its
+     * result, but must not assume a restarted daemon will remember it.
+     */
+    bool persisted = false;
     /** The run outcome (status "ok"/"failed" on a "run" request). */
     std::optional<harness::JournalEntry> entry;
     /** The refusal diagnostic (status "error"). */

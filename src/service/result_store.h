@@ -58,7 +58,13 @@ class ResultStore
     bool isOpen() const;
     const std::string &path() const { return path_; }
 
-    /** Records indexed (later duplicates win, like a journal resume). */
+    /**
+     * Records indexed. put() is first-wins: a fingerprint already
+     * indexed is never appended again (content-addressed — an
+     * identical record already holds). Later-wins applies only at
+     * load time, to duplicate records already present in a
+     * pre-existing file.
+     */
     std::size_t size() const;
 
     /** Stored outcome for @p fingerprint; nullptr when absent. */

@@ -59,12 +59,20 @@ Server::stop()
         if (worker.joinable())
             worker.join();
     workers_.clear();
+    std::unordered_map<std::uint64_t, std::jthread> connections;
     {
         std::lock_guard<std::mutex> lock(connMutex_);
         for (const int fd : connFds_)
             ::shutdown(fd, SHUT_RD);  // unblock readLine
+        // Take the threads out from under the lock before joining:
+        // an exiting connection needs connMutex_ to park its id.
+        connections.swap(connections_);
     }
-    connections_.clear();  // jthread joins
+    connections.clear();  // jthread joins
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        finishedConnections_.clear();
+    }
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         ::unlink(options_.socketPath.c_str());
@@ -142,35 +150,47 @@ Server::handleRun(const RunRequest &request)
             Response response;
             response.status = "ok";
             response.cached = true;
+            response.persisted = true;  // it came from the store
             response.entry = *hit;
             return response;
         }
     }
 
+    // Attaching to an in-flight run additionally requires matching
+    // resilience constraints: the deadline/event budget decide whether
+    // the execution comes back complete or quarantined, so sharing one
+    // across different constraints would hand some waiter the wrong
+    // outcome. (Completed results still dedupe by fingerprint alone —
+    // the store lookup above is constraint-blind by design.)
+    const std::string dedupeKey =
+        fingerprint + '|' + std::to_string(request.deadlineSec) + '|' +
+        std::to_string(request.eventBudget);
+
     std::shared_ptr<Job> job;
     bool attached = false;
     {
         std::lock_guard<std::mutex> lock(jobsMutex_);
-        const auto it = inflight_.find(fingerprint);
+        const auto it = inflight_.find(dedupeKey);
         if (it != inflight_.end()) {
             job = it->second;
             attached = true;
         } else {
             job = std::make_shared<Job>();
             job->fingerprint = fingerprint;
+            job->dedupeKey = dedupeKey;
             job->cell = std::move(cell);
             job->deadlineSec = request.deadlineSec;
             job->eventBudget = request.eventBudget;
             // Index before push: a worker may pop the id immediately,
             // and its completion erases the in-flight slot.
-            inflight_[fingerprint] = job;
-            jobs_.push_back(job);
-            const std::uint64_t id = jobs_.size() - 1;
+            inflight_[dedupeKey] = job;
+            const std::uint64_t id = nextJobId_++;
+            jobs_.emplace(id, job);
             const Admission admission =
                 queue_.push(request.client, id);
             if (admission != Admission::kAdmitted) {
-                inflight_.erase(fingerprint);
-                jobs_.pop_back();
+                inflight_.erase(dedupeKey);
+                jobs_.erase(id);
                 if (admission == Admission::kFull) {
                     rejectedOverload_.fetch_add(
                         1, std::memory_order_relaxed);
@@ -202,6 +222,7 @@ Server::handleRun(const RunRequest &request)
     Response response;
     response.status = job->entry.status == "ok" ? "ok" : "failed";
     response.deduped = attached;
+    response.persisted = job->persisted;
     response.entry = job->entry;
     return response;
 }
@@ -213,7 +234,14 @@ Server::workerLoop()
         std::shared_ptr<Job> job;
         {
             std::lock_guard<std::mutex> lock(jobsMutex_);
-            job = jobs_[*id];
+            const auto it = jobs_.find(*id);
+            if (it == jobs_.end())
+                continue;  // defensive: id without a job slot
+            job = std::move(it->second);
+            // Reclaim the slot now — waiters hold their own
+            // shared_ptr, and a daemon must not grow by one Job per
+            // executed miss forever.
+            jobs_.erase(it);
         }
         execute(*job);
     }
@@ -282,25 +310,32 @@ Server::execute(Job &job)
 
     // Persist before acknowledging: a client that saw "ok" must find
     // the result cached across any later crash. Failures are never
-    // stored — a transient fault must not poison the cache.
+    // stored — a transient fault must not poison the cache. A failed
+    // append (e.g. disk full) must not be papered over either: the
+    // client still gets its result, but with persisted:false so it
+    // knows the durability guarantee does not cover this cell.
+    bool persisted = false;
     if (entry.status == "ok" && store_.isOpen()) {
         try {
             store_.put(entry);
+            persisted = true;
         } catch (const std::exception &e) {
-            GRIT_LOG(sim::LogLevel::kWarn,
+            GRIT_LOG(sim::LogLevel::kError,
                      "result store append failed for "
                          << entry.row << "/" << entry.label << ": "
-                         << e.what());
+                         << e.what()
+                         << " (responding persisted:false)");
         }
     }
 
     {
         std::lock_guard<std::mutex> lock(jobsMutex_);
-        inflight_.erase(job.fingerprint);
+        inflight_.erase(job.dedupeKey);
     }
     {
         std::lock_guard<std::mutex> lock(job.mutex);
         job.done = true;
+        job.persisted = persisted;
         job.entry = std::move(entry);
     }
     job.cv.notify_all();
@@ -310,17 +345,38 @@ void
 Server::acceptLoop(const std::stop_token &st)
 {
     while (!st.stop_requested()) {
+        reapConnections();
         const int fd = acceptWithTimeout(listenFd_, 100);
         if (fd < 0)
             continue;
         std::lock_guard<std::mutex> lock(connMutex_);
         connFds_.insert(fd);
-        connections_.emplace_back([this, fd] { serveConnection(fd); });
+        const std::uint64_t id = nextConnectionId_++;
+        connections_.emplace(
+            id, std::jthread([this, fd, id] { serveConnection(fd, id); }));
     }
 }
 
 void
-Server::serveConnection(int fd)
+Server::reapConnections()
+{
+    // Joining happens on `done`'s destruction, after connMutex_ is
+    // released — an exiting thread still briefly holds the lock to
+    // park its id, so joining under it would deadlock.
+    std::vector<std::jthread> done;
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (const std::uint64_t id : finishedConnections_) {
+        const auto it = connections_.find(id);
+        if (it != connections_.end()) {
+            done.push_back(std::move(it->second));
+            connections_.erase(it);
+        }
+    }
+    finishedConnections_.clear();
+}
+
+void
+Server::serveConnection(int fd, std::uint64_t id)
 {
     std::string line;
     while (readLine(fd, line)) {
@@ -341,6 +397,9 @@ Server::serveConnection(int fd)
     {
         std::lock_guard<std::mutex> lock(connMutex_);
         connFds_.erase(fd);
+        // Park the thread for the accept loop's next reap pass; only
+        // stop() joins connections directly.
+        finishedConnections_.push_back(id);
     }
     ::close(fd);
 }

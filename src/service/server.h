@@ -16,7 +16,13 @@
  *    finishes everything already admitted, persists the store, and
  *    only then returns;
  *  - every stored result was fsync'd before the requester saw it, so
- *    a kill -9 server restarts into a warm, byte-identical cache.
+ *    a kill -9 server restarts into a warm, byte-identical cache; if
+ *    the append itself fails (e.g. disk full) the response still
+ *    carries the result but says persisted:false — the durability
+ *    guarantee is never silently claimed;
+ *  - in-flight dedupe requires matching deadline/event budget (the
+ *    knobs shape the outcome); mismatched constraints execute
+ *    separately, while completed results dedupe by fingerprint alone.
  *
  * The class is usable fully in-process (tests drive handle() directly)
  * or as a socket daemon (start() spawns the accept loop).
@@ -111,12 +117,24 @@ class Server
     struct Job
     {
         std::string fingerprint;
+        /**
+         * In-flight dedupe key: fingerprint + deadline + event budget.
+         * The resilience knobs shape the *outcome* of an execution
+         * (an over-budget run fails with salvaged partials), so a
+         * request may only attach to an in-flight job running under
+         * the same constraints — otherwise a generous client could be
+         * handed a tight run's failure, or a tight client could wait
+         * on an unbudgeted run. Completed results still dedupe by
+         * pure fingerprint through the store.
+         */
+        std::string dedupeKey;
         harness::RunCell cell;
         double deadlineSec = 0.0;
         std::uint64_t eventBudget = 0;
         std::mutex mutex;
         std::condition_variable cv;
         bool done = false;
+        bool persisted = false;  //!< entry durably in the store
         harness::JournalEntry entry;
     };
 
@@ -125,7 +143,8 @@ class Server
     void workerLoop();
     void execute(Job &job);
     void acceptLoop(const std::stop_token &st);
-    void serveConnection(int fd);
+    void serveConnection(int fd, std::uint64_t id);
+    void reapConnections();
 
     Options options_;
     ResultStore store_;
@@ -146,13 +165,29 @@ class Server
     std::atomic<std::uint64_t> failures_{0};
 
     std::mutex jobsMutex_;
+    /** In-flight executions by Job::dedupeKey (see that comment). */
     std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
-    std::vector<std::shared_ptr<Job>> jobs_;  //!< by queue id
+    /**
+     * Queued-but-not-yet-dispatched jobs by admission id. A worker
+     * removes the slot when it picks the job up (waiters hold their
+     * own shared_ptr), so the map stays bounded by the queue, not by
+     * daemon lifetime.
+     */
+    std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+    std::uint64_t nextJobId_ = 0;
 
     int listenFd_ = -1;
     std::mutex connMutex_;
     std::set<int> connFds_;
-    std::vector<std::jthread> connections_;
+    /**
+     * Live connection threads by id; a thread parks its id in
+     * finishedConnections_ on exit and the accept loop joins and
+     * erases it, so a long-running daemon does not accumulate one
+     * dead jthread per client ever served.
+     */
+    std::unordered_map<std::uint64_t, std::jthread> connections_;
+    std::vector<std::uint64_t> finishedConnections_;
+    std::uint64_t nextConnectionId_ = 0;
     std::vector<std::jthread> workers_;
     std::jthread acceptThread_;
 };

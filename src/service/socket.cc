@@ -106,7 +106,11 @@ bool
 writeAll(int fd, std::string_view data)
 {
     while (!data.empty()) {
-        const ssize_t n = ::write(fd, data.data(), data.size());
+        // MSG_NOSIGNAL: a peer that hung up mid-response must surface
+        // as EPIPE (an ordinary connection close), not as a SIGPIPE
+        // that would kill the whole daemon.
+        const ssize_t n =
+            ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

@@ -109,6 +109,8 @@ wait_ready
     fail "post-restart submission failed"
 grep -q '^cached 1$' "$WORKDIR/c.out" ||
     fail "restarted daemon did not serve the stored result: $(cat "$WORKDIR/c.out")"
+grep -q '^persisted 1$' "$WORKDIR/c.out" ||
+    fail "store hit not reported as persisted: $(cat "$WORKDIR/c.out")"
 cmp -s "$WORKDIR/run_a.json" "$WORKDIR/run_c.json" ||
     fail "cache hit after kill -9 is not byte-identical"
 

@@ -294,11 +294,13 @@ TEST(ServiceProtocol, ResponseLineRoundTripsEntryAndError)
     Response ok;
     ok.status = "ok";
     ok.cached = true;
+    ok.persisted = true;
     ok.entry = okEntry("aaaa000011112222", 100);
     const Response okBack = responseFromLine(responseLine(ok));
     EXPECT_EQ(okBack.status, "ok");
     EXPECT_TRUE(okBack.cached);
     EXPECT_FALSE(okBack.deduped);
+    EXPECT_TRUE(okBack.persisted);
     ASSERT_TRUE(okBack.entry.has_value());
     EXPECT_EQ(harness::journalLine(*okBack.entry),
               harness::journalLine(*ok.entry));
@@ -311,6 +313,15 @@ TEST(ServiceProtocol, ResponseLineRoundTripsEntryAndError)
     EXPECT_EQ(errBack.status, "error");
     ASSERT_TRUE(errBack.error.has_value());
     EXPECT_EQ(errBack.error->code, sim::ErrorCode::kServiceOverloaded);
+    EXPECT_FALSE(errBack.persisted);
+
+    // A line without the persisted key (a pre-flag daemon) parses
+    // leniently to false rather than failing.
+    const Response legacy = responseFromLine(
+        "{\"schema\":\"grit-service\",\"version\":1,"
+        "\"status\":\"ok\",\"cached\":true,\"deduped\":false}");
+    EXPECT_TRUE(legacy.cached);
+    EXPECT_FALSE(legacy.persisted);
 
     Response stats;
     stats.status = "ok";
@@ -419,6 +430,7 @@ TEST(ServiceServer, ExecutesThenServesFromStore)
     ASSERT_EQ(first.status, "ok");
     EXPECT_FALSE(first.cached);
     EXPECT_FALSE(first.deduped);
+    EXPECT_TRUE(first.persisted);  // appended + fsync'd before the ack
     ASSERT_TRUE(first.entry.has_value());
     EXPECT_EQ(first.entry->status, "ok");
     EXPECT_TRUE(first.entry->hasResult);
@@ -427,6 +439,7 @@ TEST(ServiceServer, ExecutesThenServesFromStore)
     const Response second = server.handle(request);
     ASSERT_EQ(second.status, "ok");
     EXPECT_TRUE(second.cached);
+    EXPECT_TRUE(second.persisted);
     ASSERT_TRUE(second.entry.has_value());
     EXPECT_EQ(harness::journalLine(*second.entry),
               harness::journalLine(*first.entry));
@@ -482,6 +495,10 @@ TEST(ServiceServer, DedupesInflightIdenticalCells)
     EXPECT_EQ(first.status, "ok");
     EXPECT_EQ(second.status, "ok");
     EXPECT_TRUE(first.deduped != second.deduped);  // exactly one attached
+    // No --store on this server: both clients must see that their
+    // result is not durable anywhere.
+    EXPECT_FALSE(first.persisted);
+    EXPECT_FALSE(second.persisted);
     ASSERT_TRUE(first.entry.has_value());
     ASSERT_TRUE(second.entry.has_value());
     EXPECT_EQ(harness::journalLine(*first.entry),
@@ -492,6 +509,52 @@ TEST(ServiceServer, DedupesInflightIdenticalCells)
     EXPECT_EQ(counters.misses, 1u);
     EXPECT_EQ(counters.deduped, 1u);
     EXPECT_EQ(counters.executed, 1u);  // the cell ran exactly once
+    server.stop();
+}
+
+TEST(ServiceServer, MismatchedBudgetsDoNotShareAnExecution)
+{
+    Gate gate;
+    Server::Options options;
+    options.workers = 2;
+    options.executionGate = [&gate](const std::string &) { gate.wait(); };
+    Server server(std::move(options));
+    server.start();
+
+    // Same cell, different resilience constraints. The second request
+    // must NOT attach to the first execution: the budget it asked for
+    // would not be the one enforced, so an attached waiter could be
+    // handed an outcome its own constraints would never produce.
+    Request unbounded = runRequest("alice", "GEMM", "on-touch");
+    Request budgeted = unbounded;
+    budgeted.run.eventBudget = 50000000;  // generous: still completes
+
+    Response first, second;
+    std::thread a([&] { first = server.handle(unbounded); });
+    ASSERT_TRUE(waitFor([&] { return gate.arrivals.load() == 1; }));
+    std::thread b([&] { second = server.handle(budgeted); });
+    // A second arrival at the gate proves a second execution started.
+    ASSERT_TRUE(waitFor([&] { return gate.arrivals.load() == 2; }));
+    gate.release();
+    a.join();
+    b.join();
+
+    EXPECT_EQ(first.status, "ok");
+    EXPECT_EQ(second.status, "ok");
+    EXPECT_FALSE(first.deduped);
+    EXPECT_FALSE(second.deduped);
+    // The deterministic engine converges: both runs complete, so both
+    // return the same bytes even though they executed separately.
+    ASSERT_TRUE(first.entry.has_value());
+    ASSERT_TRUE(second.entry.has_value());
+    EXPECT_EQ(harness::journalLine(*first.entry),
+              harness::journalLine(*second.entry));
+
+    const ServiceCounters counters = server.counters();
+    EXPECT_EQ(counters.requests, 2u);
+    EXPECT_EQ(counters.misses, 2u);
+    EXPECT_EQ(counters.deduped, 0u);
+    EXPECT_EQ(counters.executed, 2u);
     server.stop();
 }
 
