@@ -6,7 +6,9 @@
  * experiment engine behind a bounded fair-share admission queue.
  *
  * Usage: grit_serve --socket PATH [--store PATH] [--workers N]
- *                   [--queue N] [--json PATH]
+ *                   [--queue N] [--max-line BYTES] [--json PATH]
+ *        grit_serve --store PATH --compact
+ *        grit_serve --store PATH --corrupt SPEC
  *
  * Lifecycle: runs until SIGINT/SIGTERM, then drains — stops admitting
  * (clients see "service-draining"), finishes every admitted cell,
@@ -16,7 +18,15 @@
  * restarted daemon serves the same cells byte-identically from the
  * store (the service_smoke ctest proves this).
  *
- * Exit codes: 0 clean drain, 2 structured configuration error.
+ * Offline modes (no socket, exit immediately):
+ *  --compact  scrub the store and rewrite it keeping only valid
+ *             first-wins records (write-temp + fsync + atomic rename);
+ *  --corrupt  seeded fault injection for recovery drills: apply the
+ *             `store-bitflip` chaos clause to the store file and print
+ *             what was damaged (docs/ROBUSTNESS.md).
+ *
+ * Exit codes: 0 clean drain / offline op done, 2 structured
+ * configuration error.
  */
 
 #include <chrono>
@@ -24,7 +34,9 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "harness/record_frame.h"
 #include "service/server.h"
+#include "simcore/fault_injector.h"
 #include "stats/result_sink.h"
 
 static void
@@ -43,7 +55,8 @@ writeServiceJson(const std::string &path,
     sink.writeServiceStats(c.requests, c.hits, c.misses, c.deduped,
                            c.executed, c.rejectedOverload,
                            c.rejectedDraining, c.badRequests, c.failures,
-                           c.storeEntries);
+                           c.storeEntries, c.storeScanned, c.storeValid,
+                           c.storeQuarantined, c.storeTruncated);
     sink.end();
     os << '\n';
     if (file)
@@ -62,23 +75,91 @@ main(int argc, char **argv)
     std::string storePath;
     unsigned workers = 2;
     std::uint64_t queueCapacity = 64;
+    std::uint64_t maxLineBytes = std::uint64_t{4} << 20;
     std::string jsonPath;
+    bool compact = false;
+    std::string corruptSpec;
     cli.flag("--socket", &socketPath, "PATH",
-             "Unix socket to listen on (required)");
+             "Unix socket to listen on (required unless --compact / "
+             "--corrupt)");
     cli.flag("--store", &storePath, "PATH",
              "crash-safe result store (empty = no persistence)");
     cli.flag("--workers", &workers, "N",
              "executor threads draining the admission queue");
     cli.flag("--queue", &queueCapacity, "N",
              "admission-queue bound; beyond it requests are shed");
+    cli.flag("--max-line", &maxLineBytes, "BYTES",
+             "per-request line ceiling; longer lines are refused with "
+             "bad-argument");
     cli.flag("--json", &jsonPath, "PATH",
              "write the service-counters grit-results document at "
              "drain (\"-\" = stdout)");
+    cli.flag("--compact", &compact,
+             "offline: scrub + rewrite --store keeping only valid "
+             "first-wins records, then exit");
+    cli.flag("--corrupt", &corruptSpec, "SPEC",
+             "offline: apply a store-bitflip chaos clause to --store "
+             "(recovery drills), then exit");
 
     grit::bench::installSignalHandlers();
     try {
         if (!cli.parse(argc, argv))
             return grit::bench::kExitFull;  // --help
+
+        if (compact || !corruptSpec.empty()) {
+            if (storePath.empty())
+                throw sim::SimException(
+                    sim::ErrorCode::kBadArgument,
+                    "--compact/--corrupt need --store <path>",
+                    "grit_serve");
+            if (compact && !corruptSpec.empty())
+                throw sim::SimException(
+                    sim::ErrorCode::kBadArgument,
+                    "--compact and --corrupt are mutually exclusive",
+                    "grit_serve");
+            if (compact) {
+                service::ResultStore store;
+                store.open(storePath);
+                const harness::ScrubStats scrub = store.scrubStats();
+                const auto stats = store.compact();
+                std::cout << "scanned " << scrub.scanned
+                          << "\nquarantined " << scrub.quarantined
+                          << "\ntruncated " << scrub.truncated
+                          << "\nkept " << stats.kept
+                          << "\nduplicates_dropped "
+                          << stats.duplicatesDropped << "\n";
+                std::cerr << "grit_serve: compacted " << storePath
+                          << " (" << stats.kept << " of "
+                          << stats.recordsIn << " record(s) kept)\n";
+            } else {
+                const sim::ChaosSpec spec =
+                    sim::ChaosSpec::parse(corruptSpec);
+                if (spec.storeBitflip.flips == 0)
+                    throw sim::SimException(
+                        sim::ErrorCode::kBadArgument,
+                        "--corrupt wants a store-bitflip clause, e.g. "
+                        "'store-bitflip:seed=7,flips=3'",
+                        "grit_serve");
+                const std::uint64_t seed = spec.storeBitflip.seed != 0
+                                               ? spec.storeBitflip.seed
+                                               : spec.seed;
+                const harness::CorruptionReport report =
+                    harness::injectBitflips(storePath, seed,
+                                            spec.storeBitflip.flips);
+                std::cout << "bytes_flipped " << report.bytesFlipped
+                          << "\nrecords_damaged "
+                          << report.damagedLines.size() << "\n";
+                for (const std::uint64_t line : report.damagedLines)
+                    std::cout << "damaged_line " << line << "\n";
+                std::cerr << "grit_serve: corrupted " << storePath
+                          << " (" << report.bytesFlipped
+                          << " byte(s) across "
+                          << report.damagedLines.size()
+                          << " record(s))\n";
+            }
+            return grit::bench::kExitFull;
+        }
+
         if (socketPath.empty())
             throw sim::SimException(sim::ErrorCode::kBadArgument,
                                     "--socket <path> is required",
@@ -87,6 +168,10 @@ main(int argc, char **argv)
             throw sim::SimException(sim::ErrorCode::kBadArgument,
                                     "--queue must be at least 1",
                                     "grit_serve");
+        if (maxLineBytes == 0)
+            throw sim::SimException(sim::ErrorCode::kBadArgument,
+                                    "--max-line must be at least 1",
+                                    "grit_serve");
 
         service::Server::Options options;
         options.socketPath = socketPath;
@@ -94,6 +179,8 @@ main(int argc, char **argv)
         options.workers = workers;
         options.queueCapacity =
             static_cast<std::size_t>(queueCapacity);
+        options.maxLineBytes =
+            static_cast<std::size_t>(maxLineBytes);
         service::Server server(std::move(options));
         server.start();
         std::cerr << "grit_serve: listening on " << socketPath;

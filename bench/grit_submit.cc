@@ -12,7 +12,8 @@
  * and "service-overloaded" shedding are retried `--retries` times
  * with capped exponential backoff and deterministic jitter.
  *
- * Exit codes: 0 run complete (also --ping/--stats), 2 usage error or
+ * Exit codes: 0 run complete (also --ping/--stats/--compact), 2 usage
+ * error or
  * request refused (bad request, draining, overloaded after retries,
  * daemon unreachable), 3 run executed but failed (the structured
  * diagnostic and any salvaged partial counters are reported).
@@ -44,6 +45,7 @@ run(int argc, char **argv)
     std::string jsonPath;
     bool ping = false;
     bool stats = false;
+    bool compact = false;
     cli.positional("APP", &appName,
                    "Table II application abbreviation (default BFS)",
                    /*required=*/false);
@@ -71,8 +73,11 @@ run(int argc, char **argv)
              "base retry backoff (doubles per attempt, jittered)");
     cli.flag("--json", &jsonPath, "PATH",
              "write the run's grit-results document (\"-\" = stdout)");
-    cli.flag("--ping", &ping, "liveness check only");
+    cli.flag("--ping", &ping,
+             "liveness check only (prints version + drain state)");
     cli.flag("--stats", &stats, "print the daemon's service counters");
+    cli.flag("--compact", &compact,
+             "ask the daemon to compact its result store");
 
     if (!cli.parse(argc, argv))
         return grit::bench::kExitFull;  // --help
@@ -93,8 +98,30 @@ run(int argc, char **argv)
         const service::Response response = client.submit(request);
         std::cout << "pong " << (response.status == "ok" ? 1 : 0)
                   << "\n";
+        if (response.ping)
+            std::cout << "version " << response.ping->version
+                      << "\ndraining "
+                      << (response.ping->draining ? 1 : 0) << "\n";
         return response.status == "ok" ? grit::bench::kExitFull
                                        : grit::bench::kExitUsage;
+    }
+    if (compact) {
+        request.op = "compact";
+        const service::Response response = client.submit(request);
+        if (response.status != "ok") {
+            const sim::SimError error =
+                response.error
+                    ? *response.error
+                    : sim::SimError(sim::ErrorCode::kInternal,
+                                    "compact request refused");
+            std::cerr << error.str() << "\n";
+            return grit::bench::kExitUsage;
+        }
+        std::cout << "compacted 1\n";
+        if (response.service)
+            std::cout << "store_entries "
+                      << response.service->storeEntries << "\n";
+        return grit::bench::kExitFull;
     }
     if (stats) {
         request.op = "stats";
@@ -115,7 +142,13 @@ run(int argc, char **argv)
                   << "\n"
                   << "service.bad_requests " << c.badRequests << "\n"
                   << "service.failures " << c.failures << "\n"
-                  << "service.store_entries " << c.storeEntries << "\n";
+                  << "service.store_entries " << c.storeEntries << "\n"
+                  << "service.store_scanned " << c.storeScanned << "\n"
+                  << "service.store_valid " << c.storeValid << "\n"
+                  << "service.store_quarantined " << c.storeQuarantined
+                  << "\n"
+                  << "service.store_truncated " << c.storeTruncated
+                  << "\n";
         return grit::bench::kExitFull;
     }
 

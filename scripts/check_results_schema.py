@@ -32,6 +32,7 @@ ERROR_CODES = [
     "deadline",
     "interrupted",
     "journal",
+    "store-corrupt",
     "service-overloaded",
     "service-draining",
     "internal",
@@ -67,6 +68,10 @@ SERVICE_KEYS = [
     "bad_requests",
     "failures",
     "store_entries",
+    "store_scanned",
+    "store_valid",
+    "store_quarantined",
+    "store_truncated",
 ]
 
 BREAKDOWN_KEYS = [

@@ -3,6 +3,8 @@
 #include <bit>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "simcore/log.h"
 #include "stats/timeline.h"
 #include "workload/apps.h"
@@ -412,6 +414,7 @@ RunJournal::open(const std::string &path, const std::string &generator,
     path_ = path;
     entries_.clear();
     index_.clear();
+    scrub_ = {};
     if (resume)
         loadExisting(generator);
 
@@ -443,12 +446,12 @@ RunJournal::open(const std::string &path, const std::string &generator,
 void
 RunJournal::loadExisting(const std::string &generator)
 {
-    std::ifstream in(path_);
-    if (!in)
+    RecordReader reader(path_);
+    if (!reader.isOpen())
         return;  // nothing to resume from; open() writes a fresh file
     std::string line;
-    if (!std::getline(in, line) || line.empty())
-        return;  // empty file: treat as fresh
+    if (!reader.next(line) || line.empty())
+        return;  // empty or headerless file: treat as fresh
     try {
         const stats::JsonValue header = stats::JsonValue::parse(line);
         if (header.at("schema").asString() != kSchemaName)
@@ -470,25 +473,55 @@ RunJournal::loadExisting(const std::string &generator)
                     path_);
     }
 
-    while (std::getline(in, line)) {
+    QuarantineSidecar quarantine(path_);
+    while (reader.next(line)) {
         if (line.empty())
             continue;
+        ++scrub_.scanned;
+        // Scrub: a corrupt record (failed frame/CRC, or unparseable
+        // legacy JSON) is quarantined and *skipped* — every intact
+        // record after it is still replayed. Only the unterminated
+        // tail below is truncated.
+        const UnframedRecord record = unframeRecord(line);
+        std::string reason = record.reason;
+        bool ok = false;
         JournalEntry entry;
-        try {
-            entry = journalEntryFromLine(line);
-        } catch (const sim::SimException &e) {
-            // A torn final line is the expected signature of a crash
-            // mid-append: drop it (and anything after it) and resume
-            // from the last intact record.
-            GRIT_LOG(sim::LogLevel::kWarn,
-                     "journal " + path_ +
-                         ": dropping torn/unreadable tail (" +
-                         e.error().message + ")");
-            break;
+        if (record.kind != RecordKind::kCorrupt) {
+            try {
+                entry = journalEntryFromLine(
+                    std::string(record.payload));
+                ok = true;
+            } catch (const sim::SimException &e) {
+                reason = e.error().message;
+            }
         }
+        if (!ok) {
+            ++scrub_.quarantined;
+            quarantine.add(line);
+            GRIT_LOG(sim::LogLevel::kWarn,
+                     "journal " + path_ + ": quarantined record " +
+                         std::to_string(scrub_.scanned) + " (" + reason +
+                         ") -> " + quarantine.path());
+            continue;
+        }
+        ++scrub_.valid;
         auto owned = std::make_unique<JournalEntry>(std::move(entry));
         index_[owned->fingerprint] = owned.get();
         entries_.push_back(std::move(owned));
+    }
+
+    // Truncate an unterminated torn tail (crash mid-append) before
+    // open() reattaches the append stream — otherwise the next append
+    // would concatenate onto the torn bytes and corrupt itself too.
+    if (reader.tornTail() && !entries_.empty()) {
+        ++scrub_.truncated;
+        GRIT_LOG(sim::LogLevel::kWarn,
+                 "journal " + path_ + ": truncating torn tail at byte " +
+                     std::to_string(reader.terminatedBytes()));
+        if (::truncate(path_.c_str(),
+                       static_cast<off_t>(reader.terminatedBytes())) !=
+            0)
+            journalFail("cannot truncate torn journal tail", path_);
     }
 }
 
@@ -497,6 +530,13 @@ RunJournal::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
+}
+
+ScrubStats
+RunJournal::scrubStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scrub_;
 }
 
 const JournalEntry *
@@ -510,7 +550,7 @@ RunJournal::find(const std::string &fingerprint) const
 void
 RunJournal::append(const JournalEntry &entry)
 {
-    std::string line = journalLine(entry);
+    std::string line = frameRecord(journalLine(entry));
     line.push_back('\n');
     std::lock_guard<std::mutex> lock(mutex_);
     if (!out_.is_open())

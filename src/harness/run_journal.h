@@ -12,10 +12,16 @@
  * field is an integer or a string, the round trip is lossless and the
  * merged output is byte-identical to an uninterrupted sweep.
  *
- * File layout: a header line
+ * File layout: a plain-JSON header line
  *   {"schema":"grit-run-journal","version":2,"generator":"<binary>"}
- * followed by one entry object per line. A truncated final line (the
- * signature of a crash mid-append) is ignored on load. Version 2 added
+ * followed by one integrity-framed entry per line (length prefix +
+ * CRC32C, harness/record_frame.h). Resume runs a scrub: a corrupt
+ * record (flipped bit, torn middle) is skipped and preserved in the
+ * `<path>.quarantine` sidecar while every intact record before and
+ * after it is replayed; an unterminated final line — the signature of
+ * a crash mid-append — is truncated away before appending resumes, so
+ * new records never concatenate onto torn bytes. Legacy journals with
+ * unframed (bare JSON) entry lines load transparently. Version 2 added
  * the "accesses_batched" run field; version-1 journals are rejected on
  * resume (re-running the sweep is cheaper than replaying a record that
  * silently zeroes a now-exported metric).
@@ -34,6 +40,7 @@
 #include <vector>
 
 #include "harness/experiment_engine.h"
+#include "harness/record_frame.h"
 #include "harness/simulator.h"
 #include "stats/json_value.h"
 #include "stats/json_writer.h"
@@ -123,6 +130,9 @@ class RunJournal
     /** Entries loaded or appended so far. */
     std::size_t size() const;
 
+    /** Scrub tally of the most recent resume-open (zeros if fresh). */
+    ScrubStats scrubStats() const;
+
     /** Journaled outcome for @p fingerprint; nullptr when absent. */
     const JournalEntry *find(const std::string &fingerprint) const;
 
@@ -135,6 +145,7 @@ class RunJournal
     mutable std::mutex mutex_;
     std::ofstream out_;
     std::string path_;
+    ScrubStats scrub_;
     /** unique_ptr keeps addresses stable for index_ across growth. */
     std::vector<std::unique_ptr<JournalEntry>> entries_;
     std::unordered_map<std::string, const JournalEntry *> index_;

@@ -61,6 +61,10 @@ writeCounters(stats::JsonWriter &w, const ServiceCounters &c)
     w.key("bad_requests").value(c.badRequests);
     w.key("failures").value(c.failures);
     w.key("store_entries").value(c.storeEntries);
+    w.key("store_scanned").value(c.storeScanned);
+    w.key("store_valid").value(c.storeValid);
+    w.key("store_quarantined").value(c.storeQuarantined);
+    w.key("store_truncated").value(c.storeTruncated);
     w.endObject();
 }
 
@@ -78,6 +82,15 @@ countersFromJson(const stats::JsonValue &v)
     c.badRequests = v.at("bad_requests").asUint64();
     c.failures = v.at("failures").asUint64();
     c.storeEntries = v.at("store_entries").asUint64();
+    // Lenient: absent in pre-scrub wire lines; default zero.
+    if (const stats::JsonValue *scanned = v.find("store_scanned"))
+        c.storeScanned = scanned->asUint64();
+    if (const stats::JsonValue *valid = v.find("store_valid"))
+        c.storeValid = valid->asUint64();
+    if (const stats::JsonValue *q = v.find("store_quarantined"))
+        c.storeQuarantined = q->asUint64();
+    if (const stats::JsonValue *t = v.find("store_truncated"))
+        c.storeTruncated = t->asUint64();
     return c;
 }
 
@@ -119,7 +132,8 @@ requestFromLine(const std::string &line)
     Request request;
     try {
         request.op = v.at("op").asString();
-        if (request.op == "ping" || request.op == "stats")
+        if (request.op == "ping" || request.op == "stats" ||
+            request.op == "compact")
             return request;
         if (request.op != "run")
             wireFail("unknown op \"" + request.op + "\"");
@@ -170,6 +184,12 @@ responseLine(const Response &response)
         w.key("service");
         writeCounters(w, *response.service);
     }
+    if (response.ping) {
+        w.key("server").beginObject();
+        w.key("version").value(response.ping->version);
+        w.key("draining").value(response.ping->draining);
+        w.endObject();
+    }
     w.endObject();
     return os.str();
 }
@@ -195,6 +215,13 @@ responseFromLine(const std::string &line)
             response.error = harness::errorFromJson(*error);
         if (const stats::JsonValue *service = v.find("service"))
             response.service = countersFromJson(*service);
+        // Lenient: absent in pre-PingInfo wire lines.
+        if (const stats::JsonValue *server = v.find("server")) {
+            PingInfo info;
+            info.version = server->at("version").asString();
+            info.draining = server->at("draining").asBool();
+            response.ping = info;
+        }
     } catch (const std::runtime_error &e) {
         if (dynamic_cast<const sim::SimException *>(&e))
             throw;

@@ -61,7 +61,7 @@ struct RunRequest
 /** One parsed request line. */
 struct Request
 {
-    /** "run", "stats", or "ping". */
+    /** "run", "stats", "ping", or "compact". */
     std::string op;
     /** Populated when op == "run". */
     RunRequest run;
@@ -80,6 +80,20 @@ struct ServiceCounters
     std::uint64_t badRequests = 0;       //!< malformed/unknown input
     std::uint64_t failures = 0;   //!< executions that ended "failed"
     std::uint64_t storeEntries = 0;  //!< results persisted
+    // Startup-scrub tally of the result store (docs/SERVICE.md):
+    std::uint64_t storeScanned = 0;      //!< records examined at open
+    std::uint64_t storeValid = 0;        //!< records accepted at open
+    std::uint64_t storeQuarantined = 0;  //!< corrupt records sidelined
+    std::uint64_t storeTruncated = 0;    //!< torn tails cut at open
+};
+
+/** Liveness payload of a "ping" response. */
+struct PingInfo
+{
+    /** Daemon software identity (Server::kVersion). */
+    std::string version;
+    /** True once drain began: new executions will be refused. */
+    bool draining = false;
 };
 
 /** One response line. */
@@ -108,8 +122,10 @@ struct Response
     std::optional<harness::JournalEntry> entry;
     /** The refusal diagnostic (status "error"). */
     std::optional<sim::SimError> error;
-    /** Counter snapshot ("stats" requests). */
+    /** Counter snapshot ("stats" and "compact" requests). */
     std::optional<ServiceCounters> service;
+    /** Version + drain state ("ping" requests). */
+    std::optional<PingInfo> ping;
 };
 
 /** Serialize @p request as one wire line (no trailing newline). */

@@ -2,8 +2,9 @@
 
 #include <cerrno>
 #include <cstring>
-#include <fstream>
 #include <sstream>
+#include <unordered_set>
+#include <utility>
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -17,9 +18,10 @@ namespace grit::service {
 namespace {
 
 [[noreturn]] void
-storeFail(const std::string &message, const std::string &context = {})
+storeFail(const std::string &message, const std::string &context = {},
+          sim::ErrorCode code = sim::ErrorCode::kJournal)
 {
-    throw sim::SimException(sim::ErrorCode::kJournal, message, context);
+    throw sim::SimException(code, message, context);
 }
 
 std::string
@@ -32,6 +34,20 @@ headerLine()
     w.key("version").value(std::uint64_t{ResultStore::kSchemaVersion});
     w.endObject();
     return os.str();
+}
+
+/** fsync the directory holding @p path so a rename is durable. */
+void
+fsyncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;  // best-effort: some filesystems refuse dir fsync
+    ::fsync(fd);
+    ::close(fd);
 }
 
 }  // namespace
@@ -55,6 +71,13 @@ ResultStore::size() const
     return index_.size();
 }
 
+harness::ScrubStats
+ResultStore::scrubStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scrub_;
+}
+
 const harness::JournalEntry *
 ResultStore::find(const std::string &fingerprint) const
 {
@@ -74,6 +97,7 @@ ResultStore::open(const std::string &path)
     path_ = path;
     entries_.clear();
     index_.clear();
+    scrub_ = {};
 
     fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
     if (fd_ < 0)
@@ -86,18 +110,19 @@ ResultStore::open(const std::string &path)
 void
 ResultStore::loadLocked()
 {
-    std::ifstream in(path_, std::ios::binary);
-    if (!in)
+    harness::RecordReader reader(path_);
+    if (!reader.isOpen())
         storeFail("cannot scan result store", path_);
+    harness::QuarantineSidecar quarantine(path_);
     std::string line;
-    std::uint64_t goodBytes = 0;  // offset past the last intact record
     bool sawHeader = false;
 
-    while (std::getline(in, line)) {
-        const bool terminated = !in.eof();  // getline consumed a '\n'
-        if (!terminated)
-            break;  // torn tail: no newline, crash mid-append
+    while (reader.next(line)) {
         if (!sawHeader) {
+            // The header stays a plain JSON line (schema-identifiable
+            // by eye and by older readers). A damaged header means we
+            // cannot even trust the file's identity: refuse loudly
+            // with store-corrupt instead of guessing.
             try {
                 const stats::JsonValue header =
                     stats::JsonValue::parse(line);
@@ -113,41 +138,56 @@ ResultStore::loadLocked()
             } catch (const std::runtime_error &e) {
                 if (dynamic_cast<const sim::SimException *>(&e))
                     throw;
-                storeFail(std::string("malformed store header: ") +
+                storeFail(std::string("store header failed integrity "
+                                      "validation: ") +
                               e.what(),
-                          path_);
+                          path_, sim::ErrorCode::kStoreCorrupt);
             }
             sawHeader = true;
-            goodBytes += line.size() + 1;
             continue;
         }
-        if (line.empty()) {
-            goodBytes += 1;
+        if (line.empty())
             continue;
-        }
+        ++scrub_.scanned;
+
+        // Scrub: a record that fails its frame/CRC — or, for legacy
+        // unframed records, its JSON — is quarantined and *skipped*,
+        // keeping every intact record after it. Truncation is reserved
+        // for the unterminated tail below.
+        const harness::UnframedRecord record =
+            harness::unframeRecord(line);
+        std::string reason = record.reason;
         harness::JournalEntry entry;
-        try {
-            entry = harness::journalEntryFromLine(line);
-        } catch (const sim::SimException &e) {
-            // An unparseable terminated line means real corruption,
-            // not a torn append — but the recovery is the same: keep
-            // everything before it, drop it and whatever follows.
-            GRIT_LOG(sim::LogLevel::kWarn,
-                     "result store " + path_ +
-                         ": dropping unreadable tail (" +
-                         e.error().message + ")");
-            break;
+        bool ok = false;
+        if (record.kind != harness::RecordKind::kCorrupt) {
+            try {
+                entry = harness::journalEntryFromLine(
+                    std::string(record.payload));
+                ok = true;
+            } catch (const sim::SimException &e) {
+                reason = e.error().message;
+            }
         }
-        goodBytes += line.size() + 1;
+        if (!ok) {
+            ++scrub_.quarantined;
+            quarantine.add(line);
+            GRIT_LOG(sim::LogLevel::kWarn,
+                     "result store " + path_ + ": quarantined record " +
+                         std::to_string(scrub_.scanned) + " (" + reason +
+                         ") -> " + quarantine.path());
+            continue;
+        }
+        ++scrub_.valid;
         auto owned = std::make_unique<harness::JournalEntry>(
             std::move(entry));
         index_[owned->fingerprint] = owned.get();
         entries_.push_back(std::move(owned));
     }
-    in.close();
 
     if (!sawHeader) {
         // Fresh (or torn-before-header) file: start it over.
+        if (reader.tornTail())
+            ++scrub_.truncated;
         if (::ftruncate(fd_, 0) != 0)
             storeFail(std::string("cannot reset result store: ") +
                           std::strerror(errno),
@@ -162,12 +202,17 @@ ResultStore::loadLocked()
         return;
     }
 
-    // Truncate away any torn tail so the next append starts on a
-    // clean line boundary instead of concatenating onto torn bytes.
-    if (::ftruncate(fd_, static_cast<off_t>(goodBytes)) != 0)
-        storeFail(std::string("cannot truncate torn tail: ") +
-                      std::strerror(errno),
-                  path_);
+    // Truncate away an unterminated torn tail (crash mid-append) so
+    // the next append starts on a clean line boundary instead of
+    // concatenating onto torn bytes.
+    if (reader.tornTail()) {
+        ++scrub_.truncated;
+        if (::ftruncate(fd_, static_cast<off_t>(
+                                 reader.terminatedBytes())) != 0)
+            storeFail(std::string("cannot truncate torn tail: ") +
+                          std::strerror(errno),
+                      path_);
+    }
 }
 
 void
@@ -177,7 +222,8 @@ ResultStore::put(const harness::JournalEntry &entry)
         entry.result.partial)
         storeFail("only complete 'ok' results may be stored",
                   entry.row + "/" + entry.label);
-    const std::string line = harness::journalLine(entry) + "\n";
+    const std::string line =
+        harness::frameRecord(harness::journalLine(entry)) + "\n";
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (fd_ < 0)
@@ -196,6 +242,78 @@ ResultStore::put(const harness::JournalEntry &entry)
     auto owned = std::make_unique<harness::JournalEntry>(entry);
     index_[owned->fingerprint] = owned.get();
     entries_.push_back(std::move(owned));
+}
+
+ResultStore::CompactionStats
+ResultStore::compact()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0)
+        storeFail("compact a store that was never opened", path_);
+
+    // First-wins over the in-memory record sequence (which is the
+    // file's append order): the canonical content-addressed semantics.
+    // Quarantined lines were never indexed, so they simply do not get
+    // rewritten; legacy records come back out framed.
+    CompactionStats stats;
+    stats.recordsIn = entries_.size();
+    std::vector<std::unique_ptr<harness::JournalEntry>> kept;
+    std::unordered_set<std::string> seen;
+    for (auto &entry : entries_) {
+        if (!seen.insert(entry->fingerprint).second) {
+            ++stats.duplicatesDropped;
+            continue;
+        }
+        kept.push_back(std::move(entry));
+    }
+    stats.kept = kept.size();
+
+    const std::string tempPath = path_ + ".compact";
+    const int tmp = ::open(tempPath.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (tmp < 0)
+        storeFail(std::string("cannot create compaction temp: ") +
+                      std::strerror(errno),
+                  tempPath);
+    std::string image = headerLine() + "\n";
+    for (const auto &entry : kept)
+        image += harness::frameRecord(harness::journalLine(*entry)) +
+                 "\n";
+    const bool written =
+        ::write(tmp, image.data(), image.size()) ==
+            static_cast<ssize_t>(image.size()) &&
+        ::fsync(tmp) == 0;
+    ::close(tmp);
+    if (!written) {
+        const int err = errno;
+        ::unlink(tempPath.c_str());
+        storeFail(std::string("compaction write failed: ") +
+                      std::strerror(err),
+                  tempPath);
+    }
+    // Atomic cutover: readers/restarts see either the old complete
+    // file or the new complete file, never a half-rewritten one.
+    if (::rename(tempPath.c_str(), path_.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tempPath.c_str());
+        storeFail(std::string("compaction rename failed: ") +
+                      std::strerror(err),
+                  path_);
+    }
+    fsyncParentDir(path_);
+
+    ::close(fd_);
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0)
+        storeFail(std::string("cannot reopen compacted store: ") +
+                      std::strerror(errno),
+                  path_);
+
+    entries_ = std::move(kept);
+    index_.clear();
+    for (const auto &entry : entries_)
+        index_[entry->fingerprint] = entry.get();
+    return stats;
 }
 
 void

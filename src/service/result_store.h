@@ -3,23 +3,32 @@
  * Crash-safe, content-addressed store of completed run results.
  *
  * The persistence layer behind the simulation service: every completed
- * ("ok", non-partial) cell is appended as one self-contained JSONL
- * record keyed by its runFingerprint() and fsync'd before the server
- * acknowledges it, so a kill -9 loses at most the record being
- * written. Startup rebuilds the in-memory index by scanning the file;
- * a torn final line — the signature of a crash mid-append — is dropped
- * and the file truncated back to the last intact record, so the next
- * append can never concatenate onto torn bytes.
+ * ("ok", non-partial) cell is appended as one integrity-framed JSONL
+ * record (harness/record_frame.h: length prefix + CRC32C around the
+ * run-journal serialization) keyed by its runFingerprint() and fsync'd
+ * before the server acknowledges it, so a kill -9 loses at most the
+ * record being written.
+ *
+ * Startup runs a *scrub*: every record is re-validated (frame, CRC,
+ * JSON). A corrupt record — a flipped bit, a torn middle, a stray
+ * write — is skipped and its raw line preserved in the
+ * `<path>.quarantine` sidecar, and every intact record before AND
+ * after it is kept; only an unterminated final line (crash mid-append)
+ * is truncated away. The scrub tally is exported as the service's
+ * store_* counters. Legacy stores written before framing existed
+ * (bare JSON lines) load transparently.
+ *
+ * compact() rewrites the file keeping only valid first-wins records
+ * (write temp + fsync + atomic rename), upgrading legacy records to
+ * frames and shedding quarantined lines and duplicates.
  *
  * Only complete results are ever stored: failures and salvaged
  * partials are returned to the requesting client but never persisted,
- * so a transient failure cannot poison the cache for future requests.
+ * so a transient failure cannot poison the cache.
  *
- * File layout: a header line
+ * File layout: a plain-JSON header line
  *   {"schema":"grit-result-store","version":1}
- * followed by one run-journal entry object per line (the same
- * serialization the --journal file uses, so records are individually
- * parseable and byte-identical across server restarts).
+ * followed by one framed run-journal entry per line.
  */
 
 #ifndef GRIT_SERVICE_RESULT_STORE_H_
@@ -31,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "harness/record_frame.h"
 #include "harness/run_journal.h"
 
 namespace grit::service {
@@ -42,16 +52,27 @@ class ResultStore
     static constexpr const char *kSchemaName = "grit-result-store";
     static constexpr unsigned kSchemaVersion = 1;
 
+    /** What compact() did (sizes are records, not bytes). */
+    struct CompactionStats
+    {
+        std::uint64_t recordsIn = 0;  //!< valid records before
+        std::uint64_t kept = 0;       //!< unique records written back
+        std::uint64_t duplicatesDropped = 0;
+    };
+
     ResultStore() = default;
     ~ResultStore();
     ResultStore(const ResultStore &) = delete;
     ResultStore &operator=(const ResultStore &) = delete;
 
     /**
-     * Open (creating if absent) the store at @p path: validate the
-     * header, index every intact record, truncate a torn tail.
-     * @throws sim::SimException (kJournal) when the file cannot be
-     *         opened or belongs to a different schema/version.
+     * Open (creating if absent) the store at @p path and scrub it:
+     * validate the header, re-verify every record's frame/CRC/JSON,
+     * quarantine corrupt records into the `.quarantine` sidecar,
+     * truncate a torn tail.
+     * @throws sim::SimException — kJournal when the file cannot be
+     *         opened or belongs to a different schema/version,
+     *         kStoreCorrupt when the header line itself is damaged.
      */
     void open(const std::string &path);
 
@@ -67,17 +88,32 @@ class ResultStore
      */
     std::size_t size() const;
 
+    /** Scrub tally of the most recent open(). */
+    harness::ScrubStats scrubStats() const;
+
     /** Stored outcome for @p fingerprint; nullptr when absent. */
     const harness::JournalEntry *find(const std::string &fingerprint) const;
 
     /**
-     * Append @p entry (one write + fsync) and index it. Rejects
-     * anything but a complete "ok" result — the store must never
-     * serve a failure or a partial as a cache hit.
+     * Append @p entry (one framed write + fsync) and index it.
+     * Rejects anything but a complete "ok" result — the store must
+     * never serve a failure or a partial as a cache hit.
      * @throws sim::SimException (kJournal) on I/O failure or an
      *         ineligible entry.
      */
     void put(const harness::JournalEntry &entry);
+
+    /**
+     * Rewrite the store keeping only valid first-wins records:
+     * header + one framed record per unique fingerprint, in original
+     * append order, via write-temp + fsync + atomic rename (+ fsync of
+     * the directory), then reopen the append descriptor on the new
+     * file. Sheds load-time duplicates and any quarantined (corrupt)
+     * lines still sitting in the file, and upgrades legacy unframed
+     * records to frames. scrubStats() still describes the last open().
+     * @throws sim::SimException (kJournal) on I/O failure.
+     */
+    CompactionStats compact();
 
     /** Close the backing file (open() may be called again). */
     void close();
@@ -88,6 +124,7 @@ class ResultStore
     mutable std::mutex mutex_;
     int fd_ = -1;
     std::string path_;
+    harness::ScrubStats scrub_;
     std::vector<std::unique_ptr<harness::JournalEntry>> entries_;
     std::unordered_map<std::string, const harness::JournalEntry *> index_;
 };

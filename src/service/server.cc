@@ -99,6 +99,11 @@ Server::counters() const
     // The index survives close(), so the drain-time counters document
     // still reports how many results the store holds on disk.
     c.storeEntries = store_.size();
+    const harness::ScrubStats scrub = store_.scrubStats();
+    c.storeScanned = scrub.scanned;
+    c.storeValid = scrub.valid;
+    c.storeQuarantined = scrub.quarantined;
+    c.storeTruncated = scrub.truncated;
     return c;
 }
 
@@ -108,9 +113,30 @@ Server::handle(const Request &request)
     if (request.op == "ping") {
         Response response;
         response.status = "ok";
+        PingInfo info;
+        info.version = kVersion;
+        info.draining = draining();
+        response.ping = info;
         return response;
     }
     if (request.op == "stats") {
+        Response response;
+        response.status = "ok";
+        response.service = counters();
+        return response;
+    }
+    if (request.op == "compact") {
+        if (!store_.isOpen())
+            return errorResponse(sim::SimError(
+                sim::ErrorCode::kBadArgument,
+                "no result store configured (--store); nothing to "
+                "compact",
+                "grit-service"));
+        const ResultStore::CompactionStats stats = store_.compact();
+        GRIT_LOG(sim::LogLevel::kInfo,
+                 "store compacted: kept " << stats.kept << " of "
+                                          << stats.recordsIn
+                                          << " record(s)");
         Response response;
         response.status = "ok";
         response.service = counters();
@@ -378,9 +404,28 @@ Server::reapConnections()
 void
 Server::serveConnection(int fd, std::uint64_t id)
 {
+    LineReader reader(fd);
     std::string line;
-    while (readLine(fd, line)) {
+    while (true) {
+        const LineReader::Status status =
+            reader.next(line, options_.maxLineBytes);
+        if (status == LineReader::Status::kEof)
+            break;
         Response response;
+        if (status == LineReader::Status::kTooLong) {
+            // The oversized line was discarded, never buffered whole:
+            // answer structurally and keep serving the connection.
+            badRequests_.fetch_add(1, std::memory_order_relaxed);
+            response = errorResponse(sim::SimError(
+                sim::ErrorCode::kBadArgument,
+                "request line exceeds " +
+                    std::to_string(options_.maxLineBytes) +
+                    " bytes (--max-line)",
+                "grit-service wire"));
+            if (!writeLine(fd, responseLine(response)))
+                break;
+            continue;
+        }
         try {
             response = handle(requestFromLine(line));
         } catch (const sim::SimException &e) {

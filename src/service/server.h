@@ -54,6 +54,9 @@ namespace grit::service {
 class Server
 {
   public:
+    /** Daemon software identity, reported by the "ping" op. */
+    static constexpr const char *kVersion = "grit_serve/2";
+
     struct Options
     {
         /** Unix socket to listen on; empty = in-process only. */
@@ -64,6 +67,13 @@ class Server
         unsigned workers = 1;
         /** Admission-queue bound; beyond it requests are shed. */
         std::size_t queueCapacity = 64;
+        /**
+         * Per-connection request-line byte ceiling. An over-limit
+         * line is answered with a structured `bad-argument` error and
+         * discarded — the reader never buffers unboundedly, and the
+         * connection stays usable for the next request.
+         */
+        std::size_t maxLineBytes = std::size_t{4} << 20;
         /**
          * Test hook: called (with the cell fingerprint) on the worker
          * thread immediately before a cell executes. Lets tests hold

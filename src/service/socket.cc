@@ -103,6 +103,56 @@ readLine(int fd, std::string &out)
 }
 
 bool
+LineReader::fill()
+{
+    char chunk[4096];
+    while (true) {
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            // Compact consumed bytes before growing: the buffer stays
+            // bounded by one line (plus a chunk), not by connection
+            // lifetime.
+            if (pos_ > 0) {
+                buffer_.erase(0, pos_);
+                pos_ = 0;
+            }
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            return true;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;  // EOF or hard error
+    }
+}
+
+LineReader::Status
+LineReader::next(std::string &out, std::size_t maxBytes)
+{
+    out.clear();
+    bool overflow = false;
+    while (true) {
+        const std::size_t nl = buffer_.find('\n', pos_);
+        if (nl != std::string::npos) {
+            if (!overflow && nl - pos_ <= maxBytes)
+                out.assign(buffer_, pos_, nl - pos_);
+            const bool tooLong = overflow || nl - pos_ > maxBytes;
+            pos_ = nl + 1;
+            return tooLong ? Status::kTooLong : Status::kLine;
+        }
+        if (buffer_.size() - pos_ > maxBytes) {
+            // Over the ceiling with no newline yet: switch to discard
+            // mode — drop what we have and keep draining until the
+            // line ends, so the connection can resync on the next one.
+            overflow = true;
+            buffer_.clear();
+            pos_ = 0;
+        }
+        if (!fill())
+            return Status::kEof;
+    }
+}
+
+bool
 writeAll(int fd, std::string_view data)
 {
     while (!data.empty()) {

@@ -12,6 +12,7 @@
 #ifndef GRIT_SERVICE_SOCKET_H_
 #define GRIT_SERVICE_SOCKET_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -48,6 +49,41 @@ bool writeAll(int fd, std::string_view data);
 
 /** writeAll of @p line plus the terminating newline. */
 bool writeLine(int fd, std::string_view line);
+
+/**
+ * Buffered, bounded line reader for the server side of a connection.
+ *
+ * Unlike the free readLine(), this reads in chunks (a connection may
+ * pipeline many requests) and enforces a per-line byte ceiling: a line
+ * longer than the limit is *discarded up to its newline* and reported
+ * as kTooLong, so the server can answer a structured `bad-argument`
+ * and keep the connection usable — memory stays bounded no matter what
+ * a client sends.
+ */
+class LineReader
+{
+  public:
+    enum class Status {
+        kLine,     //!< a complete line is in `out`
+        kEof,      //!< peer closed (or hard error) before a newline
+        kTooLong,  //!< line exceeded the limit; discarded to its '\n'
+    };
+
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /**
+     * Read the next '\n'-terminated line (newline stripped) into
+     * @p out, holding at most @p maxBytes of it in memory.
+     */
+    Status next(std::string &out, std::size_t maxBytes);
+
+  private:
+    bool fill();  //!< read() one more chunk; false on EOF/error
+
+    int fd_;
+    std::string buffer_;
+    std::size_t pos_ = 0;
+};
 
 }  // namespace grit::service
 

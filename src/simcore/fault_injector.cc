@@ -175,6 +175,14 @@ ChaosSpec::parse(const std::string &text)
                     spec.hang.at = uintv();
                 else
                     specError(clause, "unknown key '" + key + "'");
+            } else if (head == "store-bitflip") {
+                if (key == "seed")
+                    spec.storeBitflip.seed = uintv();
+                else if (key == "flips")
+                    spec.storeBitflip.flips =
+                        static_cast<unsigned>(uintv());
+                else
+                    specError(clause, "unknown key '" + key + "'");
             } else {
                 specError(clause, "unknown perturbation '" + head + "'");
             }
@@ -197,6 +205,9 @@ ChaosSpec::parse(const std::string &text)
             specError(clause, "padisable needs end > start");
         if (head == "hang" && spec.hang.at == kNever)
             specError(clause, "hang needs at=N");
+        // A bare `store-bitflip:seed=S` means one flip.
+        if (head == "store-bitflip" && spec.storeBitflip.flips == 0)
+            spec.storeBitflip.flips = 1;
     }
     return spec;
 }
@@ -224,6 +235,8 @@ ChaosSpec::summary() const
         add("padisable");
     if (hang.at != kNever)
         add("hang");
+    if (storeBitflip.flips > 0)
+        add("store-bitflip");
     return out.empty() ? "none" : out;
 }
 

@@ -53,6 +53,11 @@ namespace grit::sim {
  *                                         time (a deliberate livelock
  *                                         for watchdog/quarantine
  *                                         drills)
+ *   store-bitflip:seed=S[,flips=N]      - flip N seeded bytes of a
+ *                                         persistence file (result
+ *                                         store / journal); consumed by
+ *                                         grit_serve --corrupt, never
+ *                                         by the simulation itself
  *
  * A default-constructed spec injects nothing (any() == false).
  */
@@ -104,9 +109,22 @@ struct ChaosSpec
         Cycle at = kNever;  //!< cycle the livelock starts; kNever off
     } hang;
 
+    /**
+     * Persistence-layer corruption (store-bitflip clause), applied by
+     * tooling to a store/journal file between daemon runs — never by
+     * the simulation itself. Deliberately excluded from any() and from
+     * configDigest(): the clause perturbs files, not results, so it
+     * must not change fingerprints or make a run count as chaotic.
+     */
+    struct StoreBitflip
+    {
+        std::uint64_t seed = 0;  //!< 0 = fall back to the spec seed
+        unsigned flips = 0;      //!< bytes flipped; 0 disables
+    } storeBitflip;
+
     static constexpr Cycle kNever = ~Cycle{0};
 
-    /** True when any clause can perturb a run. */
+    /** True when any clause can perturb a run (store-bitflip aside). */
     bool any() const;
 
     /**

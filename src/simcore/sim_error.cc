@@ -16,6 +16,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kDeadline:      return "deadline";
       case ErrorCode::kInterrupted:   return "interrupted";
       case ErrorCode::kJournal:       return "journal";
+      case ErrorCode::kStoreCorrupt:  return "store-corrupt";
       case ErrorCode::kInvariant:     return "invariant";
       case ErrorCode::kServiceOverloaded: return "service-overloaded";
       case ErrorCode::kServiceDraining:   return "service-draining";
@@ -33,7 +34,8 @@ errorCodeFromName(std::string_view name)
           ErrorCode::kEventLimit, ErrorCode::kNoProgress,
           ErrorCode::kScheduleInPast, ErrorCode::kDeadline,
           ErrorCode::kInterrupted,
-          ErrorCode::kJournal, ErrorCode::kInvariant,
+          ErrorCode::kJournal, ErrorCode::kStoreCorrupt,
+          ErrorCode::kInvariant,
           ErrorCode::kServiceOverloaded, ErrorCode::kServiceDraining,
           ErrorCode::kInternal}) {
         if (name == errorCodeName(code))

@@ -34,6 +34,7 @@ enum class ErrorCode {
     kDeadline,        //!< per-run watchdog: wall-clock or event budget
     kInterrupted,     //!< cooperative cancel after SIGINT/SIGTERM
     kJournal,         //!< run journal could not be read/written
+    kStoreCorrupt,    //!< persisted record failed integrity checks
     kInvariant,       //!< cross-layer invariant audit violation
     kServiceOverloaded,  //!< admission queue full; request shed
     kServiceDraining,    //!< server draining; no new admissions

@@ -188,7 +188,11 @@ ResultSink::writeServiceStats(std::uint64_t requests, std::uint64_t hits,
                               std::uint64_t rejected_draining,
                               std::uint64_t bad_requests,
                               std::uint64_t failures,
-                              std::uint64_t store_entries)
+                              std::uint64_t store_entries,
+                              std::uint64_t store_scanned,
+                              std::uint64_t store_valid,
+                              std::uint64_t store_quarantined,
+                              std::uint64_t store_truncated)
 {
     json_.key("service").beginObject();
     json_.key("requests").value(requests);
@@ -201,6 +205,10 @@ ResultSink::writeServiceStats(std::uint64_t requests, std::uint64_t hits,
     json_.key("bad_requests").value(bad_requests);
     json_.key("failures").value(failures);
     json_.key("store_entries").value(store_entries);
+    json_.key("store_scanned").value(store_scanned);
+    json_.key("store_valid").value(store_valid);
+    json_.key("store_quarantined").value(store_quarantined);
+    json_.key("store_truncated").value(store_truncated);
     json_.endObject();
 }
 

@@ -129,7 +129,11 @@ class ResultSink
                            std::uint64_t rejected_draining,
                            std::uint64_t bad_requests,
                            std::uint64_t failures,
-                           std::uint64_t store_entries);
+                           std::uint64_t store_entries,
+                           std::uint64_t store_scanned,
+                           std::uint64_t store_valid,
+                           std::uint64_t store_quarantined,
+                           std::uint64_t store_truncated);
 
     void beginTables();
     void endTables();

@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# End-to-end corruption drill for the result store (docs/SERVICE.md):
+#
+#  1. start grit_serve, execute three distinct cells through it, then
+#     kill -9 the daemon (no drain);
+#  2. damage the store offline: seeded `store-bitflip` byte flips via
+#     `grit_serve --corrupt`, plus a torn half-record appended to the
+#     tail (a crash mid-append);
+#  3. restart on the damaged store — the scrub must quarantine exactly
+#     the injected damage (store_* counters match the injector's
+#     report), serve every intact record byte-identically, and
+#     re-execute only the damaged cells (again byte-identically:
+#     simulation is deterministic);
+#  4. compact the store offline (`grit_serve --compact`), restart, and
+#     require a perfectly clean scrub with every cell a store hit;
+#  5. every emitted JSON document must validate against the
+#     grit-results schema checker.
+#
+# Usage: corruption_smoke.sh GRIT_SERVE GRIT_SUBMIT WORKDIR CHECKER
+
+set -u
+
+SERVE=$1
+SUBMIT=$2
+WORKDIR=$3
+CHECKER=$4
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+SOCK_DIR=$(mktemp -d "${TMPDIR:-/tmp}/grit_corr.XXXXXX")
+SOCK="$SOCK_DIR/svc.sock"
+STORE="$WORKDIR/store.jsonl"
+
+# The golden-pinned workload scale: small and fast.
+export GRIT_FOOTPRINT_DIVISOR=128
+export GRIT_INTENSITY=0.2
+
+# Three distinct cells -> three distinct store records, one per line.
+APPS=(BFS GEMM ST)
+POLICIES=(on-touch grit on-touch)
+
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
+    rm -rf "$SOCK_DIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    for log in "$WORKDIR"/serve*.log; do
+        [ -f "$log" ] && { echo "--- $log ---" >&2; cat "$log" >&2; }
+    done
+    exit 1
+}
+
+wait_ready() {
+    for _ in $(seq 1 100); do
+        "$SUBMIT" --socket "$SOCK" --ping >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    fail "daemon on $SOCK never became reachable"
+}
+
+counter() {  # counter FILE NAME -> value
+    awk -v key="service.$2" '$1 == key { print $2 }' "$1"
+}
+
+start_daemon() {  # start_daemon TAG
+    "$SERVE" --socket "$SOCK" --store "$STORE" --workers 2 \
+        --json "$WORKDIR/serve$1.json" 2>"$WORKDIR/serve$1.log" &
+    SERVE_PID=$!
+    wait_ready
+}
+
+stop_daemon() {  # SIGTERM drain; daemon must exit 0
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID" || fail "drain exited non-zero"
+    SERVE_PID=""
+}
+
+submit_all() {  # submit_all TAG -> documents run<i>_<TAG>.json
+    for i in 0 1 2; do
+        "$SUBMIT" --socket "$SOCK" --client smoke \
+            "${APPS[$i]}" "${POLICIES[$i]}" \
+            --json "$WORKDIR/run${i}_$1.json" \
+            >"$WORKDIR/out${i}_$1.txt" 2>/dev/null ||
+            fail "submission ${APPS[$i]}/${POLICIES[$i]} ($1) failed"
+    done
+}
+
+# ---- 1. populate the store, then die hard ----------------------------
+
+start_daemon 1
+submit_all base
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+SERVE_PID=""
+
+# ---- 2. damage the store offline -------------------------------------
+
+"$SERVE" --store "$STORE" --corrupt "store-bitflip:seed=20260809,flips=4" \
+    >"$WORKDIR/corrupt.out" 2>"$WORKDIR/corrupt.log" ||
+    fail "offline corruption injector failed"
+DAMAGED=$(awk '$1 == "records_damaged" { print $2 }' "$WORKDIR/corrupt.out")
+[ -n "$DAMAGED" ] && [ "$DAMAGED" -ge 1 ] ||
+    fail "injector damaged no records: $(cat "$WORKDIR/corrupt.out")"
+INTACT=$((3 - DAMAGED))
+
+# A crash mid-append on top: an unterminated half-record at the tail.
+printf 'GF1 00000080 dead' >>"$STORE"
+
+# ---- 3. restart on the damaged store ---------------------------------
+
+start_daemon 2
+
+"$SUBMIT" --socket "$SOCK" --stats >"$WORKDIR/stats_damaged.out" ||
+    fail "stats request refused"
+[ "$(counter "$WORKDIR/stats_damaged.out" store_scanned)" = 3 ] ||
+    fail "scrub scanned != 3: $(cat "$WORKDIR/stats_damaged.out")"
+[ "$(counter "$WORKDIR/stats_damaged.out" store_quarantined)" = "$DAMAGED" ] ||
+    fail "scrub quarantined != injector's $DAMAGED: $(cat "$WORKDIR/stats_damaged.out")"
+[ "$(counter "$WORKDIR/stats_damaged.out" store_valid)" = "$INTACT" ] ||
+    fail "scrub valid != $INTACT: $(cat "$WORKDIR/stats_damaged.out")"
+[ "$(counter "$WORKDIR/stats_damaged.out" store_truncated)" = 1 ] ||
+    fail "torn tail not truncated: $(cat "$WORKDIR/stats_damaged.out")"
+[ -s "$STORE.quarantine" ] ||
+    fail "no quarantine sidecar was written"
+
+# Intact records serve from the store; damaged ones re-execute — and
+# deterministic simulation makes even those byte-identical.
+submit_all recovered
+for i in 0 1 2; do
+    cmp -s "$WORKDIR/run${i}_base.json" "$WORKDIR/run${i}_recovered.json" ||
+        fail "cell $i not byte-identical after corruption recovery"
+done
+
+"$SUBMIT" --socket "$SOCK" --stats >"$WORKDIR/stats_recovered.out" ||
+    fail "stats request refused"
+[ "$(counter "$WORKDIR/stats_recovered.out" hits)" = "$INTACT" ] ||
+    fail "expected $INTACT store hits: $(cat "$WORKDIR/stats_recovered.out")"
+[ "$(counter "$WORKDIR/stats_recovered.out" executed)" = "$DAMAGED" ] ||
+    fail "expected $DAMAGED re-executions: $(cat "$WORKDIR/stats_recovered.out")"
+stop_daemon
+
+# ---- 4. offline compaction -> clean scrub, all hits ------------------
+
+"$SERVE" --store "$STORE" --compact >"$WORKDIR/compact.out" \
+    2>"$WORKDIR/compact.log" || fail "offline compaction failed"
+[ "$(awk '$1 == "kept" { print $2 }' "$WORKDIR/compact.out")" = 3 ] ||
+    fail "compaction kept != 3: $(cat "$WORKDIR/compact.out")"
+
+start_daemon 3
+"$SUBMIT" --socket "$SOCK" --stats >"$WORKDIR/stats_compacted.out" ||
+    fail "stats request refused"
+[ "$(counter "$WORKDIR/stats_compacted.out" store_scanned)" = 3 ] ||
+    fail "compacted store scanned != 3: $(cat "$WORKDIR/stats_compacted.out")"
+[ "$(counter "$WORKDIR/stats_compacted.out" store_quarantined)" = 0 ] ||
+    fail "compacted store still quarantines: $(cat "$WORKDIR/stats_compacted.out")"
+
+submit_all compacted
+for i in 0 1 2; do
+    cmp -s "$WORKDIR/run${i}_base.json" "$WORKDIR/run${i}_compacted.json" ||
+        fail "cell $i not byte-identical after compaction"
+done
+"$SUBMIT" --socket "$SOCK" --stats >"$WORKDIR/stats_final.out" ||
+    fail "stats request refused"
+[ "$(counter "$WORKDIR/stats_final.out" hits)" = 3 ] ||
+    fail "expected 3 store hits after compaction: $(cat "$WORKDIR/stats_final.out")"
+[ "$(counter "$WORKDIR/stats_final.out" executed)" = 0 ] ||
+    fail "compacted store re-executed a cell: $(cat "$WORKDIR/stats_final.out")"
+stop_daemon
+
+# ---- 5. schema validation --------------------------------------------
+
+python3 "$CHECKER" "$WORKDIR"/run*_*.json "$WORKDIR/serve3.json" ||
+    fail "schema validation failed"
+
+echo "corruption_smoke: OK"
+exit 0

@@ -104,6 +104,13 @@ SERVE_PID=""
 SERVE_PID=$!
 wait_ready
 
+"$SUBMIT" --socket "$SOCK" --ping >"$WORKDIR/ping2.out" ||
+    fail "ping refused"
+grep -q '^version grit_serve/' "$WORKDIR/ping2.out" ||
+    fail "ping carries no server version: $(cat "$WORKDIR/ping2.out")"
+grep -q '^draining 0$' "$WORKDIR/ping2.out" ||
+    fail "live daemon claims to be draining: $(cat "$WORKDIR/ping2.out")"
+
 "$SUBMIT" --socket "$SOCK" --client carol BFS on-touch \
     --json "$WORKDIR/run_c.json" >"$WORKDIR/c.out" ||
     fail "post-restart submission failed"
@@ -120,6 +127,12 @@ cmp -s "$WORKDIR/run_a.json" "$WORKDIR/run_c.json" ||
     fail "restarted daemon re-executed a stored cell: $(cat "$WORKDIR/stats2.out")"
 [ "$(counter "$WORKDIR/stats2.out" hits)" = 1 ] ||
     fail "expected 1 store hit after restart: $(cat "$WORKDIR/stats2.out")"
+[ "$(counter "$WORKDIR/stats2.out" store_scanned)" = 1 ] ||
+    fail "startup scrub scanned wrong record count: $(cat "$WORKDIR/stats2.out")"
+[ "$(counter "$WORKDIR/stats2.out" store_valid)" = 1 ] ||
+    fail "startup scrub validated wrong record count: $(cat "$WORKDIR/stats2.out")"
+[ "$(counter "$WORKDIR/stats2.out" store_quarantined)" = 0 ] ||
+    fail "clean store reported quarantined records: $(cat "$WORKDIR/stats2.out")"
 
 # ---- 3. graceful drain -----------------------------------------------
 

@@ -109,8 +109,13 @@ class TempPath
         : path_(std::string(::testing::TempDir()) + name)
     {
         std::remove(path_.c_str());
+        std::remove((path_ + ".quarantine").c_str());
     }
-    ~TempPath() { std::remove(path_.c_str()); }
+    ~TempPath()
+    {
+        std::remove(path_.c_str());
+        std::remove((path_ + ".quarantine").c_str());
+    }
     const std::string &str() const { return path_; }
 
   private:
@@ -392,6 +397,152 @@ TEST(RunJournalFile, TwoWritersOnePathInterleaveAtLineGranularity)
         ASSERT_NE(reloaded.find(a_fp.str()), nullptr) << a_fp.str();
         ASSERT_NE(reloaded.find(b_fp.str()), nullptr) << b_fp.str();
     }
+}
+
+TEST(RunJournalFile, ResumesMixedLegacyAndFramedFiles)
+{
+    // A journal written partly before record framing existed (bare
+    // JSON entry lines) and partly after must resume transparently.
+    TempPath path("grit_journal_mixed.jsonl");
+    JournalEntry legacy;
+    legacy.fingerprint = "1111111111111111";
+    legacy.row = "GEMM";
+    legacy.label = "grit";
+    legacy.status = "ok";
+    legacy.hasResult = true;
+    legacy.result.cycles = 11;
+    JournalEntry framed = legacy;
+    framed.fingerprint = "2222222222222222";
+    framed.result.cycles = 22;
+    {
+        std::ofstream out(path.str(), std::ios::binary);
+        out << "{\"schema\":\"grit-run-journal\",\"version\":2,"
+               "\"generator\":\"test_resilience\"}\n"
+            << journalLine(legacy) << "\n"
+            << frameRecord(journalLine(framed)) << "\n";
+    }
+    {
+        RunJournal journal;
+        journal.open(path.str(), "test_resilience", /*resume=*/true);
+        ASSERT_EQ(journal.size(), 2u);
+        EXPECT_EQ(journal.scrubStats().valid, 2u);
+        EXPECT_EQ(journal.scrubStats().quarantined, 0u);
+        EXPECT_EQ(journal.find("1111111111111111")->result.cycles, 11u);
+        EXPECT_EQ(journal.find("2222222222222222")->result.cycles, 22u);
+        // New appends land framed behind the legacy records.
+        JournalEntry fresh = legacy;
+        fresh.fingerprint = "3333333333333333";
+        fresh.result.cycles = 33;
+        journal.append(fresh);
+    }
+    RunJournal reloaded;
+    reloaded.open(path.str(), "test_resilience", /*resume=*/true);
+    EXPECT_EQ(reloaded.size(), 3u);
+    EXPECT_EQ(reloaded.find("3333333333333333")->result.cycles, 33u);
+}
+
+TEST(RunJournalFile, MidFileCorruptionIsQuarantinedNotTruncated)
+{
+    TempPath path("grit_journal_corrupt.jsonl");
+    auto makeEntry = [](const std::string &fp, std::uint64_t cycles) {
+        JournalEntry entry;
+        entry.fingerprint = fp;
+        entry.row = "ST";
+        entry.label = "grit";
+        entry.status = "ok";
+        entry.hasResult = true;
+        entry.result.cycles = cycles;
+        return entry;
+    };
+    {
+        RunJournal journal;
+        journal.open(path.str(), "test_resilience", /*resume=*/false);
+        journal.append(makeEntry("aaaaaaaaaaaaaaaa", 1));
+        journal.append(makeEntry("bbbbbbbbbbbbbbbb", 2));
+        journal.append(makeEntry("cccccccccccccccc", 3));
+    }
+    // Flip one byte inside the SECOND entry's frame (file line 3).
+    {
+        std::ifstream in(path.str(), std::ios::binary);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        in.close();
+        ASSERT_EQ(lines.size(), 4u);
+        lines[2][40] = static_cast<char>(lines[2][40] ^ 0x80);
+        std::ofstream out(path.str(),
+                          std::ios::binary | std::ios::trunc);
+        for (const std::string &l : lines)
+            out << l << "\n";
+    }
+    RunJournal journal;
+    journal.open(path.str(), "test_resilience", /*resume=*/true);
+    // The damaged record is skipped; the record AFTER it survives —
+    // scrub-and-quarantine, not truncate-at-first-bad-byte.
+    EXPECT_EQ(journal.size(), 2u);
+    EXPECT_NE(journal.find("aaaaaaaaaaaaaaaa"), nullptr);
+    EXPECT_EQ(journal.find("bbbbbbbbbbbbbbbb"), nullptr);
+    EXPECT_NE(journal.find("cccccccccccccccc"), nullptr);
+    EXPECT_EQ(journal.scrubStats().scanned, 3u);
+    EXPECT_EQ(journal.scrubStats().valid, 2u);
+    EXPECT_EQ(journal.scrubStats().quarantined, 1u);
+
+    // The raw damaged line is preserved for post-mortems.
+    std::ifstream sidecar(path.str() + ".quarantine");
+    ASSERT_TRUE(sidecar.is_open());
+    std::string preserved;
+    EXPECT_TRUE(std::getline(sidecar, preserved));
+}
+
+TEST(RunJournalFile, TornTailIsTruncatedBeforeAppendsResume)
+{
+    TempPath path("grit_journal_torn_append.jsonl");
+    JournalEntry entry;
+    entry.fingerprint = "aaaaaaaaaaaaaaaa";
+    entry.row = "BFS";
+    entry.label = "grit";
+    entry.status = "ok";
+    entry.hasResult = true;
+    entry.result.cycles = 7;
+    {
+        RunJournal journal;
+        journal.open(path.str(), "test_resilience", /*resume=*/false);
+        journal.append(entry);
+    }
+    std::uintmax_t intactBytes = 0;
+    {
+        std::ifstream in(path.str(), std::ios::ate | std::ios::binary);
+        intactBytes = static_cast<std::uintmax_t>(in.tellg());
+    }
+    {
+        std::ofstream torn(path.str(), std::ios::app | std::ios::binary);
+        torn << "GF1 00000040 0000";  // crash mid-frame-header
+    }
+    {
+        RunJournal journal;
+        journal.open(path.str(), "test_resilience", /*resume=*/true);
+        EXPECT_EQ(journal.size(), 1u);
+        EXPECT_EQ(journal.scrubStats().truncated, 1u);
+        // The torn bytes are gone from disk BEFORE the append stream
+        // attaches, so this append starts on a clean line boundary.
+        JournalEntry second = entry;
+        second.fingerprint = "bbbbbbbbbbbbbbbb";
+        journal.append(second);
+    }
+    std::uintmax_t finalBytes = 0;
+    {
+        std::ifstream in(path.str(), std::ios::ate | std::ios::binary);
+        finalBytes = static_cast<std::uintmax_t>(in.tellg());
+    }
+    EXPECT_GT(finalBytes, intactBytes);
+
+    RunJournal reloaded;
+    reloaded.open(path.str(), "test_resilience", /*resume=*/true);
+    EXPECT_EQ(reloaded.size(), 2u);
+    EXPECT_EQ(reloaded.scrubStats().quarantined, 0u);
+    EXPECT_EQ(reloaded.scrubStats().truncated, 0u);
+    EXPECT_NE(reloaded.find("bbbbbbbbbbbbbbbb"), nullptr);
 }
 
 // --------------------------------------------------------- resume merges

@@ -19,12 +19,17 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "harness/record_frame.h"
 #include "harness/run_journal.h"
 #include "service/client.h"
 #include "service/protocol.h"
 #include "service/request_queue.h"
 #include "service/result_store.h"
 #include "service/server.h"
+#include "service/socket.h"
 #include "simcore/sim_error.h"
 
 namespace grit::service {
@@ -38,8 +43,13 @@ class TempPath
         : path_(std::string(::testing::TempDir()) + name)
     {
         std::remove(path_.c_str());
+        std::remove((path_ + ".quarantine").c_str());
     }
-    ~TempPath() { std::remove(path_.c_str()); }
+    ~TempPath()
+    {
+        std::remove(path_.c_str());
+        std::remove((path_ + ".quarantine").c_str());
+    }
     const std::string &str() const { return path_; }
 
   private:
@@ -207,6 +217,210 @@ TEST(ResultStore, RefusesForeignFile)
     }
     ResultStore store;
     EXPECT_THROW(store.open(path.str()), sim::SimException);
+}
+
+TEST(ResultStore, CorruptHeaderFailsWithStoreCorrupt)
+{
+    TempPath path("store_bad_header.jsonl");
+    {
+        std::ofstream out(path.str(), std::ios::binary);
+        out << "not json at all\n";
+        out << harness::frameRecord(
+                   harness::journalLine(okEntry("aaaa000011112222", 1)))
+            << "\n";
+    }
+    ResultStore store;
+    try {
+        store.open(path.str());
+        FAIL() << "opened a store with a damaged header";
+    } catch (const sim::SimException &e) {
+        EXPECT_EQ(e.code(), sim::ErrorCode::kStoreCorrupt);
+    }
+}
+
+TEST(ResultStore, ScrubQuarantinesCorruptRecordAndKeepsTheRest)
+{
+    TempPath path("store_scrub.jsonl");
+    const harness::JournalEntry a = okEntry("aaaa000011112222", 100);
+    const harness::JournalEntry b = okEntry("bbbb000011112222", 200);
+    const harness::JournalEntry c = okEntry("cccc000011112222", 300);
+    {
+        ResultStore store;
+        store.open(path.str());
+        store.put(a);
+        store.put(b);
+        store.put(c);
+    }
+    // Flip one payload byte of the SECOND record (file line 3): the
+    // CRC must catch it, and — unlike truncate-at-first-bad-byte —
+    // record c behind it must survive.
+    {
+        std::ifstream in(path.str(), std::ios::binary);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        in.close();
+        ASSERT_EQ(lines.size(), 4u);
+        lines[2][30] = static_cast<char>(lines[2][30] ^ 0x80);
+        std::ofstream out(path.str(),
+                          std::ios::binary | std::ios::trunc);
+        for (const std::string &l : lines)
+            out << l << "\n";
+    }
+    ResultStore store;
+    store.open(path.str());
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_NE(store.find(a.fingerprint), nullptr);
+    EXPECT_EQ(store.find(b.fingerprint), nullptr);
+    EXPECT_NE(store.find(c.fingerprint), nullptr);
+
+    const harness::ScrubStats scrub = store.scrubStats();
+    EXPECT_EQ(scrub.scanned, 3u);
+    EXPECT_EQ(scrub.valid, 2u);
+    EXPECT_EQ(scrub.quarantined, 1u);
+    EXPECT_EQ(scrub.truncated, 0u);
+
+    // The damaged raw line is preserved in the sidecar, not destroyed.
+    std::ifstream sidecar(path.str() + ".quarantine");
+    ASSERT_TRUE(sidecar.is_open());
+    std::string preserved;
+    ASSERT_TRUE(std::getline(sidecar, preserved));
+    EXPECT_EQ(preserved.substr(0, 4), "GF1 ");
+
+    // The quarantined fingerprint can be stored again.
+    store.put(b);
+    EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(ResultStore, SeededBitflipsQuarantineExactlyTheDamage)
+{
+    TempPath path("store_bitflip.jsonl");
+    {
+        ResultStore store;
+        store.open(path.str());
+        for (unsigned i = 0; i < 8; ++i)
+            store.put(okEntry("f0000000000000f" + std::to_string(i),
+                              100 + i));
+    }
+    const harness::CorruptionReport report =
+        harness::injectBitflips(path.str(), 20260809, 6);
+    ASSERT_FALSE(report.damagedLines.empty());
+
+    ResultStore store;
+    store.open(path.str());
+    const harness::ScrubStats scrub = store.scrubStats();
+    EXPECT_EQ(scrub.scanned, 8u);
+    EXPECT_EQ(scrub.quarantined, report.damagedLines.size());
+    EXPECT_EQ(scrub.valid, 8u - report.damagedLines.size());
+    EXPECT_EQ(store.size(), 8u - report.damagedLines.size());
+}
+
+TEST(ResultStore, LoadIsLaterWinsPutIsFirstWins)
+{
+    TempPath path("store_dup.jsonl");
+    const harness::JournalEntry first = okEntry("aaaa000011112222", 100);
+    const harness::JournalEntry second =
+        okEntry("aaaa000011112222", 999);
+    {
+        ResultStore store;
+        store.open(path.str());
+        store.put(first);
+        // put() is first-wins: the duplicate is not even appended.
+        store.put(second);
+        EXPECT_EQ(store.size(), 1u);
+        EXPECT_EQ(store.find(first.fingerprint)->result.cycles, 100u);
+    }
+    // Force a duplicate ONTO DISK (e.g. two daemons once raced on the
+    // same store file) and reload: load-time indexing is later-wins,
+    // the documented recovery semantics.
+    {
+        std::ofstream out(path.str(),
+                          std::ios::binary | std::ios::app);
+        out << harness::frameRecord(harness::journalLine(second))
+            << "\n";
+    }
+    ResultStore store;
+    store.open(path.str());
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.scrubStats().valid, 2u);
+    ASSERT_NE(store.find(first.fingerprint), nullptr);
+    EXPECT_EQ(store.find(first.fingerprint)->result.cycles, 999u);
+}
+
+TEST(ResultStore, ReadsLegacyUnframedFiles)
+{
+    TempPath path("store_legacy.jsonl");
+    const harness::JournalEntry a = okEntry("aaaa000011112222", 100);
+    const harness::JournalEntry b = okEntry("bbbb000011112222", 200);
+    {
+        // A store written before record framing existed: plain JSONL.
+        std::ofstream out(path.str(), std::ios::binary);
+        out << "{\"schema\":\"grit-result-store\",\"version\":1}\n"
+            << harness::journalLine(a) << "\n"
+            << harness::journalLine(b) << "\n";
+    }
+    ResultStore store;
+    store.open(path.str());
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.scrubStats().valid, 2u);
+    EXPECT_EQ(store.scrubStats().quarantined, 0u);
+    EXPECT_EQ(harness::journalLine(*store.find(a.fingerprint)),
+              harness::journalLine(a));
+
+    // Compaction upgrades legacy records to framed ones.
+    const ResultStore::CompactionStats stats = store.compact();
+    EXPECT_EQ(stats.recordsIn, 2u);
+    EXPECT_EQ(stats.kept, 2u);
+    std::ifstream in(path.str(), std::ios::binary);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));  // header stays plain JSON
+    EXPECT_EQ(line.front(), '{');
+    while (std::getline(in, line))
+        EXPECT_EQ(line.substr(0, 4), "GF1 ");
+}
+
+TEST(ResultStore, CompactShedsDuplicatesAndQuarantinedRecords)
+{
+    TempPath path("store_compact.jsonl");
+    const harness::JournalEntry a = okEntry("aaaa000011112222", 100);
+    const harness::JournalEntry aDup = okEntry("aaaa000011112222", 999);
+    const harness::JournalEntry b = okEntry("bbbb000011112222", 200);
+    {
+        std::ofstream out(path.str(), std::ios::binary);
+        out << "{\"schema\":\"grit-result-store\",\"version\":1}\n"
+            << harness::frameRecord(harness::journalLine(a)) << "\n"
+            << "GF1 garbage that will not verify\n"
+            << harness::frameRecord(harness::journalLine(aDup)) << "\n"
+            << harness::frameRecord(harness::journalLine(b)) << "\n";
+    }
+    ResultStore store;
+    store.open(path.str());
+    EXPECT_EQ(store.scrubStats().quarantined, 1u);
+
+    const ResultStore::CompactionStats stats = store.compact();
+    EXPECT_EQ(stats.recordsIn, 3u);
+    EXPECT_EQ(stats.kept, 2u);
+    EXPECT_EQ(stats.duplicatesDropped, 1u);
+    // Compaction is first-wins over the append order.
+    EXPECT_EQ(store.find(a.fingerprint)->result.cycles, 100u);
+    EXPECT_NE(store.find(b.fingerprint), nullptr);
+
+    // A reopened compacted store scrubs perfectly clean.
+    ResultStore reopened;
+    reopened.open(path.str());
+    EXPECT_EQ(reopened.size(), 2u);
+    const harness::ScrubStats scrub = reopened.scrubStats();
+    EXPECT_EQ(scrub.scanned, 2u);
+    EXPECT_EQ(scrub.valid, 2u);
+    EXPECT_EQ(scrub.quarantined, 0u);
+    EXPECT_EQ(scrub.truncated, 0u);
+
+    // The store stays appendable after the fd swap under the rename.
+    reopened.put(okEntry("cccc000011112222", 300));
+    ResultStore again;
+    again.open(path.str());
+    EXPECT_EQ(again.size(), 3u);
 }
 
 // --------------------------------------------------------- FairShareQueue
@@ -741,6 +955,194 @@ TEST(ServiceServer, SocketRoundTripWithClient)
     } catch (const sim::SimException &e) {
         EXPECT_EQ(e.code(), sim::ErrorCode::kInternal);
     }
+}
+
+// -------------------------------------------------------- new wire ops
+
+TEST(ServiceProtocol, PingAndCompactOpsRoundTrip)
+{
+    for (const std::string op : {"ping", "stats", "compact"}) {
+        Request request;
+        request.op = op;
+        const Request parsed = requestFromLine(requestLine(request));
+        EXPECT_EQ(parsed.op, op);
+    }
+
+    Response pong;
+    pong.status = "ok";
+    pong.ping = PingInfo{"grit_serve/test", true};
+    const Response parsed = responseFromLine(responseLine(pong));
+    EXPECT_EQ(parsed.status, "ok");
+    ASSERT_TRUE(parsed.ping.has_value());
+    EXPECT_EQ(parsed.ping->version, "grit_serve/test");
+    EXPECT_TRUE(parsed.ping->draining);
+}
+
+TEST(ServiceProtocol, ScrubCountersRoundTripOnTheWire)
+{
+    Response stats;
+    stats.status = "ok";
+    ServiceCounters c;
+    c.requests = 7;
+    c.storeEntries = 3;
+    c.storeScanned = 5;
+    c.storeValid = 3;
+    c.storeQuarantined = 2;
+    c.storeTruncated = 1;
+    stats.service = c;
+    const Response parsed = responseFromLine(responseLine(stats));
+    ASSERT_TRUE(parsed.service.has_value());
+    EXPECT_EQ(parsed.service->storeScanned, 5u);
+    EXPECT_EQ(parsed.service->storeValid, 3u);
+    EXPECT_EQ(parsed.service->storeQuarantined, 2u);
+    EXPECT_EQ(parsed.service->storeTruncated, 1u);
+}
+
+TEST(ServiceServer, PingReportsVersionAndDrainState)
+{
+    Server::Options options;
+    Server server(std::move(options));
+    server.start();
+
+    Request ping;
+    ping.op = "ping";
+    Response response = server.handle(ping);
+    ASSERT_EQ(response.status, "ok");
+    ASSERT_TRUE(response.ping.has_value());
+    EXPECT_EQ(response.ping->version, Server::kVersion);
+    EXPECT_FALSE(response.ping->draining);
+
+    server.beginDrain();
+    response = server.handle(ping);
+    ASSERT_TRUE(response.ping.has_value());
+    EXPECT_TRUE(response.ping->draining);
+    server.stop();
+}
+
+TEST(ServiceServer, CompactVerbRewritesTheStore)
+{
+    TempPath store("svc_compact_store.jsonl");
+    {
+        // Seed the store with one valid and one corrupt record.
+        std::ofstream out(store.str(), std::ios::binary);
+        out << "{\"schema\":\"grit-result-store\",\"version\":1}\n"
+            << harness::frameRecord(
+                   harness::journalLine(okEntry("aaaa000011112222", 7)))
+            << "\nGF1 broken beyond recognition!!\n";
+    }
+    Server::Options options;
+    options.storePath = store.str();
+    Server server(std::move(options));
+    server.start();
+
+    Request compact;
+    compact.op = "compact";
+    const Response response = server.handle(compact);
+    ASSERT_EQ(response.status, "ok");
+    ASSERT_TRUE(response.service.has_value());
+    EXPECT_EQ(response.service->storeEntries, 1u);
+    EXPECT_EQ(response.service->storeQuarantined, 1u);
+    server.stop();
+
+    // On disk: header + exactly the one valid record, scrubbing clean.
+    ResultStore reopened;
+    reopened.open(store.str());
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.scrubStats().scanned, 1u);
+    EXPECT_EQ(reopened.scrubStats().quarantined, 0u);
+}
+
+TEST(ServiceServer, CompactWithoutStoreIsStructuredError)
+{
+    Server::Options options;
+    Server server(std::move(options));
+    server.start();
+    Request compact;
+    compact.op = "compact";
+    const Response response = server.handle(compact);
+    ASSERT_EQ(response.status, "error");
+    ASSERT_TRUE(response.error.has_value());
+    EXPECT_EQ(response.error->code, sim::ErrorCode::kBadArgument);
+    server.stop();
+}
+
+TEST(ServiceServer, OversizedLineGetsStructuredErrorAndConnectionLives)
+{
+    TempPath socket("svc_maxline.sock");
+    Server::Options options;
+    options.socketPath = socket.str();
+    options.maxLineBytes = 256;
+    Server server(std::move(options));
+    server.start();
+
+    const int fd = connectUnix(socket.str());
+    ASSERT_GE(fd, 0);
+
+    // An over-limit line (even with no newline yet at the limit) is
+    // answered with bad-argument, never buffered unboundedly.
+    ASSERT_TRUE(writeLine(fd, std::string(4096, 'x')));
+    std::string line;
+    ASSERT_TRUE(readLine(fd, line));
+    const Response refused = responseFromLine(line);
+    ASSERT_EQ(refused.status, "error");
+    ASSERT_TRUE(refused.error.has_value());
+    EXPECT_EQ(refused.error->code, sim::ErrorCode::kBadArgument);
+
+    // The same connection still serves the next (well-formed) request.
+    Request ping;
+    ping.op = "ping";
+    ASSERT_TRUE(writeLine(fd, requestLine(ping)));
+    ASSERT_TRUE(readLine(fd, line));
+    EXPECT_EQ(responseFromLine(line).status, "ok");
+
+    ::close(fd);
+    server.stop();
+
+    const ServiceCounters counters = server.counters();
+    EXPECT_EQ(counters.badRequests, 1u);
+}
+
+TEST(LineReader, BoundsLinesAndResyncsAfterOverflow)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::string stream = "short\n" + std::string(64, 'y') +
+                               "\nnext\nlast";
+    ASSERT_TRUE(writeAll(fds[0], stream));
+    ::shutdown(fds[0], SHUT_WR);
+
+    LineReader reader(fds[1]);
+    std::string line;
+    EXPECT_EQ(reader.next(line, 16), LineReader::Status::kLine);
+    EXPECT_EQ(line, "short");
+    // The 64-byte line overflows the 16-byte ceiling, is discarded to
+    // its newline, and the reader resynchronizes on the next line.
+    EXPECT_EQ(reader.next(line, 16), LineReader::Status::kTooLong);
+    EXPECT_EQ(reader.next(line, 16), LineReader::Status::kLine);
+    EXPECT_EQ(line, "next");
+    // "last" has no newline: EOF, not a line.
+    EXPECT_EQ(reader.next(line, 16), LineReader::Status::kEof);
+
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(LineReader, PipelinedRequestsInOneChunk)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(writeAll(fds[0], "a\nb\nc\n"));
+    ::shutdown(fds[0], SHUT_WR);
+
+    LineReader reader(fds[1]);
+    std::string line;
+    std::vector<std::string> lines;
+    while (reader.next(line, 1024) == LineReader::Status::kLine)
+        lines.push_back(line);
+    EXPECT_EQ(lines, (std::vector<std::string>{"a", "b", "c"}));
+
+    ::close(fds[0]);
+    ::close(fds[1]);
 }
 
 }  // namespace
