@@ -186,8 +186,14 @@ void
 QuarantineSidecar::add(std::string_view line)
 {
     ++count_;
+    // Truncate, not append: corrupt records stay in the primary file
+    // until a compaction sheds them, so every restart re-quarantines
+    // the same lines — appending would grow the sidecar without bound.
+    // Replacing on the first add keeps exactly one copy per currently
+    // corrupt record, and a scrub that finds nothing leaves the
+    // previous sidecar untouched for post-mortems.
     if (!out_.is_open())
-        out_.open(path_, std::ios::binary | std::ios::app);
+        out_.open(path_, std::ios::binary | std::ios::trunc);
     if (!out_) {
         if (!warned_) {
             warned_ = true;

@@ -111,11 +111,16 @@ class RecordReader
 };
 
 /**
- * Append-only sidecar collecting quarantined records. Lazily creates
- * `<primary path>.quarantine` on the first add(); one raw line per
- * quarantined record, so damaged data is preserved for post-mortems
- * instead of destroyed. Sidecar I/O is best-effort — a failing
- * quarantine write must never take down the recovery itself.
+ * Sidecar collecting the records one scrub quarantined. Lazily
+ * *replaces* `<primary path>.quarantine` on the first add(); one raw
+ * line per quarantined record, so damaged data is preserved for
+ * post-mortems instead of destroyed. Replacement (not append) keeps
+ * the sidecar bounded: corrupt records stay in the primary until a
+ * compaction sheds them, so every restart re-quarantines the same
+ * lines, and the sidecar always reflects the most recent scrub that
+ * found damage. A scrub that quarantines nothing leaves the previous
+ * sidecar in place. Sidecar I/O is best-effort — a failing quarantine
+ * write must never take down the recovery itself.
  */
 class QuarantineSidecar
 {

@@ -1,5 +1,6 @@
 #include "service/result_store.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -254,17 +255,21 @@ ResultStore::compact()
     // First-wins over the in-memory record sequence (which is the
     // file's append order): the canonical content-addressed semantics.
     // Quarantined lines were never indexed, so they simply do not get
-    // rewritten; legacy records come back out framed.
+    // rewritten; legacy records come back out framed. `kept` is
+    // deliberately non-owning: entries_ and index_ stay untouched until
+    // the rename lands, so a failed compaction (ENOSPC, EPERM, ...)
+    // throws out of here with the live store fully intact and
+    // every later find()/put()/retried compact() still safe.
     CompactionStats stats;
     stats.recordsIn = entries_.size();
-    std::vector<std::unique_ptr<harness::JournalEntry>> kept;
+    std::vector<const harness::JournalEntry *> kept;
     std::unordered_set<std::string> seen;
-    for (auto &entry : entries_) {
+    for (const auto &entry : entries_) {
         if (!seen.insert(entry->fingerprint).second) {
             ++stats.duplicatesDropped;
             continue;
         }
-        kept.push_back(std::move(entry));
+        kept.push_back(entry.get());
     }
     stats.kept = kept.size();
 
@@ -276,19 +281,19 @@ ResultStore::compact()
                       std::strerror(errno),
                   tempPath);
     std::string image = headerLine() + "\n";
-    for (const auto &entry : kept)
+    for (const auto *entry : kept)
         image += harness::frameRecord(harness::journalLine(*entry)) +
                  "\n";
     const bool written =
         ::write(tmp, image.data(), image.size()) ==
             static_cast<ssize_t>(image.size()) &&
         ::fsync(tmp) == 0;
+    const int writeErr = errno;  // before close(), which may clobber it
     ::close(tmp);
     if (!written) {
-        const int err = errno;
         ::unlink(tempPath.c_str());
         storeFail(std::string("compaction write failed: ") +
-                      std::strerror(err),
+                      std::strerror(writeErr),
                   tempPath);
     }
     // Atomic cutover: readers/restarts see either the old complete
@@ -309,7 +314,20 @@ ResultStore::compact()
                       std::strerror(errno),
                   path_);
 
-    entries_ = std::move(kept);
+    // The disk image now holds exactly the first-wins survivors: drop
+    // the duplicate owners and repoint the index at the survivors
+    // (load-time indexing was later-wins, so duplicated fingerprints
+    // must be re-aimed at the record that was actually rewritten).
+    // unique_ptr moves never move the pointees, so nothing dangles
+    // while the vector is rearranged.
+    seen.clear();
+    entries_.erase(
+        std::remove_if(
+            entries_.begin(), entries_.end(),
+            [&seen](const std::unique_ptr<harness::JournalEntry> &e) {
+                return !seen.insert(e->fingerprint).second;
+            }),
+        entries_.end());
     index_.clear();
     for (const auto &entry : entries_)
         index_[entry->fingerprint] = entry.get();

@@ -215,6 +215,32 @@ TEST(QuarantineSidecar, PreservesRawLines)
               "damaged line A\ndamaged line B\n");
 }
 
+TEST(QuarantineSidecar, RescrubReplacesInsteadOfAccumulating)
+{
+    // The same corrupt lines re-quarantine on every restart (they stay
+    // in the primary until compaction), so a fresh sidecar instance
+    // must replace the file, not append to it — otherwise the sidecar
+    // grows without bound across restarts.
+    TempPath file("quarantine_rescrub.jsonl");
+    {
+        QuarantineSidecar first(file.str());
+        first.add("damaged line A");
+        first.add("damaged line B");
+    }
+    {
+        QuarantineSidecar second(file.str());
+        second.add("damaged line A");
+        second.add("damaged line B");
+    }
+    EXPECT_EQ(slurp(file.str() + ".quarantine"),
+              "damaged line A\ndamaged line B\n");
+
+    // A scrub that quarantines nothing leaves the sidecar untouched.
+    QuarantineSidecar idle(file.str());
+    EXPECT_EQ(slurp(file.str() + ".quarantine"),
+              "damaged line A\ndamaged line B\n");
+}
+
 TEST(QuarantineSidecar, NoFileUntilFirstAdd)
 {
     TempPath file("quarantine_lazy.jsonl");

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "harness/record_frame.h"
@@ -421,6 +422,51 @@ TEST(ResultStore, CompactShedsDuplicatesAndQuarantinedRecords)
     ResultStore again;
     again.open(path.str());
     EXPECT_EQ(again.size(), 3u);
+}
+
+TEST(ResultStore, FailedCompactionLeavesTheLiveStoreIntact)
+{
+    // `compact` is reachable from the wire in a long-lived daemon, so
+    // a failed rewrite (ENOSPC, EPERM, ...) must throw without
+    // touching the in-memory state: find/put/size and a retried
+    // compact all keep working afterwards.
+    TempPath path("store_compact_fail.jsonl");
+    const harness::JournalEntry a = okEntry("aaaa000011112222", 100);
+    const harness::JournalEntry aDup = okEntry("aaaa000011112222", 999);
+    const harness::JournalEntry b = okEntry("bbbb000011112222", 200);
+    {
+        std::ofstream out(path.str(), std::ios::binary);
+        out << "{\"schema\":\"grit-result-store\",\"version\":1}\n"
+            << harness::frameRecord(harness::journalLine(a)) << "\n"
+            << harness::frameRecord(harness::journalLine(aDup)) << "\n"
+            << harness::frameRecord(harness::journalLine(b)) << "\n";
+    }
+    ResultStore store;
+    store.open(path.str());
+    EXPECT_EQ(store.size(), 2u);
+
+    // Squat on the temp path with a directory: the rewrite cannot even
+    // create its temp file and must fail before any cutover.
+    const std::string tempPath = path.str() + ".compact";
+    ASSERT_EQ(::mkdir(tempPath.c_str(), 0755), 0);
+    EXPECT_THROW(store.compact(), sim::SimException);
+    ASSERT_EQ(::rmdir(tempPath.c_str()), 0);
+
+    // Everything still works: lookups, appends, and a retried compact.
+    EXPECT_EQ(store.size(), 2u);
+    ASSERT_NE(store.find(a.fingerprint), nullptr);
+    EXPECT_EQ(store.find(a.fingerprint)->result.cycles, 999u);
+    store.put(okEntry("cccc000011112222", 300));
+    const ResultStore::CompactionStats stats = store.compact();
+    EXPECT_EQ(stats.recordsIn, 4u);
+    EXPECT_EQ(stats.kept, 3u);
+    EXPECT_EQ(stats.duplicatesDropped, 1u);
+    EXPECT_EQ(store.find(a.fingerprint)->result.cycles, 100u);
+
+    ResultStore reopened;
+    reopened.open(path.str());
+    EXPECT_EQ(reopened.size(), 3u);
+    EXPECT_EQ(reopened.scrubStats().quarantined, 0u);
 }
 
 // --------------------------------------------------------- FairShareQueue
