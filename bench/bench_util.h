@@ -134,6 +134,8 @@ struct BenchArgs
     std::uint64_t eventBudget = 0;  //!< --event-budget <events>
     unsigned retries = 0;           //!< --retries <n> (transient only)
     bool sweepStats = false;        //!< --sweep-stats ("sweep" section)
+    std::uint64_t pageSizeBytes = 0;   //!< --page-size <bytes>
+    std::uint64_t hugePagesBytes = 0;  //!< --huge-pages <bytes>
 
     BenchArgs(const std::string &program, const std::string &title)
         : cli(program, title)
@@ -169,6 +171,12 @@ struct BenchArgs
                  "re-execute quarantined runs up to N times");
         cli.flag("--sweep-stats", &sweepStats,
                  "include the \"sweep\" section in --json output");
+        cli.flag("--page-size", &pageSizeBytes, "BYTES",
+                 "base translation granule (docs/PAGESIZE.md; 0 keeps "
+                 "the 4 KB default)");
+        cli.flag("--huge-pages", &hugePagesBytes, "BYTES",
+                 "enable dynamic huge-page promotion with this region "
+                 "size (0 = off; docs/PAGESIZE.md)");
     }
 
     /**
@@ -191,14 +199,25 @@ struct BenchArgs
 
 /**
  * Apply the config-shaping flags — `--chaos <spec>`, `--audit`,
- * `--topology <kind>`, `--fabric-stats` — to @p config. A malformed
- * chaos spec throws sim::SimException (kChaosSpec) and an unknown
- * topology name kBadArgument — guardedMain shows the user the
- * structured diagnostic, not a crash.
+ * `--topology <kind>`, `--fabric-stats`, `--page-size`,
+ * `--huge-pages` — to @p config. A malformed chaos spec throws
+ * sim::SimException (kChaosSpec) and an unknown topology name
+ * kBadArgument — guardedMain shows the user the structured
+ * diagnostic, not a crash. Nonsensical page-size combinations are
+ * left to SystemConfig::validate(), which reports them as structured
+ * geometry.* errors.
  */
 inline void
 applyOverrides(const BenchArgs &args, harness::SystemConfig &config)
 {
+    if (args.pageSizeBytes != 0)
+        config.geometry.baseSize = args.pageSizeBytes;
+    if (args.hugePagesBytes != 0) {
+        config.geometry.hugePages = true;
+        config.geometry.hugeSize = args.hugePagesBytes;
+    }
+    if (args.pageSizeBytes != 0 || args.hugePagesBytes != 0)
+        config.pageSizeStats = true;  // the counters the flags are for
     if (!args.chaosSpec.empty())
         config.chaos = sim::ChaosSpec::parse(args.chaosSpec);
     if (args.audit)

@@ -30,7 +30,7 @@ run(const grit::bench::BenchArgs &args)
                 : 0.0;
         table.addRow({w.name, w.fullName, w.suite, w.pattern,
                       std::to_string(w.paperFootprintMB),
-                      std::to_string(w.footprintPages4k),
+                      std::to_string(w.footprintGenPages),
                       std::to_string(w.totalAccesses()),
                       harness::TextTable::fmt(writes, 1)});
     }

@@ -48,12 +48,12 @@ main()
     w.fullName = "Producer-consumer ring with shared lookup";
     w.suite = "custom";
     w.pattern = "Adjacent";
-    w.footprintPages4k = ra.allocated();
+    w.footprintGenPages = ra.allocated();
     w.traces = tb.take();
 
     // 3) Characterize it offline (the Section IV methodology).
     const auto c = workload::classifyPages(w);
-    std::cout << "Workload " << w.name << ": " << w.footprintPages4k
+    std::cout << "Workload " << w.name << ": " << w.footprintGenPages
               << " pages, " << w.totalAccesses() << " accesses\n"
               << "  shared pages: "
               << 100.0 * c.sharedPages / c.totalPages() << "%  "

@@ -22,7 +22,7 @@ main()
         workload::makeWorkload(workload::AppId::kGemm, params);
 
     std::cout << "Workload " << gemm.name << " (" << gemm.fullName
-              << "): " << gemm.footprintPages4k << " pages, "
+              << "): " << gemm.footprintGenPages << " pages, "
               << gemm.totalAccesses() << " accesses across "
               << gemm.numGpus() << " GPUs\n\n";
 

@@ -32,7 +32,7 @@ main(int argc, char **argv)
     const workload::Workload w = workload::makeWorkload(*app);
     std::cout << w.name << " (" << w.fullName << ", " << w.suite << ", "
               << w.pattern << " pattern)\n"
-              << "  scaled footprint: " << w.footprintPages4k
+              << "  scaled footprint: " << w.footprintGenPages
               << " pages, " << w.totalAccesses() << " accesses, "
               << w.totalWrites() << " writes\n\n";
 

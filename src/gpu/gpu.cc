@@ -22,21 +22,23 @@ makeL1Tlbs(sim::GpuId id, const GpuConfig &config)
 }
 
 unsigned
-counterGroupPages(const GpuConfig &config)
+counterGroupPages(const mem::PageGeometry &geometry)
 {
     // Access counters track 64 KB groups; with 2 MB pages one page is
     // already larger than a group, so count per page.
-    const std::uint64_t pages = sim::kCounterGroupBytes / config.pageSize;
+    const std::uint64_t pages = sim::kCounterGroupBytes / geometry.baseSize;
     return pages == 0 ? 1u : static_cast<unsigned>(pages);
 }
 
 }  // namespace
 
-Gpu::Gpu(sim::GpuId id, const GpuConfig &config)
+Gpu::Gpu(sim::GpuId id, const GpuConfig &config,
+         const mem::PageGeometry &geometry)
     : id_(id),
       config_(config),
+      geometry_(&geometry),
       linesPerPage_(
-          static_cast<unsigned>(config.pageSize / sim::kLineSize)),
+          static_cast<unsigned>(geometry.baseSize / sim::kLineSize)),
       l1Tlbs_(makeL1Tlbs(id, config)),
       l2Tlb_("gpu" + std::to_string(id) + ".l2tlb", config.l2TlbEntries,
              config.l2TlbWays, config.l2TlbLatency),
@@ -52,10 +54,12 @@ Gpu::Gpu(sim::GpuId id, const GpuConfig &config)
       faultSlots_("gpu" + std::to_string(id) + ".faultslots",
                   config.faultSlots),
       dram_(config.dramCapacityPages),
-      counters_(counterGroupPages(config), config.counterThreshold)
+      counters_(counterGroupPages(geometry), config.counterThreshold)
 {
     assert(config.lanes > 0);
-    assert(config.pageSize % sim::kLineSize == 0);
+    assert(geometry.baseSize % sim::kLineSize == 0);
+    if (geometry.hugePages)
+        dram_.configureRegions(geometry.basePagesPerHuge());
 }
 
 TranslateOutcome
@@ -64,14 +68,18 @@ Gpu::translate(unsigned lane, sim::PageId page, bool write, sim::Cycle now)
     assert(lane < config_.lanes);
     TranslateOutcome out;
 
+    // A promoted region translates under one huge key: every base page
+    // inside it shares the TLB entry and the (single) walk.
+    const sim::PageId key = translationKey(page);
+
     sim::Cycle at = now + config_.l1TlbLatency;
-    const bool l1_hit = l1Tlbs_[lane].lookup(page);
+    const bool l1_hit = l1Tlbs_[lane].lookup(key);
     if (!l1_hit) {
         at += config_.l2TlbLatency;
-        const bool l2_hit = l2Tlb_.lookup(page);
+        const bool l2_hit = l2Tlb_.lookup(key);
         if (!l2_hit) {
             // GMMU page-table walk after the L2 TLB miss.
-            const WalkResult walk = gmmu_.walk(page, at);
+            const WalkResult walk = gmmu_.walk(key, at);
             out.walkCycles = walk.completion - at;
             at = walk.completion;
         }
@@ -102,27 +110,58 @@ void
 Gpu::fillTlbs(unsigned lane, sim::PageId page)
 {
     assert(lane < config_.lanes);
-    l1Tlbs_[lane].insert(page);
-    l1Holders_[page] |= std::uint64_t{1} << (lane & 63);
-    l2Tlb_.insert(page);
+    const sim::PageId key = translationKey(page);
+    l1Tlbs_[lane].insert(key);
+    l1Holders_[key] |= std::uint64_t{1} << (lane & 63);
+    l2Tlb_.insert(key);
+}
+
+void
+Gpu::invalidateTranslation(sim::PageId key)
+{
+    if (const std::uint64_t *mask = l1Holders_.find(key)) {
+        for (unsigned lane = 0; lane < config_.lanes; ++lane) {
+            if ((*mask >> (lane & 63)) & 1)
+                l1Tlbs_[lane].invalidate(key);
+        }
+        l1Holders_.erase(key);
+    }
+    l2Tlb_.invalidate(key);
 }
 
 void
 Gpu::invalidatePage(sim::PageId page)
 {
-    if (const std::uint64_t *mask = l1Holders_.find(page)) {
-        for (unsigned lane = 0; lane < config_.lanes; ++lane) {
-            if ((*mask >> (lane & 63)) & 1)
-                l1Tlbs_[lane].invalidate(page);
-        }
-        l1Holders_.erase(page);
-    }
-    l2Tlb_.invalidate(page);
+    invalidateTranslation(page);
     // Large pages span more lines than a set scan is worth; flush.
     if (linesPerPage_ > 1024)
         l2Cache_.flushAll();
     else
         l2Cache_.invalidatePage(page, linesPerPage_);
+}
+
+void
+Gpu::promoteRegion(sim::PageId region)
+{
+    assert(geometry_->hugePages);
+    if (hugeRegions_.contains(region))
+        return;
+    hugeRegions_[region] = 1;
+    // The per-base-page TLB entries are now stale (they bypass the huge
+    // mapping): shoot the translations down. The data cache keeps its
+    // lines — promotion moves no data.
+    const sim::PageId first = geometry_->regionFirstPage(region);
+    const std::uint64_t pages = geometry_->basePagesPerHuge();
+    for (std::uint64_t i = 0; i < pages; ++i)
+        invalidateTranslation(first + i);
+}
+
+void
+Gpu::splinterRegion(sim::PageId region)
+{
+    if (!hugeRegions_.erase(region))
+        return;
+    invalidateTranslation(mem::hugeKey(region));
 }
 
 sim::Cycle

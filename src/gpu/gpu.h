@@ -21,6 +21,7 @@
 #include "mem/access_counter.h"
 #include "mem/data_cache.h"
 #include "mem/dram_manager.h"
+#include "mem/page_geometry.h"
 #include "mem/page_table.h"
 #include "mem/tlb.h"
 #include "simcore/flat_map.h"
@@ -52,7 +53,6 @@ struct GpuConfig
     sim::Cycle dramLatency = 200;
     std::uint64_t dramCapacityPages = 0;  //!< 0 = unlimited
 
-    std::uint64_t pageSize = sim::kPageSize4K;
     unsigned counterThreshold = 256;  //!< access-counter trigger
 
     sim::Cycle laneIssueInterval = 8;  //!< compute gap between accesses
@@ -94,10 +94,17 @@ struct TranslateOutcome
 class Gpu
 {
   public:
-    Gpu(sim::GpuId id, const GpuConfig &config);
+    /**
+     * @param geometry the system page geometry (base page size, huge
+     *        regions). Held by reference — the caller's geometry (the
+     *        Simulator's SystemConfig copy) must outlive this GPU.
+     */
+    Gpu(sim::GpuId id, const GpuConfig &config,
+        const mem::PageGeometry &geometry);
 
     sim::GpuId id() const { return id_; }
     const GpuConfig &config() const { return config_; }
+    const mem::PageGeometry &geometry() const { return *geometry_; }
 
     unsigned lanes() const { return config_.lanes; }
     unsigned linesPerPage() const { return linesPerPage_; }
@@ -114,6 +121,36 @@ class Gpu
 
     /** Shoot down one page from TLBs, L2 cache, and the walk cache. */
     void invalidatePage(sim::PageId page);
+
+    // -- dynamic huge pages (docs/PAGESIZE.md) ------------------------
+
+    /**
+     * Overlay a huge translation over @p region: one TLB entry / one
+     * walk (keyed mem::hugeKey(region)) covers every base page. Base
+     * PTEs stay valid underneath; their stale per-page TLB entries are
+     * shot down (translation only — the cached data is unchanged).
+     */
+    void promoteRegion(sim::PageId region);
+
+    /** Drop @p region's huge overlay and its TLB entries; subsequent
+     *  translations fall back to the per-base-page path. */
+    void splinterRegion(sim::PageId region);
+
+    /** True when @p region currently translates via a huge mapping. */
+    bool hugeMapped(sim::PageId region) const
+    {
+        return hugeRegions_.contains(region);
+    }
+
+    /** Live huge mappings (audit reconciliation). */
+    std::uint64_t hugeMappingCount() const { return hugeRegions_.size(); }
+
+    /** Deterministic view of the promoted regions (audit use). */
+    const sim::FlatMap<sim::PageId, unsigned char> &
+    hugeRegions() const
+    {
+        return hugeRegions_;
+    }
 
     /**
      * Full pipeline drain + cache/TLB flush, as UVM performs on the
@@ -164,8 +201,27 @@ class Gpu
     std::uint64_t flushes() const { return flushes_; }
 
   private:
+    /**
+     * The TLB/walk key @p page translates under: its region's huge key
+     * while the region is promoted, the page id itself otherwise. With
+     * no promoted regions this is a branch and a size() check — the
+     * feature-off fast path stays byte-identical.
+     */
+    sim::PageId translationKey(sim::PageId page) const
+    {
+        if (hugeRegions_.size() == 0)
+            return page;
+        const sim::PageId region = geometry_->regionOf(page);
+        return hugeRegions_.contains(region) ? mem::hugeKey(region) : page;
+    }
+
+    /** Shoot down one translation key from the TLBs (not the data
+     *  cache: promote/splinter moves no data). */
+    void invalidateTranslation(sim::PageId key);
+
     sim::GpuId id_;
     GpuConfig config_;
+    const mem::PageGeometry *geometry_;
     unsigned linesPerPage_;
 
     std::vector<mem::Tlb> l1Tlbs_;  //!< one per lane
@@ -189,6 +245,9 @@ class Gpu
     mem::DramManager dram_;
     mem::AccessCounterTable counters_;
     mem::PageTable pageTable_;
+
+    /** Regions this GPU currently maps huge (value unused). */
+    sim::FlatMap<sim::PageId, unsigned char> hugeRegions_;
 
     std::uint64_t flushes_ = 0;
 };

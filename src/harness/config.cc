@@ -56,12 +56,8 @@ SystemConfig::validate() const
                 ") disagrees with numGpus (" + std::to_string(numGpus) +
                 ")",
             "fabric.numGpus");
-    if (pageSize == 0)
-        bad("page size must be non-zero", "pageSize");
-    else if (pageSize % sim::kLineSize != 0)
-        bad("page size must be a multiple of the " +
-                std::to_string(sim::kLineSize) + "-byte line",
-            "pageSize");
+    for (sim::SimError &err : geometry.validate("geometry"))
+        out.push_back(std::move(err));
     if (memoryFraction < 0.0)
         bad("memory fraction cannot be negative", "memoryFraction");
 
@@ -169,8 +165,6 @@ makeConfig(PolicyKind policy, unsigned num_gpus)
     config.numGpus = num_gpus;
     config.policy = policy;
     config.fabric.numGpus = num_gpus;
-    config.gpu.pageSize = config.pageSize;
-    config.uvm.pageSize = config.pageSize;
     return config;
 }
 

@@ -19,6 +19,7 @@
 #include "core/grit_policy.h"
 #include "gpu/gpu.h"
 #include "interconnect/topology.h"
+#include "mem/page_geometry.h"
 #include "simcore/fault_injector.h"
 #include "simcore/sim_error.h"
 #include "simcore/types.h"
@@ -52,8 +53,14 @@ std::optional<PolicyKind> policyKindFromName(const std::string &name);
 struct SystemConfig
 {
     unsigned numGpus = 4;
-    /** Page size in bytes (4 KB default; 2 MB for Section VI-B3). */
-    std::uint64_t pageSize = sim::kPageSize4K;
+    /**
+     * The single source of page-size truth (docs/PAGESIZE.md): the base
+     * translation granule (4 KB default; raise it for fixed-large-page
+     * studies) plus the optional dynamic huge-page promote/splinter
+     * mode. Passed down to the GPUs and the UVM driver by reference —
+     * there are deliberately no per-layer pageSize copies to drift.
+     */
+    mem::PageGeometry geometry{};
     /**
      * Aggregate GPU memory as a fraction of the workload footprint
      * (Table I: 70 %), divided evenly among the GPUs. Zero disables
@@ -127,6 +134,14 @@ struct SystemConfig
      * determinism goldens — stay byte-identical.
      */
     bool fabricStats = false;
+
+    /**
+     * Export translation accounting (`tlb.*` hit/miss aggregates and
+     * `pwc.*` walk-cache totals) plus the `promote.*`/`splinter.*`
+     * rows even when zero. Off by default for the same golden-identity
+     * reason as fabricStats; the fig_pagesize sweep turns it on.
+     */
+    bool pageSizeStats = false;
 
     /**
      * Period of in-run audits; 0 audits only at end of run. Only

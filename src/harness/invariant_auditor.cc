@@ -48,6 +48,7 @@ InvariantAuditor::audit()
     auditPageTables(out);
     auditDramAccounting(out);
     auditTlbCoherence(out);
+    auditRegions(out);
     ++audits_;
     violations_ += out.size();
     return out;
@@ -260,6 +261,19 @@ InvariantAuditor::auditTlbCoherence(std::vector<SimError> &out) const
         const std::string who = "gpu" + std::to_string(g);
         auto check = [&](const mem::Tlb &tlb) {
             for (PageId page : tlb.livePages()) {
+                // Huge-key entries translate via the promoted-region
+                // overlay, not a per-page PTE: the region must still be
+                // promoted on this GPU.
+                if (mem::isHugeKey(page)) {
+                    if (!gpu.hugeMapped(mem::hugeKeyRegion(page))) {
+                        out.push_back(violation(
+                            "live " + tlb.name() +
+                                " huge entry survived the splinter",
+                            who + " region " +
+                                std::to_string(mem::hugeKeyRegion(page))));
+                    }
+                    continue;
+                }
                 if (!gpu.pageTable().translates(page)) {
                     out.push_back(violation(
                         "live " + tlb.name() +
@@ -271,6 +285,109 @@ InvariantAuditor::auditTlbCoherence(std::vector<SimError> &out) const
         check(gpu.l2Tlb());
         for (const mem::Tlb &l1 : gpu.l1Tlbs())
             check(l1);
+    }
+}
+
+void
+InvariantAuditor::auditRegions(std::vector<SimError> &out) const
+{
+    const mem::RegionTracker &regions = driver_.regionTracker();
+    if (!regions.enabled())
+        return;
+    const uvm::ReplicaDirectory &dir = driver_.directory();
+    const std::uint64_t pages_per_region = regions.pagesPerRegion();
+
+    for (const auto &[region, holder] : regions.promotedRegions()) {
+        const std::string where = "region " + std::to_string(region);
+        if (holder < 0 ||
+            static_cast<unsigned>(holder) >= driver_.numGpus()) {
+            out.push_back(violation(
+                "promoted region held by invalid gpu" +
+                    std::to_string(holder),
+                where));
+            continue;
+        }
+        const gpu::Gpu &gpu = driver_.gpuAt(holder);
+        const std::string who = "gpu" + std::to_string(holder);
+        if (!gpu.hugeMapped(region)) {
+            out.push_back(violation(
+                "tracker says promoted but " + who +
+                    " has no huge mapping",
+                where));
+        }
+        if (!gpu.dram().regionPinned(region)) {
+            out.push_back(violation(
+                "promoted region's frames are not pinned at " + who,
+                where));
+        }
+        if (gpu.dram().ownedInRegion(region) != pages_per_region) {
+            out.push_back(violation(
+                "promoted region owns " +
+                    std::to_string(gpu.dram().ownedInRegion(region)) +
+                    " of " + std::to_string(pages_per_region) +
+                    " resident frames at " + who,
+                where));
+        }
+        // Every base page: exclusively owned here, resident, and backed
+        // by a valid writable local PTE (the state a splinter restores).
+        const PageId first = driver_.geometry().regionFirstPage(region);
+        for (std::uint64_t i = 0; i < pages_per_region; ++i) {
+            const PageId page = first + i;
+            const std::string pwhere = where + " " + pageStr(page);
+            const uvm::PageInfo *info = dir.find(page);
+            if (info == nullptr || !info->touched ||
+                info->owner != holder) {
+                out.push_back(violation(
+                    "promoted region page is not owned by " + who,
+                    pwhere));
+                continue;
+            }
+            if (!info->replicas.empty() || !info->remoteMappers.empty()) {
+                out.push_back(violation(
+                    "promoted region page is shared (replicas or remote "
+                    "mappers exist)",
+                    pwhere));
+            }
+            const mem::PteRecord *rec = gpu.pageTable().find(page);
+            if (rec == nullptr || !rec->pte.valid() ||
+                rec->kind != mem::MappingKind::kLocal ||
+                !rec->pte.writable() || rec->readOnlyReplica) {
+                out.push_back(violation(
+                    "promoted region page lacks a valid writable local "
+                    "PTE underneath the huge mapping",
+                    pwhere));
+            }
+        }
+    }
+
+    // The three layers' promoted sets must reconcile exactly:
+    // promotions - splinters == live tracker regions == sum of the
+    // per-GPU huge-mapping sets (each of which is a tracker subset).
+    std::uint64_t gpu_mappings = 0;
+    for (unsigned g = 0; g < driver_.numGpus(); ++g) {
+        const gpu::Gpu &gpu = driver_.gpuAt(static_cast<GpuId>(g));
+        gpu_mappings += gpu.hugeMappingCount();
+        for (const auto &[region, mark] : gpu.hugeRegions()) {
+            (void)mark;
+            if (regions.holder(region) != static_cast<GpuId>(g)) {
+                out.push_back(violation(
+                    "gpu" + std::to_string(g) +
+                        " maps a huge region the tracker does not "
+                        "attribute to it",
+                    "region " + std::to_string(region)));
+            }
+        }
+    }
+    if (regions.promotions() - regions.splinters() !=
+            regions.promotedCount() ||
+        gpu_mappings != regions.promotedCount()) {
+        out.push_back(violation(
+            "promotion ledger out of balance: promotions " +
+                std::to_string(regions.promotions()) + " - splinters " +
+                std::to_string(regions.splinters()) + " vs tracker " +
+                std::to_string(regions.promotedCount()) +
+                " vs GPU mappings " + std::to_string(gpu_mappings),
+            "region-tracker"));
     }
 }
 

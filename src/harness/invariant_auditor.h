@@ -55,6 +55,7 @@ class InvariantAuditor
     void auditPageTables(std::vector<SimError> &out) const;
     void auditDramAccounting(std::vector<SimError> &out) const;
     void auditTlbCoherence(std::vector<SimError> &out) const;
+    void auditRegions(std::vector<SimError> &out) const;
 
     uvm::UvmDriver &driver_;
     std::uint64_t audits_ = 0;

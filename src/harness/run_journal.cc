@@ -96,7 +96,10 @@ configDigest(const SystemConfig &config)
 {
     Digest d;
     d.word(std::uint64_t{config.numGpus});
-    d.word(config.pageSize);
+    d.word(config.geometry.baseSize);
+    d.word(config.geometry.hugeSize);
+    d.word(config.geometry.hugePages);
+    d.word(std::uint64_t{config.geometry.promoteFaultThreshold});
     d.word(config.memoryFraction);
     d.text(policyKindName(config.policy));
     d.word(config.prefetch);
@@ -121,7 +124,6 @@ configDigest(const SystemConfig &config)
     d.word(g.dramGBs);
     d.word(g.dramLatency);
     d.word(g.dramCapacityPages);
-    d.word(g.pageSize);
     d.word(std::uint64_t{g.counterThreshold});
     d.word(g.laneIssueInterval);
     d.word(std::uint64_t{g.nvlinkSlots});
@@ -146,7 +148,8 @@ configDigest(const SystemConfig &config)
     d.word(u.hostMemGBs);
     d.word(u.hostMemAccessCycles);
     d.word(u.messageBytes);
-    d.word(u.pageSize);
+    d.word(u.promoteCycles);
+    d.word(u.splinterCycles);
 
     const ic::FabricConfig &f = config.fabric;
     d.text(ic::topologyKindName(f.kind));
@@ -198,6 +201,8 @@ configDigest(const SystemConfig &config)
     d.word(std::uint64_t{c.pressure.pages});
     d.word(c.pressure.period);
     d.word(c.pressure.start);
+    d.word(c.promoteStorm.period);
+    d.word(c.promoteStorm.start);
     d.word(c.paFlush.period);
     d.word(c.paDisable.start);
     d.word(c.paDisable.end);

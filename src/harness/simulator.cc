@@ -94,12 +94,10 @@ Simulator::init()
             "workload " + workload_.name));
     }
 
-    // Byte addresses decode into (page, line) at the configured page
-    // size as accesses are issued (nextAccess); the 2 MB study reuses
-    // 4 KB-generated traces unchanged.
-    const std::uint64_t page_size = config_.pageSize;
-    pageSize_ = page_size;
-    linesPerPage_ = static_cast<unsigned>(page_size / sim::kLineSize);
+    // Byte addresses decode into (page, line) at the configured base
+    // page size as accesses are issued (nextAccess); large-page studies
+    // reuse 4 KB-generated traces unchanged.
+    const std::uint64_t page_size = config_.geometry.baseSize;
     cursors_.resize(config_.numGpus);
     for (unsigned g = 0; g < config_.numGpus; ++g) {
         GpuCursor &cur = cursors_[g];
@@ -116,7 +114,6 @@ Simulator::init()
     // Per-GPU DRAM capacity: memoryFraction of the footprint, split
     // evenly (Table I's 70 % oversubscription model).
     gpu::GpuConfig gpu_config = config_.gpu;
-    gpu_config.pageSize = page_size;
     if (config_.memoryFraction > 0.0) {
         const std::uint64_t footprint_pages =
             (workload_.footprintBytes() + page_size - 1) / page_size;
@@ -133,18 +130,20 @@ Simulator::init()
     fabric_config.numGpus = config_.numGpus;
     fabric_ = ic::makeTopology(fabric_config);
 
+    // The geometry is passed down by reference: config_ is a member
+    // declared first (destroyed last), so the referent outlives every
+    // GPU and the driver.
     std::vector<gpu::Gpu *> gpu_views;
     for (unsigned g = 0; g < config_.numGpus; ++g) {
         gpus_.push_back(std::make_unique<gpu::Gpu>(
-            static_cast<sim::GpuId>(g), gpu_config));
+            static_cast<sim::GpuId>(g), gpu_config, config_.geometry));
         gpu_views.push_back(gpus_.back().get());
     }
 
-    uvm::UvmConfig uvm_config = config_.uvm;
-    uvm_config.pageSize = page_size;
-    driver_ = std::make_unique<uvm::UvmDriver>(uvm_config, *fabric_,
+    driver_ = std::make_unique<uvm::UvmDriver>(config_.uvm, *fabric_,
                                                gpu_views, stats_,
-                                               breakdown_);
+                                               breakdown_,
+                                               config_.geometry);
 
     policy_ = makePolicy(config_);
     driver_->setPolicy(policy_.get());
@@ -213,9 +212,10 @@ Simulator::nextAccess(unsigned g, LaneAccess &out)
         a = cur.chunk->accesses[cur.chunkPos++];
     }
     ++cur.pos;
-    out.page = a.addr / pageSize_;
+    const mem::PageGeometry &geo = config_.geometry;
+    out.page = a.addr / geo.baseSize;
     out.line = static_cast<unsigned>((a.addr / sim::kLineSize) %
-                                     linesPerPage_);
+                                     geo.linesPerBase());
     out.write = a.write;
     return true;
 }
@@ -233,6 +233,19 @@ Simulator::pressureStorm()
     if (!drained()) {
         queue_.schedule(now + config_.chaos.pressure.period,
                         [this] { pressureStorm(); }, "chaos-pressure");
+    }
+}
+
+void
+Simulator::promoteStorm()
+{
+    const sim::Cycle now = queue_.now();
+    const unsigned splintered = driver_->splinterAllPromoted(now);
+    if (splintered > 0 && injector_)
+        injector_->notePromoteSplinters(splintered);
+    if (!drained()) {
+        queue_.schedule(now + config_.chaos.promoteStorm.period,
+                        [this] { promoteStorm(); }, "chaos-promostorm");
     }
 }
 
@@ -479,6 +492,12 @@ Simulator::run(bool salvage_partial)
                             config_.chaos.pressure.period,
                         [this] { pressureStorm(); }, "chaos-pressure");
     }
+    if (injector_ && injector_->promoteStormConfigured() &&
+        driver_->regionTracker().enabled()) {
+        queue_.schedule(config_.chaos.promoteStorm.start +
+                            config_.chaos.promoteStorm.period,
+                        [this] { promoteStorm(); }, "chaos-promostorm");
+    }
     if (injector_ && config_.chaos.hang.at != sim::ChaosSpec::kNever) {
         queue_.schedule(config_.chaos.hang.at, [this] { hangSpin(); },
                         "chaos-hang");
@@ -580,6 +599,47 @@ Simulator::run(bool salvage_partial)
     if (auditor_) {
         stats_.counter("audit.audits").inc(auditor_->audits());
         stats_.counter("audit.violations").inc(auditor_->violations());
+    }
+    const mem::RegionTracker &regions = driver_->regionTracker();
+    if (regions.enabled() || config_.pageSizeStats) {
+        // Lifetime promote/splinter story. The reconciliation invariant
+        // (audited by InvariantAuditor::auditRegions) is visible right
+        // in the counters: promote.regions - splinter.regions ==
+        // promote.live_regions == sum of per-GPU huge mappings.
+        stats_.counter("promote.regions").inc(regions.promotions());
+        stats_.counter("promote.pages").inc(regions.promotedPages());
+        stats_.counter("promote.live_regions")
+            .inc(regions.promotedCount());
+        stats_.counter("splinter.regions").inc(regions.splinters());
+        stats_.counter("splinter.write_sharing")
+            .inc(regions.splintersBy(mem::SplinterReason::kWriteSharing));
+        stats_.counter("splinter.evictions")
+            .inc(regions.splintersBy(mem::SplinterReason::kEviction));
+        stats_.counter("splinter.chaos")
+            .inc(regions.splintersBy(mem::SplinterReason::kChaos));
+    }
+    if (config_.pageSizeStats) {
+        // Opt-in translation accounting (docs/PAGESIZE.md): aggregate
+        // TLB and walk-cache hit/miss totals across GPUs, the numbers
+        // the fig_pagesize walk-reduction claim is made from.
+        std::uint64_t l1h = 0, l1m = 0, l2h = 0, l2m = 0;
+        std::uint64_t pwch = 0, pwcm = 0;
+        for (const auto &g : gpus_) {
+            for (const mem::Tlb &tlb : g->l1Tlbs()) {
+                l1h += tlb.hits();
+                l1m += tlb.misses();
+            }
+            l2h += g->l2Tlb().hits();
+            l2m += g->l2Tlb().misses();
+            pwch += g->gmmu().walkCache().hits();
+            pwcm += g->gmmu().walkCache().misses();
+        }
+        stats_.counter("tlb.l1_hits").inc(l1h);
+        stats_.counter("tlb.l1_misses").inc(l1m);
+        stats_.counter("tlb.l2_hits").inc(l2h);
+        stats_.counter("tlb.l2_misses").inc(l2m);
+        stats_.counter("pwc.hits").inc(pwch);
+        stats_.counter("pwc.misses").inc(pwcm);
     }
     if (config_.fabricStats) {
         // Opt-in per-link fabric accounting (docs/TOPOLOGY.md): the

@@ -208,6 +208,9 @@ class Simulator
     /** Self-rescheduling chaos capacity-pressure storm event. */
     void pressureStorm();
 
+    /** Self-rescheduling chaos promotion-splinter storm event. */
+    void promoteStorm();
+
     /** Self-rescheduling same-cycle livelock (chaos `hang` clause). */
     void hangSpin();
 
@@ -265,8 +268,6 @@ class Simulator
     /** Per-GPU shared work cursors (CU work distribution). */
     std::vector<GpuCursor> cursors_;
     std::uint64_t totalAccesses_ = 0;
-    std::uint64_t pageSize_ = 0;
-    unsigned linesPerPage_ = 0;
     std::uint64_t accessesBatched_ = 0;
     sim::Cycle finish_ = 0;
     std::array<std::uint64_t, 4> schemeAccesses_{};

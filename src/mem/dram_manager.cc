@@ -9,6 +9,100 @@ DramManager::DramManager(std::uint64_t capacity_pages)
 {
 }
 
+void
+DramManager::configureRegions(std::uint64_t pages_per_region)
+{
+    assert(map_.empty() && "configure regions before any allocation");
+    pagesPerRegion_ = pages_per_region > 1 ? pages_per_region : 1;
+    regions_.clear();
+}
+
+std::uint64_t
+DramManager::ownedInRegion(sim::PageId region) const
+{
+    if (pagesPerRegion_ <= 1)
+        return 0;
+    const auto it = regions_.find(region);
+    return it != regions_.end() ? it->second.owned : 0;
+}
+
+void
+DramManager::pinRegion(sim::PageId region)
+{
+    if (pagesPerRegion_ <= 1)
+        return;
+    regions_[region].pinned = true;
+}
+
+void
+DramManager::unpinRegion(sim::PageId region)
+{
+    if (pagesPerRegion_ <= 1)
+        return;
+    const auto it = regions_.find(region);
+    if (it == regions_.end())
+        return;
+    it->second.pinned = false;
+    if (it->second.owned == 0)
+        regions_.erase(it);
+}
+
+bool
+DramManager::regionPinned(sim::PageId region) const
+{
+    if (pagesPerRegion_ <= 1)
+        return false;
+    const auto it = regions_.find(region);
+    return it != regions_.end() && it->second.pinned;
+}
+
+void
+DramManager::accountOwned(sim::PageId page, std::int64_t delta)
+{
+    if (pagesPerRegion_ <= 1)
+        return;
+    const sim::PageId region = regionOf(page);
+    auto it = regions_.find(region);
+    if (it == regions_.end()) {
+        if (delta <= 0)
+            return;
+        it = regions_.emplace(region, RegionState{}).first;
+    }
+    if (delta > 0) {
+        it->second.owned += static_cast<std::uint64_t>(delta);
+    } else {
+        const auto dec = static_cast<std::uint64_t>(-delta);
+        assert(it->second.owned >= dec && "region owned-count underflow");
+        it->second.owned -= dec;
+        if (it->second.owned == 0 && !it->second.pinned)
+            regions_.erase(it);
+    }
+}
+
+DramManager::Frame
+DramManager::popVictim()
+{
+    assert(!lru_.empty());
+    if (pagesPerRegion_ > 1) {
+        // Scan from the LRU tail for the first frame outside a pinned
+        // region. Pinned (promoted) frames are hot by construction, so
+        // they cluster near the MRU end and the scan stays short.
+        for (auto it = lru_.end(); it != lru_.begin();) {
+            --it;
+            if (!regionPinned(regionOf(it->page))) {
+                Frame victim = *it;
+                lru_.erase(it);
+                return victim;
+            }
+        }
+        // Every frame is pinned: capacity is a hard limit, so the true
+        // LRU goes anyway; the caller splinters its region.
+    }
+    Frame victim = lru_.back();
+    lru_.pop_back();
+    return victim;
+}
+
 std::optional<Eviction>
 DramManager::insert(sim::PageId page, FrameKind kind)
 {
@@ -16,11 +110,12 @@ DramManager::insert(sim::PageId page, FrameKind kind)
 
     std::optional<Eviction> victim;
     if (capacity_ != 0 && map_.size() >= capacity_) {
-        Frame lru = lru_.back();
-        lru_.pop_back();
+        const Frame lru = popVictim();
         map_.erase(lru.page);
         if (lru.kind == FrameKind::kReplica)
             --replicas_;
+        else
+            accountOwned(lru.page, -1);
         ++evictions_;
         victim = Eviction{lru.page, lru.kind};
     }
@@ -29,6 +124,8 @@ DramManager::insert(sim::PageId page, FrameKind kind)
     map_[page] = lru_.begin();
     if (kind == FrameKind::kReplica)
         ++replicas_;
+    else
+        accountOwned(page, +1);
     return victim;
 }
 
@@ -49,6 +146,8 @@ DramManager::erase(sim::PageId page)
         return false;
     if (it->second->kind == FrameKind::kReplica)
         --replicas_;
+    else
+        accountOwned(page, -1);
     lru_.erase(it->second);
     map_.erase(it);
     return true;
@@ -75,10 +174,13 @@ DramManager::setKind(sim::PageId page, FrameKind kind)
     assert(it != map_.end());
     if (it->second->kind == kind)
         return;
-    if (it->second->kind == FrameKind::kReplica)
+    if (it->second->kind == FrameKind::kReplica) {
         --replicas_;
-    if (kind == FrameKind::kReplica)
+        accountOwned(page, +1);
+    } else {
         ++replicas_;
+        accountOwned(page, -1);
+    }
     it->second->kind = kind;
 }
 
@@ -87,11 +189,12 @@ DramManager::evictLru()
 {
     if (lru_.empty())
         return std::nullopt;
-    Frame lru = lru_.back();
-    lru_.pop_back();
+    const Frame lru = popVictim();
     map_.erase(lru.page);
     if (lru.kind == FrameKind::kReplica)
         --replicas_;
+    else
+        accountOwned(lru.page, -1);
     ++evictions_;
     return Eviction{lru.page, lru.kind};
 }
@@ -113,6 +216,7 @@ DramManager::clear()
     map_.clear();
     evictions_ = 0;
     replicas_ = 0;
+    regions_.clear();
 }
 
 }  // namespace grit::mem

@@ -70,6 +70,31 @@ class DramManager
      */
     std::optional<Eviction> evictLru();
 
+    // -- region accounting (dynamic huge pages, docs/PAGESIZE.md) -----
+
+    /**
+     * Group frames into aligned regions of @p pages_per_region base
+     * pages and keep per-region owned-resident counts; <= 1 disables
+     * (the default), in which case every query below is inert and the
+     * eviction policy is the classic strict LRU, byte-identical to the
+     * pre-region behaviour.
+     */
+    void configureRegions(std::uint64_t pages_per_region);
+
+    /** Owned (non-replica) frames resident in @p region. O(1). */
+    std::uint64_t ownedInRegion(sim::PageId region) const;
+
+    /**
+     * Pin @p region's frames: victim selection skips them while any
+     * unpinned frame exists (promoted huge mappings must not be eaten
+     * one page at a time by LRU churn). When every frame is pinned the
+     * true LRU is evicted anyway — capacity is a hard limit — and the
+     * caller is expected to splinter the region the victim came from.
+     */
+    void pinRegion(sim::PageId region);
+    void unpinRegion(sim::PageId region);
+    bool regionPinned(sim::PageId region) const;
+
     /** Snapshot of every resident frame, for cross-layer audits. */
     std::vector<Eviction> frames() const;
 
@@ -89,11 +114,32 @@ class DramManager
 
     using LruList = std::list<Frame>;
 
+    struct RegionState
+    {
+        std::uint64_t owned = 0;
+        bool pinned = false;
+    };
+
+    sim::PageId regionOf(sim::PageId page) const
+    {
+        return page / pagesPerRegion_;
+    }
+
+    /** Adjust the owned count of @p page's region by @p delta. */
+    void accountOwned(sim::PageId page, std::int64_t delta);
+
+    /** Pop the eviction victim: LRU skipping pinned regions, falling
+     *  back to the true LRU when everything is pinned. */
+    Frame popVictim();
+
     std::uint64_t capacity_;
     LruList lru_;  // front = MRU, back = LRU
     std::unordered_map<sim::PageId, LruList::iterator> map_;
     std::uint64_t evictions_ = 0;
     std::uint64_t replicas_ = 0;
+
+    std::uint64_t pagesPerRegion_ = 1;  //!< <= 1: regions disabled
+    std::unordered_map<sim::PageId, RegionState> regions_;
 };
 
 }  // namespace grit::mem

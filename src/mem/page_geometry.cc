@@ -1,0 +1,57 @@
+#include "mem/page_geometry.h"
+
+#include <string>
+
+namespace grit::mem {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace
+
+std::vector<sim::SimError>
+PageGeometry::validate(const std::string &where) const
+{
+    std::vector<sim::SimError> out;
+    auto bad = [&](const std::string &message, const std::string &field) {
+        out.emplace_back(sim::ErrorCode::kConfigInvalid, message,
+                         where + "." + field);
+    };
+
+    if (baseSize == 0)
+        bad("base page size must be non-zero", "baseSize");
+    else if (!isPow2(baseSize))
+        bad("base page size (" + std::to_string(baseSize) +
+                ") must be a power of two",
+            "baseSize");
+    else if (baseSize % sim::kLineSize != 0)
+        bad("base page size must be a multiple of the " +
+                std::to_string(sim::kLineSize) + "-byte line",
+            "baseSize");
+
+    if (hugePages) {
+        if (hugeSize == 0)
+            bad("huge page size must be non-zero", "hugeSize");
+        else if (!isPow2(hugeSize))
+            bad("huge page size (" + std::to_string(hugeSize) +
+                    ") must be a power of two",
+                "hugeSize");
+        else if (isPow2(baseSize) && hugeSize <= baseSize)
+            bad("huge page size (" + std::to_string(hugeSize) +
+                    ") must exceed the base page size (" +
+                    std::to_string(baseSize) + ")",
+                "hugeSize");
+        if (promoteFaultThreshold == 0)
+            bad("the promotion fault threshold must be non-zero",
+                "promoteFaultThreshold");
+    }
+
+    return out;
+}
+
+}  // namespace grit::mem

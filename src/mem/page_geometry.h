@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The page-size geometry of a simulated system (docs/PAGESIZE.md).
+ *
+ * One validated PageGeometry, owned by harness::SystemConfig and passed
+ * down by const reference, replaces the per-layer pageSize fields that
+ * used to be copied into GpuConfig, UvmConfig, and the Simulator — no
+ * layer-local copy can drift any more.
+ *
+ * Two concepts live here:
+ *
+ *  - baseSize: the translation granule every PTE, DRAM frame, replica,
+ *    and directory entry uses (4 KB by default; the fixed-large-page
+ *    studies simply raise it).
+ *  - hugePages/hugeSize: the optional Mosaic-style dynamic mode. Base
+ *    frames are grouped into aligned hugeSize regions; a hot region
+ *    fully resident on one GPU may be *promoted* to a single huge
+ *    translation (one TLB entry, one walk for the whole region) and is
+ *    *splintered* back to base pages the moment any per-base-page
+ *    mechanism (duplication, collapse, remote mapping, eviction) needs
+ *    to touch part of it. Promotion is a translation overlay only: the
+ *    base PTEs stay valid underneath, so GRIT's per-4 KB placement
+ *    machinery keeps working across promote/splinter transitions.
+ */
+
+#ifndef GRIT_MEM_PAGE_GEOMETRY_H_
+#define GRIT_MEM_PAGE_GEOMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/sim_error.h"
+#include "simcore/types.h"
+
+namespace grit::mem {
+
+/**
+ * Huge translations live in a separate key namespace of the TLBs and
+ * the GMMU walk caches: bit 62 set, low bits the region id. Byte
+ * addresses never reach 2^62 pages, so the namespaces cannot collide.
+ */
+inline constexpr sim::PageId kHugeKeyBit = sim::PageId{1} << 62;
+
+/** TLB/walk key of promoted region @p region. */
+inline sim::PageId
+hugeKey(sim::PageId region)
+{
+    return kHugeKeyBit | region;
+}
+
+/** True when @p key names a huge translation, not a base page. */
+inline bool
+isHugeKey(sim::PageId key)
+{
+    return (key & kHugeKeyBit) != 0;
+}
+
+/** The region id a huge key names. @pre isHugeKey(key) */
+inline sim::PageId
+hugeKeyRegion(sim::PageId key)
+{
+    return key & ~kHugeKeyBit;
+}
+
+/** Validated page-size configuration of one simulated system. */
+struct PageGeometry
+{
+    /** Base translation granule in bytes (every PTE/frame/replica). */
+    std::uint64_t baseSize = sim::kPageSize4K;
+
+    /**
+     * Region size in bytes for the dynamic promote/splinter mode.
+     * Only meaningful when hugePages is set.
+     */
+    std::uint64_t hugeSize = sim::kPageSize2M;
+
+    /** Enable dynamic huge-page promotion/splintering. Default off —
+     *  the feature-off configuration is bit-identical to the classic
+     *  fixed-page-size simulator. */
+    bool hugePages = false;
+
+    /**
+     * Region faults a GPU must take in a region before a fully
+     * resident region becomes promotion-eligible (hotness filter).
+     */
+    unsigned promoteFaultThreshold = 8;
+
+    /** Base pages per huge region. @pre validated */
+    std::uint64_t
+    basePagesPerHuge() const
+    {
+        return hugeSize / baseSize;
+    }
+
+    /** Cache lines per base page. @pre validated */
+    unsigned
+    linesPerBase() const
+    {
+        return static_cast<unsigned>(baseSize / sim::kLineSize);
+    }
+
+    /** The huge region containing base page @p page. */
+    sim::PageId
+    regionOf(sim::PageId page) const
+    {
+        return page / basePagesPerHuge();
+    }
+
+    /** First base page of region @p region. */
+    sim::PageId
+    regionFirstPage(sim::PageId region) const
+    {
+        return region * basePagesPerHuge();
+    }
+
+    /**
+     * Check every rule this geometry must satisfy: non-zero power-of-
+     * two sizes, line-multiple base pages, and (when hugePages is on)
+     * hugeSize a strict multiple of baseSize. @p where prefixes the
+     * SimError locations ("geometry.baseSize", ...).
+     * @return all violations; empty when the geometry is usable.
+     */
+    std::vector<sim::SimError> validate(
+        const std::string &where = "geometry") const;
+};
+
+}  // namespace grit::mem
+
+#endif  // GRIT_MEM_PAGE_GEOMETRY_H_

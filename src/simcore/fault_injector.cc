@@ -86,8 +86,8 @@ ChaosSpec::any() const
     return linkFlap.period > 0 || linkSlow.factor > 1 ||
            serviceDelay.extra > 0 ||
            (pressure.pages > 0 && pressure.period > 0) ||
-           paFlush.period > 0 || paDisable.start != kNever ||
-           hang.at != kNever;
+           promoteStorm.period > 0 || paFlush.period > 0 ||
+           paDisable.start != kNever || hang.at != kNever;
 }
 
 ChaosSpec
@@ -158,6 +158,13 @@ ChaosSpec::parse(const std::string &text)
                     spec.pressure.start = uintv();
                 else
                     specError(clause, "unknown key '" + key + "'");
+            } else if (head == "promostorm") {
+                if (key == "period")
+                    spec.promoteStorm.period = uintv();
+                else if (key == "start")
+                    spec.promoteStorm.start = uintv();
+                else
+                    specError(clause, "unknown key '" + key + "'");
             } else if (head == "paflush") {
                 if (key == "period")
                     spec.paFlush.period = uintv();
@@ -196,6 +203,8 @@ ChaosSpec::parse(const std::string &text)
         if (head == "pressure" &&
             (spec.pressure.pages == 0 || spec.pressure.period == 0))
             specError(clause, "pressure needs pages > 0 and period > 0");
+        if (head == "promostorm" && spec.promoteStorm.period == 0)
+            specError(clause, "promostorm needs period > 0");
         if (head == "paflush" && spec.paFlush.period == 0)
             specError(clause, "paflush needs period > 0");
         if (head == "padisable" && spec.paDisable.start == kNever)
@@ -229,6 +238,8 @@ ChaosSpec::summary() const
         add("svclat");
     if (pressure.pages > 0 && pressure.period > 0)
         add("pressure");
+    if (promoteStorm.period > 0)
+        add("promostorm");
     if (paFlush.period > 0)
         add("paflush");
     if (paDisable.start != kNever)
@@ -316,7 +327,8 @@ std::uint64_t
 FaultInjector::injectedTotal() const
 {
     return linkRetries_ + linkForced_ + slowTransfers_ + serviceDelays_ +
-           pressureEvictions_ + paFlushes_ + paTableFallbacks_;
+           pressureEvictions_ + promoteSplinters_ + paFlushes_ +
+           paTableFallbacks_;
 }
 
 std::uint64_t
@@ -337,6 +349,7 @@ FaultInjector::counters() const
         {"chaos.service_delays", serviceDelays_},
         {"chaos.migration_fallbacks", migrationFallbacks_},
         {"chaos.pressure_evictions", pressureEvictions_},
+        {"chaos.promote_splinters", promoteSplinters_},
         {"chaos.pa_flushes", paFlushes_},
         {"chaos.pa_table_fallbacks", paTableFallbacks_},
         {"chaos.injected", injectedTotal()},

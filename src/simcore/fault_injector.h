@@ -43,6 +43,10 @@ namespace grit::sim {
  *                                         latency during active windows
  *   pressure:pages=N,period=P[,start=S] - force-evict N LRU pages per
  *                                         GPU every P cycles from S on
+ *   promostorm:period=P[,start=S]       - splinter every promoted huge
+ *                                         region every P cycles from S
+ *                                         on (inert unless dynamic huge
+ *                                         pages are enabled)
  *   paflush:period=P                    - drop all PA-Cache state every
  *                                         P cycles
  *   padisable:start=S[,end=E]           - PA-Cache unavailable during
@@ -92,6 +96,12 @@ struct ChaosSpec
         Cycle period = 0;    //!< storm period; 0 disables the clause
         Cycle start = 0;     //!< first storm time
     } pressure;
+
+    struct PromoteStorm
+    {
+        Cycle period = 0;  //!< storm period; 0 disables the clause
+        Cycle start = 0;   //!< first storm time
+    } promoteStorm;
 
     struct PaFlush
     {
@@ -187,6 +197,16 @@ class FaultInjector
     {
         pressureEvictions_ += pages;
     }
+    /** Is a promotion-splinter storm configured? */
+    bool promoteStormConfigured() const
+    {
+        return spec_.promoteStorm.period > 0;
+    }
+    /** Promotion storm splintered @p regions huge mappings. */
+    void notePromoteSplinters(std::uint64_t regions)
+    {
+        promoteSplinters_ += regions;
+    }
 
     // -- PA-Cache hooks -----------------------------------------------
     /** Is the PA-Cache chaos-disabled at @p now? */
@@ -228,6 +248,7 @@ class FaultInjector
     std::uint64_t serviceDelays_ = 0;
     std::uint64_t migrationFallbacks_ = 0;
     std::uint64_t pressureEvictions_ = 0;
+    std::uint64_t promoteSplinters_ = 0;
     std::uint64_t paFlushes_ = 0;
     std::uint64_t paTableFallbacks_ = 0;
     std::uint64_t lastPaFlushWindow_ = 0;

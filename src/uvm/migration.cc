@@ -74,6 +74,12 @@ sim::Cycle
 UvmDriver::handleEviction(sim::GpuId gpu, const mem::Eviction &victim,
                           sim::Cycle now, stats::LatencyKind kind)
 {
+    // Losing any frame of a promoted region ends its full residency
+    // (the pin only defers this to the all-pinned fallback / chaos
+    // storms): splinter back to base pages before the shootdown.
+    now = splinterIfPromoted(victim.page, now,
+                             mem::SplinterReason::kEviction);
+
     PageInfo &info = directory_.info(victim.page);
     gpu::Gpu &g = gpuAt(gpu);
     g.pageTable().invalidate(victim.page);
@@ -128,7 +134,7 @@ UvmDriver::handleEviction(sim::GpuId gpu, const mem::Eviction &victim,
     stats_.counter("uvm.spills").inc();
     sim::Cycle t = now;
     if (info.dirty) {
-        t = fabric_.transfer(now, gpu, sim::kHostId, config_.pageSize);
+        t = fabric_.transfer(now, gpu, sim::kHostId, geometry_->baseSize);
         info.dirty = false;
         stats_.counter("uvm.spill_writebacks").inc();
     }
@@ -188,6 +194,9 @@ UvmDriver::migratePage(sim::PageId page, sim::GpuId to, sim::Cycle now,
     }
 
     sim::Cycle t = now;
+    // Migrating a page out of a promoted region breaks the huge
+    // mapping: splinter so the per-page shootdown below is coherent.
+    t = splinterIfPromoted(page, t, mem::SplinterReason::kWriteSharing);
     // Any duplication replicas become stale once the page moves.
     if (!info.replicas.empty())
         t = dropReplicas(page, t, kind);
@@ -206,7 +215,7 @@ UvmDriver::migratePage(sim::PageId page, sim::GpuId to, sim::Cycle now,
     }
 
     // Move the data and allocate the destination frame.
-    t = fabric_.transfer(t, from, to, config_.pageSize);
+    t = fabric_.transfer(t, from, to, geometry_->baseSize);
     t = allocateFrame(to, page, mem::FrameKind::kOwned, t, kind);
 
     info.owner = to;
@@ -238,7 +247,12 @@ UvmDriver::duplicatePage(sim::PageId page, sim::GpuId to, sim::Cycle now,
     if (info.hasRemoteMapper(to))
         info.removeRemoteMapper(to);
 
-    sim::Cycle t = fabric_.transfer(now, from, to, config_.pageSize);
+    // Write-sharing (the canonical Mosaic splinter trigger): a replica
+    // inside a promoted region forces the owner back to base pages so
+    // per-4K write-protection and collapse keep working.
+    now = splinterIfPromoted(page, now, mem::SplinterReason::kWriteSharing);
+
+    sim::Cycle t = fabric_.transfer(now, from, to, geometry_->baseSize);
     t = allocateFrame(to, page, mem::FrameKind::kReplica, t,
                       stats::LatencyKind::kPageDuplication);
 
@@ -287,7 +301,7 @@ UvmDriver::prefetchPage(sim::PageId page, sim::GpuId gpu, sim::Cycle now)
     // Translations to the host copy go stale once the page moves.
     invalidateRemoteMappings(page, now);
     const sim::Cycle t0 =
-        fabric_.transfer(now, sim::kHostId, gpu, config_.pageSize);
+        fabric_.transfer(now, sim::kHostId, gpu, geometry_->baseSize);
     const sim::Cycle t = allocateFrame(gpu, page, mem::FrameKind::kOwned,
                                        t0, stats::LatencyKind::kHost);
     // If the requester held a replica, that frame just became the
@@ -313,6 +327,11 @@ UvmDriver::collapsePage(sim::PageId page, sim::GpuId writer, sim::Cycle now)
     PageInfo &info = directory_.info(page);
     const sim::GpuId old_owner = info.owner;
     const sim::Cycle start = now;
+
+    // Defensive: a collapse inside a promoted region (reachable only
+    // through unusual policy sequences) must first fall back to base
+    // pages, like every other sharing transition.
+    now = splinterIfPromoted(page, now, mem::SplinterReason::kWriteSharing);
 
     // Invalidate every holder except the writer: replica holders and
     // the old owner flush pipelines, caches, and TLBs (Section II-B3).
@@ -344,7 +363,7 @@ UvmDriver::collapsePage(sim::PageId page, sim::GpuId writer, sim::Cycle now)
         gpuAt(writer).dram().touch(page);
     } else if (old_owner != writer) {
         // The writer has no copy: fetch the authoritative data.
-        t = fabric_.transfer(t, old_owner, writer, config_.pageSize);
+        t = fabric_.transfer(t, old_owner, writer, geometry_->baseSize);
         t = allocateFrame(writer, page, mem::FrameKind::kOwned, t,
                           stats::LatencyKind::kWriteCollapse);
     } else {

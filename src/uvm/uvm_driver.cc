@@ -32,12 +32,15 @@ coldKind(policy::FaultAction action)
 
 UvmDriver::UvmDriver(const UvmConfig &config, ic::Topology &fabric,
                      std::vector<gpu::Gpu *> gpus, stats::StatSet &stats,
-                     stats::LatencyBreakdown &breakdown)
+                     stats::LatencyBreakdown &breakdown,
+                     const mem::PageGeometry &geometry)
     : config_(config),
       fabric_(fabric),
       gpus_(std::move(gpus)),
       stats_(stats),
       breakdown_(breakdown),
+      geometry_(&geometry),
+      regions_(geometry),
       servers_("uvm.servers", config.servers),
       hostMem_("uvm.hostmem", config.hostMemGBs)
 {
@@ -222,6 +225,12 @@ UvmDriver::handleFault(sim::GpuId gpu, sim::PageId page, bool write,
     if (write)
         info.dirty = true;
 
+    // Dynamic huge pages: count the region's fault heat and promote it
+    // once hot and fully, exclusively resident here. One branch when
+    // the feature is off.
+    if (regions_.enabled())
+        done = maybePromote(gpu, page, done);
+
     // Fault replay notification back to the GPU.
     done = fabric_.message(done, sim::kHostId, gpu, config_.messageBytes);
     if (trace_)
@@ -233,6 +242,10 @@ UvmDriver::handleFault(sim::GpuId gpu, sim::PageId page, bool write,
 sim::Cycle
 UvmDriver::mapRemote(sim::PageId page, sim::GpuId gpu, sim::Cycle now)
 {
+    // A remote translation into a promoted region ends its exclusive
+    // residency: splinter the owner's huge mapping first so base-page
+    // sharing machinery operates on base PTEs again.
+    now = splinterIfPromoted(page, now, mem::SplinterReason::kWriteSharing);
     PageInfo &info = directory_.info(page);
     // Precondition: the mapper holds no local copy — a remote PTE would
     // shadow the frame and strand the directory's mapper entry when the
@@ -283,6 +296,105 @@ UvmDriver::counterMigration(sim::GpuId gpu, sim::PageId page,
     }
     stats_.counter("uvm.counter_migrations").inc(migrated);
     return done;
+}
+
+sim::Cycle
+UvmDriver::maybePromote(sim::GpuId gpu, sim::PageId page, sim::Cycle now)
+{
+    if (!regions_.enabled())
+        return now;
+    const sim::PageId region = regions_.regionOf(page);
+    const unsigned heat = regions_.noteRegionFault(gpu, region);
+    if (regions_.promoted(region) ||
+        heat < geometry_->promoteFaultThreshold)
+        return now;
+
+    gpu::Gpu &g = gpuAt(gpu);
+    const std::uint64_t pages = regions_.pagesPerRegion();
+    // Cheap gate first: the region must be fully owned-resident here
+    // (O(1) via the DRAM manager's per-region accounting).
+    if (g.dram().ownedInRegion(region) != pages)
+        return now;
+    // Full walk confirming exclusive writable residency of every base
+    // page: owned here, no replicas, no remote translations elsewhere,
+    // and a valid writable local PTE to fold into the huge mapping.
+    const sim::PageId first = geometry_->regionFirstPage(region);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        const sim::PageId p = first + i;
+        const PageInfo *info = directory_.find(p);
+        if (info == nullptr || !info->touched || info->owner != gpu ||
+            !info->replicas.empty() || !info->remoteMappers.empty())
+            return now;
+        const mem::PteRecord *rec = g.pageTable().find(p);
+        if (rec == nullptr || !rec->pte.valid() ||
+            rec->kind != mem::MappingKind::kLocal ||
+            !rec->pte.writable() || rec->readOnlyReplica)
+            return now;
+    }
+
+    g.promoteRegion(region);
+    g.dram().pinRegion(region);
+    regions_.markPromoted(region, gpu);
+    timelineRecord(stats::TimelineKind::kMigration, now);
+    if (trace_)
+        trace_->record("promote", "uvm", now, config_.promoteCycles, gpu,
+                       geometry_->regionFirstPage(region));
+
+    // PTE rewrite plus the shootdown notification to the GPU.
+    sim::Cycle at = fabric_.message(now, sim::kHostId, gpu,
+                                    config_.messageBytes);
+    at += config_.promoteCycles;
+    breakdown_.add(stats::LatencyKind::kHost, at - now);
+    return at;
+}
+
+sim::Cycle
+UvmDriver::splinterRegion(sim::PageId region, sim::Cycle now,
+                          mem::SplinterReason reason)
+{
+    if (!regions_.enabled() || !regions_.promoted(region))
+        return now;
+    const sim::GpuId holder = regions_.holder(region);
+    assert(holder != sim::kNoGpu);
+    gpu::Gpu &g = gpuAt(holder);
+    g.splinterRegion(region);
+    g.dram().unpinRegion(region);
+    regions_.markSplintered(region, reason);
+    if (trace_)
+        trace_->record("splinter", "uvm", now, config_.splinterCycles,
+                       holder, geometry_->regionFirstPage(region));
+
+    // Huge-PTE shootdown at the holder plus driver rewrite work; the
+    // base PTEs underneath are still valid, so no data moves.
+    sim::Cycle at = fabric_.message(now, sim::kHostId, holder,
+                                    config_.messageBytes);
+    at += config_.splinterCycles;
+    breakdown_.add(stats::LatencyKind::kHost, at - now);
+    return at;
+}
+
+sim::Cycle
+UvmDriver::splinterIfPromoted(sim::PageId page, sim::Cycle now,
+                              mem::SplinterReason reason)
+{
+    if (!regions_.enabled())
+        return now;
+    return splinterRegion(regions_.regionOf(page), now, reason);
+}
+
+unsigned
+UvmDriver::splinterAllPromoted(sim::Cycle now)
+{
+    if (!regions_.enabled() || regions_.promotedCount() == 0)
+        return 0;
+    // Copy the keys first: splinterRegion mutates the promoted map.
+    std::vector<sim::PageId> promoted;
+    promoted.reserve(regions_.promotedCount());
+    for (const auto &entry : regions_.promotedRegions())
+        promoted.push_back(entry.first);
+    for (sim::PageId region : promoted)
+        splinterRegion(region, now, mem::SplinterReason::kChaos);
+    return static_cast<unsigned>(promoted.size());
 }
 
 }  // namespace grit::uvm

@@ -19,7 +19,9 @@
 
 #include "gpu/gpu.h"
 #include "interconnect/topology.h"
+#include "mem/page_geometry.h"
 #include "mem/page_table.h"
+#include "mem/region_tracker.h"
 #include "policy/policy.h"
 #include "simcore/resource.h"
 #include "simcore/types.h"
@@ -72,8 +74,14 @@ struct UvmConfig
     sim::Cycle hostMemAccessCycles = 150;
     /** Control-message payload (fault descriptors, invalidations). */
     std::uint64_t messageBytes = 64;
-    /** Page size in bytes (must match the GPUs'). */
-    std::uint64_t pageSize = sim::kPageSize4K;
+    /**
+     * Driver work promoting a fully-resident region to a huge mapping
+     * (PTE rewrite + TLB shootdown of the base entries). Only charged
+     * when PageGeometry::hugePages is on.
+     */
+    sim::Cycle promoteCycles = 1200;
+    /** Driver work splintering a huge mapping back to base pages. */
+    sim::Cycle splinterCycles = 1800;
 };
 
 /** Result of servicing one fault episode. */
@@ -111,7 +119,8 @@ class UvmDriver
      */
     UvmDriver(const UvmConfig &config, ic::Topology &fabric,
               std::vector<gpu::Gpu *> gpus, stats::StatSet &stats,
-              stats::LatencyBreakdown &breakdown);
+              stats::LatencyBreakdown &breakdown,
+              const mem::PageGeometry &geometry);
 
     /** Select the placement policy (attaches it to this driver). */
     void setPolicy(policy::PlacementPolicy *policy);
@@ -206,6 +215,22 @@ class UvmDriver
     unsigned numGpus() const { return static_cast<unsigned>(gpus_.size()); }
     ic::Topology &fabric() { return fabric_; }
     const UvmConfig &config() const { return config_; }
+    const mem::PageGeometry &geometry() const { return *geometry_; }
+
+    /** Region promote/splinter bookkeeping (inert without hugePages). */
+    const mem::RegionTracker &regionTracker() const { return regions_; }
+
+    /**
+     * Splinter @p region's huge mapping if promoted: shoot down the
+     * huge translation, unpin the frames, record @p reason.
+     * @return completion time (== @p now when not promoted).
+     */
+    sim::Cycle splinterRegion(sim::PageId region, sim::Cycle now,
+                              mem::SplinterReason reason);
+
+    /** Splinter every promoted region (chaos promotion storms).
+     *  @return regions splintered. */
+    unsigned splinterAllPromoted(sim::Cycle now);
     stats::StatSet &stats() { return stats_; }
     stats::LatencyBreakdown &breakdown() { return breakdown_; }
 
@@ -270,6 +295,19 @@ class UvmDriver
     sim::Cycle refillMapping(sim::PageId page, sim::GpuId gpu,
                              sim::Cycle now);
 
+    /**
+     * Promote @p page's region at @p gpu to a huge mapping when the
+     * fault heat and full exclusive residency warrant it. Called on the
+     * fault path; inert (one branch) without hugePages.
+     * @return completion time (== @p now when nothing promoted).
+     */
+    sim::Cycle maybePromote(sim::GpuId gpu, sim::PageId page,
+                            sim::Cycle now);
+
+    /** splinterRegion() for the region containing @p page. */
+    sim::Cycle splinterIfPromoted(sim::PageId page, sim::Cycle now,
+                                  mem::SplinterReason reason);
+
     /** Count one @p kind occurrence on the run timeline, if sampling. */
     void timelineRecord(stats::TimelineKind kind, sim::Cycle now);
 
@@ -278,6 +316,8 @@ class UvmDriver
     std::vector<gpu::Gpu *> gpus_;
     stats::StatSet &stats_;
     stats::LatencyBreakdown &breakdown_;
+    const mem::PageGeometry *geometry_;
+    mem::RegionTracker regions_;
 
     /** Notify the listener (if any) of a new placement. */
     void

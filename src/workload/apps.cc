@@ -40,7 +40,7 @@ shell(AppId app, const WorkloadParams &params)
     w.suite = meta.suite;
     w.pattern = meta.pattern;
     w.paperFootprintMB = meta.paperFootprintMB;
-    w.footprintPages4k = static_cast<std::uint64_t>(
+    w.footprintGenPages = static_cast<std::uint64_t>(
         meta.paperFootprintMB) * 256 / params.footprintDivisor;
     return w;
 }
@@ -377,7 +377,7 @@ generateTrace(AppId app, const WorkloadParams &params, TraceSink &sink)
 {
     assert(params.numGpus > 0);
     assert(params.footprintDivisor > 0);
-    const std::uint64_t pages = shell(app, params).footprintPages4k;
+    const std::uint64_t pages = shell(app, params).footprintGenPages;
     switch (app) {
       case AppId::kBfs:  genBfs(params, pages, sink);  return;
       case AppId::kBs:   genBs(params, pages, sink);   return;

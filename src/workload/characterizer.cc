@@ -22,7 +22,7 @@ collectFacts(const Workload &w)
     std::unordered_map<sim::PageId, PageFacts> facts;
     for (unsigned g = 0; g < w.numGpus(); ++g) {
         for (const Access &a : w.traces[g]) {
-            PageFacts &f = facts[a.addr / sim::kPageSize4K];
+            PageFacts &f = facts[a.addr / kGenPageBytes];
             f.gpuMask |= 1u << g;
             f.accesses += 1;
             f.writes += a.write ? 1 : 0;
@@ -91,7 +91,7 @@ attributesOverTime(const Workload &w, unsigned intervals)
 {
     assert(intervals > 0);
     const std::size_t pages =
-        static_cast<std::size_t>(w.footprintPages4k);
+        static_cast<std::size_t>(w.footprintGenPages);
     std::vector<std::unordered_map<sim::PageId, PageFacts>> per_interval(
         intervals);
 
@@ -101,7 +101,7 @@ attributesOverTime(const Workload &w, unsigned intervals)
             const std::size_t k =
                 intervalOf(i, trace.size(), intervals);
             PageFacts &f =
-                per_interval[k][trace[i].addr / sim::kPageSize4K];
+                per_interval[k][trace[i].addr / kGenPageBytes];
             f.gpuMask |= 1u << g;
             f.accesses += 1;
             f.writes += trace[i].write ? 1 : 0;
@@ -160,7 +160,7 @@ pageGpuDistribution(const Workload &w, sim::PageId page,
     for (unsigned g = 0; g < w.numGpus(); ++g) {
         const GpuTrace &trace = w.traces[g];
         for (std::size_t i = 0; i < trace.size(); ++i) {
-            if (trace[i].addr / sim::kPageSize4K != page)
+            if (trace[i].addr / kGenPageBytes != page)
                 continue;
             out[intervalOf(i, trace.size(), intervals)][g] += 1;
         }
@@ -177,7 +177,7 @@ pageRwDistribution(const Workload &w, sim::PageId page, unsigned intervals)
     for (unsigned g = 0; g < w.numGpus(); ++g) {
         const GpuTrace &trace = w.traces[g];
         for (std::size_t i = 0; i < trace.size(); ++i) {
-            if (trace[i].addr / sim::kPageSize4K != page)
+            if (trace[i].addr / kGenPageBytes != page)
                 continue;
             auto &cell = out[intervalOf(i, trace.size(), intervals)];
             if (trace[i].write)

@@ -60,7 +60,7 @@ const char *pageAttrName(PageAttr attr);
 
 /**
  * Attribute map over time: result[interval][page] for all pages in
- * [0, footprintPages4k).
+ * [0, footprintGenPages).
  */
 std::vector<std::vector<PageAttr>> attributesOverTime(const Workload &w,
                                                       unsigned intervals);

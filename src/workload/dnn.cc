@@ -56,7 +56,7 @@ dnnWorkloadShell(DnnModel model, const WorkloadParams &params)
     w.suite = "DNN";
     w.pattern = "Pipeline";
     w.paperFootprintMB = geo.paperFootprintMB;
-    w.footprintPages4k = static_cast<std::uint64_t>(geo.paperFootprintMB) *
+    w.footprintGenPages = static_cast<std::uint64_t>(geo.paperFootprintMB) *
                          256 / params.footprintDivisor;
     return w;
 }
@@ -68,7 +68,7 @@ generateDnnTrace(DnnModel model, const WorkloadParams &params,
     assert(params.numGpus > 0);
     const DnnGeometry geo = geometry(model);
     const std::uint64_t footprint_pages =
-        dnnWorkloadShell(model, params).footprintPages4k;
+        dnnWorkloadShell(model, params).footprintGenPages;
 
     TraceBuilder tb(params.numGpus, params.seed ^ 0xD77ULL, sink);
     RegionAllocator ra;

@@ -53,8 +53,8 @@ TraceBuilder::touch(unsigned gpu, sim::PageId page, bool write)
 {
     assert(gpu < gpus_);
     const unsigned line = static_cast<unsigned>(
-        rng_.below(sim::kPageSize4K / sim::kLineSize));
-    sink_->emit(gpu, Access{pageLineAddr(page, line), write});
+        rng_.below(kGenPageBytes / sim::kLineSize));
+    sink_->emit(gpu, Access{pageLineAddr(page, line, kGenPageBytes), write});
 }
 
 void
@@ -62,10 +62,10 @@ TraceBuilder::touchLines(unsigned gpu, sim::PageId page, unsigned count,
                          bool write)
 {
     const unsigned lines_per_page =
-        static_cast<unsigned>(sim::kPageSize4K / sim::kLineSize);
+        static_cast<unsigned>(kGenPageBytes / sim::kLineSize);
     for (unsigned i = 0; i < count; ++i) {
         const unsigned line = i % lines_per_page;
-        sink_->emit(gpu, Access{pageLineAddr(page, line), write});
+        sink_->emit(gpu, Access{pageLineAddr(page, line, kGenPageBytes), write});
     }
 }
 
@@ -113,8 +113,8 @@ scaleWorkloadShell(const ScaleParams &params)
     w.suite = "grit-bench";
     w.pattern = "Adjacent+Random";
     w.paperFootprintMB =
-        static_cast<unsigned>(params.pages * sim::kPageSize4K / (1 << 20));
-    w.footprintPages4k = params.pages;
+        static_cast<unsigned>(params.pages * kGenPageBytes / (1 << 20));
+    w.footprintGenPages = params.pages;
     return w;
 }
 

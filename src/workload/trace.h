@@ -20,6 +20,15 @@
 
 namespace grit::workload {
 
+/**
+ * Generator page granule: workloads are laid out and scaled in 4 KB
+ * units no matter which mem::PageGeometry the simulator later runs
+ * them under. Distinct from SystemConfig::geometry.baseSize on
+ * purpose — regenerating a trace must not change when the simulated
+ * page size does.
+ */
+inline constexpr std::uint64_t kGenPageBytes = sim::kPageSize4K;
+
 /** One memory access: byte address + direction. */
 struct Access
 {
@@ -39,8 +48,17 @@ struct Workload
     std::string pattern;  //!< "Random", "Adjacent", "Scatter-Gather"
     /** Paper memory footprint (Table II), for documentation. */
     unsigned paperFootprintMB = 0;
-    /** Scaled footprint actually generated, in 4 KB units. */
-    std::uint64_t footprintPages4k = 0;
+    union
+    {
+        /** Scaled footprint actually generated, in kGenPageBytes units. */
+        std::uint64_t footprintGenPages = 0;
+        /**
+         * @deprecated Pre-geometry name for footprintGenPages (same
+         * storage); kept for one release — docs/PAGESIZE.md.
+         */
+        [[deprecated("use footprintGenPages")]] std::uint64_t
+            footprintPages4k;
+    };
     /** Per-GPU access streams. */
     std::vector<GpuTrace> traces;
 
@@ -50,7 +68,18 @@ struct Workload
     std::uint64_t
     footprintBytes() const
     {
-        return footprintPages4k * sim::kPageSize4K;
+        return footprintGenPages * kGenPageBytes;
+    }
+
+    /**
+     * Footprint in pages of @p page_size bytes (rounded up) — how many
+     * translation granules a simulator configured with that base page
+     * size needs for this workload.
+     */
+    std::uint64_t
+    footprintPages(std::uint64_t page_size) const
+    {
+        return (footprintBytes() + page_size - 1) / page_size;
     }
 
     /** Total accesses across all GPUs. */
@@ -60,12 +89,28 @@ struct Workload
     std::uint64_t totalWrites() const;
 };
 
-/** Convert a 4 KB-unit logical page number + line to a byte address. */
+/**
+ * Convert a logical page number + line index within it to a byte
+ * address, under pages of @p page_size bytes. Generators emitting
+ * 4 KB-granule layouts pass kGenPageBytes.
+ */
+inline sim::Address
+pageLineAddr(sim::PageId page, unsigned line, std::uint64_t page_size)
+{
+    return page * page_size + static_cast<sim::Address>(line) * sim::kLineSize;
+}
+
+/**
+ * @deprecated 4 KB-unit form; call the three-argument overload (the
+ * generators pass kGenPageBytes). Kept for one release so out-of-tree
+ * workload builders keep compiling — docs/PAGESIZE.md.
+ */
+[[deprecated("pass a page size explicitly (kGenPageBytes for "
+             "generator layouts)")]]
 inline sim::Address
 pageLineAddr(sim::PageId page4k, unsigned line)
 {
-    return page4k * sim::kPageSize4K +
-           static_cast<sim::Address>(line) * sim::kLineSize;
+    return pageLineAddr(page4k, line, kGenPageBytes);
 }
 
 }  // namespace grit::workload

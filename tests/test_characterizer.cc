@@ -15,10 +15,10 @@ tinyWorkload()
 {
     Workload w;
     w.name = "tiny";
-    w.footprintPages4k = 4;
+    w.footprintGenPages = 4;
     w.traces.resize(2);
     auto touch = [&](unsigned gpu, sim::PageId page, bool write) {
-        w.traces[gpu].push_back(Access{pageLineAddr(page, 0), write});
+        w.traces[gpu].push_back(Access{pageLineAddr(page, 0, kGenPageBytes), write});
     };
     // Page 0: private read (GPU 0 only, reads).
     touch(0, 0, false);
@@ -64,7 +64,7 @@ TEST(Characterizer, AttributesOverTime)
 TEST(Characterizer, AttributesChangePerInterval)
 {
     Workload w;
-    w.footprintPages4k = 1;
+    w.footprintGenPages = 1;
     w.traces.resize(2);
     // First half: GPU 0 reads page 0; second half: GPU 1 writes it.
     w.traces[0].push_back(Access{0, false});
@@ -81,7 +81,7 @@ TEST(Characterizer, AttributesChangePerInterval)
 TEST(Characterizer, UntouchedPagesStayUntouched)
 {
     Workload w;
-    w.footprintPages4k = 3;
+    w.footprintGenPages = 3;
     w.traces.resize(1);
     w.traces[0].push_back(Access{0, false});  // only page 0 touched
     const auto map = attributesOverTime(w, 2);

@@ -6,6 +6,7 @@
 #include "gpu/gmmu.h"
 #include "gpu/gpu.h"
 #include "gpu/tb_scheduler.h"
+#include "mem/page_geometry.h"
 
 namespace grit::gpu {
 namespace {
@@ -16,6 +17,14 @@ smallConfig()
     GpuConfig config;
     config.lanes = 2;
     return config;
+}
+
+/** Default 4 KB geometry; static so constructed Gpus may keep the ref. */
+const mem::PageGeometry &
+testGeometry()
+{
+    static const mem::PageGeometry geo{};
+    return geo;
 }
 
 TEST(Gmmu, ColdWalkCostsFourLevels)
@@ -51,7 +60,7 @@ TEST(Gmmu, WalkersParallelUpToEight)
 
 TEST(Gpu, TranslateFaultsOnUnmappedPage)
 {
-    Gpu gpu(0, smallConfig());
+    Gpu gpu(0, smallConfig(), testGeometry());
     const TranslateOutcome out = gpu.translate(0, 42, false, 0);
     EXPECT_TRUE(out.fault);
     EXPECT_FALSE(out.protectionFault);
@@ -60,7 +69,7 @@ TEST(Gpu, TranslateFaultsOnUnmappedPage)
 
 TEST(Gpu, TranslateHitsAfterInstallAndFill)
 {
-    Gpu gpu(0, smallConfig());
+    Gpu gpu(0, smallConfig(), testGeometry());
     gpu.pageTable().install(42, mem::MappingKind::kLocal, 0, true);
     TranslateOutcome out = gpu.translate(0, 42, false, 0);
     EXPECT_FALSE(out.fault);
@@ -77,7 +86,7 @@ TEST(Gpu, TranslateHitsAfterInstallAndFill)
 
 TEST(Gpu, WriteToReadOnlyReplicaRaisesProtectionFault)
 {
-    Gpu gpu(0, smallConfig());
+    Gpu gpu(0, smallConfig(), testGeometry());
     gpu.pageTable().install(7, mem::MappingKind::kLocal, 0,
                             /*writable=*/false,
                             /*read_only_replica=*/true);
@@ -91,7 +100,7 @@ TEST(Gpu, WriteToReadOnlyReplicaRaisesProtectionFault)
 
 TEST(Gpu, InvalidatedPageFaultsAgain)
 {
-    Gpu gpu(0, smallConfig());
+    Gpu gpu(0, smallConfig(), testGeometry());
     gpu.pageTable().install(9, mem::MappingKind::kLocal, 0, true);
     gpu.translate(0, 9, false, 0);  // fills TLBs
     gpu.pageTable().invalidate(9);
@@ -103,7 +112,7 @@ TEST(Gpu, InvalidatedPageFaultsAgain)
 TEST(Gpu, FlushForInvalidationWipesTlbsAndCosts)
 {
     GpuConfig config = smallConfig();
-    Gpu gpu(0, config);
+    Gpu gpu(0, config, testGeometry());
     gpu.pageTable().install(3, mem::MappingKind::kLocal, 0, true);
     gpu.translate(0, 3, false, 0);
 
@@ -119,7 +128,7 @@ TEST(Gpu, FlushForInvalidationWipesTlbsAndCosts)
 
 TEST(Gpu, DramAccessAddsLatency)
 {
-    Gpu gpu(0, smallConfig());
+    Gpu gpu(0, smallConfig(), testGeometry());
     const sim::Cycle done = gpu.dramAccess(0, 64);
     EXPECT_GE(done, gpu.config().dramLatency);
 }
@@ -128,7 +137,7 @@ TEST(Gpu, RemoteSlotsThrottleThroughput)
 {
     GpuConfig config = smallConfig();
     config.nvlinkSlots = 2;
-    Gpu gpu(0, config);
+    Gpu gpu(0, config, testGeometry());
     EXPECT_EQ(gpu.remoteSlot(0, 100, false), 100u);
     EXPECT_EQ(gpu.remoteSlot(0, 100, false), 100u);
     EXPECT_EQ(gpu.remoteSlot(0, 100, false), 200u);  // queues
@@ -139,7 +148,7 @@ TEST(Gpu, PcieAndNvlinkSlotsAreSeparate)
     GpuConfig config = smallConfig();
     config.nvlinkSlots = 1;
     config.pcieSlots = 1;
-    Gpu gpu(0, config);
+    Gpu gpu(0, config, testGeometry());
     gpu.remoteSlot(0, 100, /*to_host=*/false);
     // The PCIe pool is untouched by NVLink occupancy.
     EXPECT_EQ(gpu.remoteSlot(0, 100, /*to_host=*/true), 100u);
@@ -149,18 +158,18 @@ TEST(Gpu, FaultSlotsThrottleFaultStorms)
 {
     GpuConfig config = smallConfig();
     config.faultSlots = 2;
-    Gpu gpu(0, config);
+    Gpu gpu(0, config, testGeometry());
     gpu.faultSlot(0, 1000);
     gpu.faultSlot(0, 1000);
     EXPECT_EQ(gpu.faultSlot(0, 1000), 2000u);
 }
 
-TEST(Gpu, LinesPerPageFollowsPageSize)
+TEST(Gpu, LinesPerPageFollowsGeometry)
 {
-    GpuConfig config = smallConfig();
-    EXPECT_EQ(Gpu(0, config).linesPerPage(), 64u);
-    config.pageSize = 2 * 1024 * 1024;
-    EXPECT_EQ(Gpu(1, config).linesPerPage(), 32768u);
+    const GpuConfig config = smallConfig();
+    EXPECT_EQ(Gpu(0, config, testGeometry()).linesPerPage(), 64u);
+    static const mem::PageGeometry huge_base{2 * 1024 * 1024};
+    EXPECT_EQ(Gpu(1, config, huge_base).linesPerPage(), 32768u);
 }
 
 // ---------------------------------------------------------------- TbScheduler

@@ -14,7 +14,8 @@ TEST(SystemConfig, TableIDefaults)
 {
     const SystemConfig config = makeConfig(PolicyKind::kGrit, 4);
     EXPECT_EQ(config.numGpus, 4u);
-    EXPECT_EQ(config.pageSize, sim::kPageSize4K);
+    EXPECT_EQ(config.geometry.baseSize, sim::kPageSize4K);
+    EXPECT_FALSE(config.geometry.hugePages);
     EXPECT_DOUBLE_EQ(config.memoryFraction, 0.70);
 
     // Table I rows.

@@ -160,7 +160,7 @@ TEST(Integration, TwoMbPagesReduceFaultsButMixAttributes)
     workload::WorkloadParams params = fastParams();
     SystemConfig small = makeConfig(PolicyKind::kOnTouch, 4);
     SystemConfig large = makeConfig(PolicyKind::kOnTouch, 4);
-    large.pageSize = 64 * 1024;
+    large.geometry.baseSize = 64 * 1024;
 
     const workload::Workload w =
         workload::makeWorkload(workload::AppId::kGemm, params);

@@ -158,10 +158,19 @@ TEST(ConfigValidate, CatchesEachBrokenKnob)
     expectBad(c, "numGpus");
 
     c = harness::makeConfig(PolicyKind::kOnTouch, 4);
-    c.pageSize = 0;
-    expectBad(c, "pageSize");
-    c.pageSize = 100;  // not a line multiple
-    expectBad(c, "pageSize");
+    c.geometry.baseSize = 0;
+    expectBad(c, "geometry.baseSize");
+    c.geometry.baseSize = 32;  // power of two, smaller than a line
+    expectBad(c, "geometry.baseSize");
+    c.geometry.baseSize = 12 * 1024;  // not a power of two
+    expectBad(c, "geometry.baseSize");
+    c = harness::makeConfig(PolicyKind::kOnTouch, 4);
+    c.geometry.hugePages = true;
+    c.geometry.hugeSize = c.geometry.baseSize;  // must exceed the base
+    expectBad(c, "geometry.hugeSize");
+    c.geometry.hugeSize = 2 * sim::kPageSize2M;
+    c.geometry.promoteFaultThreshold = 0;
+    expectBad(c, "geometry.promoteFaultThreshold");
 
     c = harness::makeConfig(PolicyKind::kOnTouch, 4);
     c.gpu.lanes = 0;

@@ -149,7 +149,7 @@ TEST(GeneratedTraceStream, CoversDnnAndScaleGenerators)
     sp.sharedPerGpu = 512;
     const Workload scale = makeScaleWorkload(sp);
     ASSERT_EQ(scale.numGpus(), sp.numGpus);
-    EXPECT_EQ(scale.footprintPages4k, sp.pages);
+    EXPECT_EQ(scale.footprintGenPages, sp.pages);
     for (unsigned g = 0; g < sp.numGpus; ++g) {
         GeneratedTraceStream stream(
             [sp](TraceSink &sink) { generateScaleTrace(sp, sink); }, g,
@@ -183,7 +183,7 @@ TEST(TraceCacheStreaming, OpenWorkloadMatchesMaterialized)
     ASSERT_EQ(sw.accesses.size(), params.numGpus);
     EXPECT_EQ(sw.totalAccesses(), w.totalAccesses());
     EXPECT_EQ(sw.meta.name, w.name);
-    EXPECT_EQ(sw.meta.footprintPages4k, w.footprintPages4k);
+    EXPECT_EQ(sw.meta.footprintGenPages, w.footprintGenPages);
     for (unsigned g = 0; g < params.numGpus; ++g) {
         EXPECT_EQ(sw.accesses[g], w.traces[g].size());
         expectSameTrace(drain(*sw.streams[g]), w.traces[g]);

@@ -13,6 +13,7 @@
 
 #include "gpu/gpu.h"
 #include "interconnect/topology.h"
+#include "mem/page_geometry.h"
 #include "policy/policy.h"
 #include "stats/counters.h"
 #include "stats/latency_breakdown.h"
@@ -30,7 +31,9 @@ class MiniSystem
      */
     explicit MiniSystem(unsigned num_gpus = 2,
                         std::uint64_t capacity_pages = 0,
-                        uvm::UvmConfig uvm_config = {})
+                        uvm::UvmConfig uvm_config = {},
+                        mem::PageGeometry geo = {})
+        : geometry(geo)
     {
         ic::FabricConfig fabric_config;
         fabric_config.numGpus = num_gpus;
@@ -42,11 +45,11 @@ class MiniSystem
         std::vector<gpu::Gpu *> views;
         for (unsigned g = 0; g < num_gpus; ++g) {
             gpus.push_back(std::make_unique<gpu::Gpu>(
-                static_cast<sim::GpuId>(g), gpu_config));
+                static_cast<sim::GpuId>(g), gpu_config, geometry));
             views.push_back(gpus.back().get());
         }
         driver = std::make_unique<uvm::UvmDriver>(
-            uvm_config, *fabric, views, stats, breakdown);
+            uvm_config, *fabric, views, stats, breakdown, geometry);
     }
 
     /** Attach @p policy to the driver and keep it alive. */
@@ -59,6 +62,8 @@ class MiniSystem
 
     gpu::Gpu &gpu(unsigned g) { return *gpus[g]; }
 
+    /** Declared before gpus/driver: both hold references into it. */
+    mem::PageGeometry geometry;
     stats::StatSet stats;
     stats::LatencyBreakdown breakdown;
     std::unique_ptr<ic::Topology> fabric;

@@ -55,7 +55,7 @@ TEST(TraceBuilder, SweepTouchesEveryPage)
     const auto traces = tb.take();
     EXPECT_EQ(traces[0].size(), 30u);
     for (const Access &a : traces[0]) {
-        EXPECT_LT(a.addr / sim::kPageSize4K, 10u);
+        EXPECT_LT(a.addr / kGenPageBytes, 10u);
         EXPECT_FALSE(a.write);
     }
 }
@@ -78,7 +78,7 @@ TEST(TraceBuilder, StridedPassVisitsStrideOffsets)
     const auto traces = tb.take();
     ASSERT_EQ(traces[0].size(), 4u);  // pages 1, 5, 9, 13
     for (std::size_t i = 0; i < 4; ++i)
-        EXPECT_EQ(traces[0][i].addr / sim::kPageSize4K, 1 + 4 * i);
+        EXPECT_EQ(traces[0][i].addr / kGenPageBytes, 1 + 4 * i);
 }
 
 // ------------------------------------------------------------- app metadata
@@ -115,7 +115,7 @@ TEST_P(AllApps, GeneratesNonEmptyShardedTraces)
 {
     const Workload w = makeWorkload(GetParam(), params_);
     EXPECT_EQ(w.numGpus(), 4u);
-    EXPECT_GT(w.footprintPages4k, 0u);
+    EXPECT_GT(w.footprintGenPages, 0u);
     EXPECT_GT(w.totalAccesses(), 1000u);
     for (const GpuTrace &trace : w.traces)
         EXPECT_FALSE(trace.empty());
@@ -181,7 +181,7 @@ TEST_P(AllApps, FootprintDivisorScalesPages)
     big.footprintDivisor = 8;
     const Workload a = makeWorkload(GetParam(), params_);  // divisor 16
     const Workload b = makeWorkload(GetParam(), big);
-    EXPECT_EQ(b.footprintPages4k, 2 * a.footprintPages4k);
+    EXPECT_EQ(b.footprintGenPages, 2 * a.footprintGenPages);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -289,7 +289,7 @@ TEST(Dnn, ModelsGenerateAndDiffer)
     EXPECT_EQ(resnet.name, "ResNet18");
     EXPECT_GT(vgg.totalAccesses(), 1000u);
     EXPECT_GT(resnet.totalAccesses(), 1000u);
-    EXPECT_NE(vgg.footprintPages4k, resnet.footprintPages4k);
+    EXPECT_NE(vgg.footprintGenPages, resnet.footprintGenPages);
 }
 
 TEST(Dnn, PipelineSharesActivationBoundaries)
